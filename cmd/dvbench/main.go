@@ -1,0 +1,134 @@
+// Command dvbench regenerates the paper's evaluation tables and figures on
+// the synthetic stand-in datasets.
+//
+// Usage:
+//
+//	dvbench -exp table1|table2|fig4|fig5|ablations|all [-runs N]
+//
+// Output is plain text, one block per table/figure, with the ΔV / ΔV★ /
+// Pregel+ rows of each experiment and a ratio summary for Figure 4.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig4, fig5, ablations, all")
+	runs := flag.Int("runs", 3, "runs to average for timing experiments (paper: 3)")
+	flag.Parse()
+
+	if err := run(*exp, *runs); err != nil {
+		fmt.Fprintln(os.Stderr, "dvbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, runs int) error {
+	out := os.Stdout
+	want := func(name string) bool { return exp == "all" || exp == name }
+	any := false
+
+	if want("table1") {
+		any = true
+		rows, err := bench.Table1()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "== Table 1: datasets ==")
+		if err := bench.RenderTable1(out, rows); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if want("table2") {
+		any = true
+		rows, err := bench.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "== Table 2: vertex-state size ==")
+		if err := bench.RenderTable2(out, rows); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if want("fig4") {
+		any = true
+		rows, err := bench.Figure4(runs)
+		if err != nil {
+			return err
+		}
+		if err := bench.RenderPerf(out, "Figure 4: runtime and messages (directed datasets)", rows); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		if err := bench.RenderSummary(out, bench.Summarize(rows)); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if want("fig5") {
+		any = true
+		rows, err := bench.Figure5(runs)
+		if err != nil {
+			return err
+		}
+		if err := bench.RenderPerf(out, "Figure 5: Connected Components (undirected datasets)", rows); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if want("ablations") {
+		any = true
+		const ds = "livejournal-dg-s"
+		mt, err := bench.AblationMemoTable(ds, runs)
+		if err != nil {
+			return err
+		}
+		if err := bench.RenderMemoTable(out, mt); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		eps, err := bench.AblationEpsilon(ds, []float64{0, 1e-9, 1e-6, 1e-4, 1e-3})
+		if err != nil {
+			return err
+		}
+		if err := bench.RenderEpsilon(out, ds, eps); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		sched, err := bench.AblationScheduler(ds, runs)
+		if err != nil {
+			return err
+		}
+		if err := bench.RenderScheduler(out, sched); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		comb, err := bench.AblationCombiner(ds, runs)
+		if err != nil {
+			return err
+		}
+		if err := bench.RenderCombiner(out, comb); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		part, err := bench.AblationPartition("wikipedia-s", runs)
+		if err != nil {
+			return err
+		}
+		if err := bench.RenderPartition(out, part); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if !any {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	if errRun != nil {
+		t.Fatalf("run: %v", errRun)
+	}
+	return string(buf[:n])
+}
+
+func TestRunTable1(t *testing.T) {
+	out := captureStdout(t, func() error { return run("table1", 1) })
+	for _, want := range []string{"Table 1", "wikipedia-s", "facebook-s", "136.54M"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	out := captureStdout(t, func() error { return run("table2", 1) })
+	if !strings.Contains(out, "48B") || !strings.Contains(out, "pagerank") {
+		t.Fatalf("table2 output:\n%s", out)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("bogus", 1); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}

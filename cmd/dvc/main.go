@@ -1,0 +1,113 @@
+// Command dvc is the ΔV compiler driver: it parses, type-checks and
+// compiles a ΔV program and prints the result of the requested stage.
+//
+// Usage:
+//
+//	dvc [-mode dv|dvstar|memotable] [-emit source|compiled|layout|go] (-program name | file.dv)
+//
+// With -emit compiled (the default) it prints the fully transformed
+// program in the paper's pseudo-syntax: receive loops, change checks,
+// Δ-message sends and halts. -emit go prints generated Go source for the
+// vertex program. -program selects one of the embedded benchmark programs
+// (see `dvc -list`).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/deltav/ast"
+	"repro/internal/deltav/codegen"
+	"repro/internal/deltav/parser"
+	"repro/internal/deltav/vm"
+	"repro/internal/programs"
+)
+
+func main() {
+	mode := flag.String("mode", "dv", "compile mode: dv (incremental), dvstar (baseline), memotable")
+	emit := flag.String("emit", "compiled", "stage to print: source, compiled, layout, go")
+	progName := flag.String("program", "", "embedded benchmark program name (instead of a file)")
+	epsilon := flag.Float64("epsilon", 0, "allowable-slop ε for change checks (§9)")
+	list := flag.Bool("list", false, "list embedded programs and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(programs.Names(), "\n"))
+		return
+	}
+	if err := run(*mode, *emit, *progName, *epsilon, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "dvc:", err)
+		os.Exit(1)
+	}
+}
+
+func parseMode(s string) (core.Mode, error) {
+	switch s {
+	case "dv":
+		return core.Incremental, nil
+	case "dvstar":
+		return core.Baseline, nil
+	case "memotable":
+		return core.MemoTable, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (want dv, dvstar, memotable)", s)
+}
+
+func run(modeStr, emit, progName string, epsilon float64, args []string) error {
+	var src string
+	switch {
+	case progName != "":
+		var err error
+		src, err = programs.Source(progName)
+		if err != nil {
+			return err
+		}
+	case len(args) == 1:
+		b, err := os.ReadFile(args[0])
+		if err != nil {
+			return err
+		}
+		src = string(b)
+	default:
+		return fmt.Errorf("need exactly one input file or -program name")
+	}
+
+	mode, err := parseMode(modeStr)
+	if err != nil {
+		return err
+	}
+	if emit == "source" {
+		prog, err := parser.Parse(src)
+		if err != nil {
+			return err
+		}
+		fmt.Print(ast.Print(prog))
+		return nil
+	}
+	compiled, err := core.Compile(src, core.Options{Mode: mode, Epsilon: epsilon})
+	if err != nil {
+		return err
+	}
+	switch emit {
+	case "compiled":
+		fmt.Print(compiled.String())
+	case "layout":
+		fmt.Printf("vertex state: %d bytes\n", compiled.Layout.ByteSize())
+		for i, f := range compiled.Layout.Fields {
+			fmt.Printf("  [%d] %-16s %-5s %s\n", i, f.Name, f.Type, f.Kind)
+		}
+		fmt.Printf("message: %d bytes, %d slot(s)\n", vm.MessageBytes(compiled), compiled.MaxSlotsPerGroup)
+	case "go":
+		gosrc, err := codegen.Generate(compiled, "main")
+		if err != nil {
+			return err
+		}
+		fmt.Print(gosrc)
+	default:
+		return fmt.Errorf("unknown -emit %q (want source, compiled, layout, go)", emit)
+	}
+	return nil
+}

@@ -1,0 +1,251 @@
+// Command dvrun compiles a ΔV program and executes it on a graph,
+// reporting run statistics and (optionally) result values.
+//
+// Usage:
+//
+//	dvrun [-mode dv|dvstar|memotable] (-program name | -file prog.dv)
+//	      (-dataset name | -edges file.el [-directed] | -gen spec)
+//	      [-param k=v]... [-workers N] [-queue] [-combine] [-epsilon e]
+//	      [-show field] [-top N]
+//
+// Generator specs: rmat:scale:edgefactor, ba:n:k, er:n:m, grid:rows:cols,
+// ws:n:k:beta (Watts–Strogatz small world).
+// Examples:
+//
+//	dvrun -program pagerank -dataset wikipedia-s
+//	dvrun -program sssp -gen grid:50:50 -param src=0 -show dist -top 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/deltav/vm"
+	"repro/internal/graph"
+	"repro/internal/pregel"
+	"repro/internal/programs"
+)
+
+type paramFlags map[string]float64
+
+func (p paramFlags) String() string { return fmt.Sprint(map[string]float64(p)) }
+
+func (p paramFlags) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want name=value, got %q", s)
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return err
+	}
+	p[k] = f
+	return nil
+}
+
+func main() {
+	var (
+		mode     = flag.String("mode", "dv", "compile mode: dv, dvstar, memotable")
+		progName = flag.String("program", "", "embedded program name")
+		file     = flag.String("file", "", "ΔV source file")
+		dataset  = flag.String("dataset", "", "stand-in dataset name")
+		edges    = flag.String("edges", "", "edge-list file")
+		directed = flag.Bool("directed", true, "treat -edges input as directed")
+		gen      = flag.String("gen", "", "generator spec (rmat:scale:ef, ba:n:k, er:n:m, grid:r:c)")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		queue    = flag.Bool("queue", false, "use the work-queue (halt-by-default) scheduler")
+		hash     = flag.Bool("hash", false, "use hash (v mod W) vertex placement instead of blocks")
+		combine  = flag.Bool("combine", true, "enable message combiners")
+		trace    = flag.Bool("trace", false, "print per-superstep statistics")
+		epsilon  = flag.Float64("epsilon", 0, "allowable-slop ε (§9)")
+		show     = flag.String("show", "", "print this field's values")
+		top      = flag.Int("top", 10, "how many values to print with -show")
+		params   = paramFlags{}
+	)
+	flag.Var(params, "param", "program parameter override, name=value (repeatable)")
+	flag.Parse()
+
+	cfg := runConfig{
+		mode: *mode, progName: *progName, file: *file,
+		dataset: *dataset, edges: *edges, directed: *directed, gen: *gen, seed: *seed,
+		workers: *workers, queue: *queue, hash: *hash, combine: *combine,
+		epsilon: *epsilon, show: *show, top: *top, trace: *trace, params: params,
+	}
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "dvrun:", err)
+		os.Exit(1)
+	}
+}
+
+type runConfig struct {
+	mode, progName, file string
+	dataset, edges, gen  string
+	directed             bool
+	seed                 int64
+	workers              int
+	queue, hash, combine bool
+	epsilon              float64
+	show                 string
+	top                  int
+	trace                bool
+	params               paramFlags
+}
+
+func loadGraph(dataset, edges string, directed bool, gen string, seed int64) (*graph.Graph, error) {
+	switch {
+	case dataset != "":
+		d, err := graph.DatasetByName(dataset)
+		if err != nil {
+			return nil, err
+		}
+		return d.Build(), nil
+	case edges != "":
+		f, err := os.Open(edges)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.ReadEdgeList(f, directed)
+	case gen != "":
+		return generate(gen, directed, seed)
+	}
+	return nil, fmt.Errorf("need one of -dataset, -edges, -gen")
+}
+
+func generate(spec string, directed bool, seed int64) (*graph.Graph, error) {
+	parts := strings.Split(spec, ":")
+	atoi := func(i int) int {
+		if i >= len(parts) {
+			return 0
+		}
+		v, _ := strconv.Atoi(parts[i])
+		return v
+	}
+	switch parts[0] {
+	case "rmat":
+		return graph.RMAT(atoi(1), atoi(2), 0.57, 0.19, 0.19, directed, seed), nil
+	case "ba":
+		return graph.PreferentialAttachment(atoi(1), atoi(2), seed), nil
+	case "er":
+		return graph.ErdosRenyi(atoi(1), atoi(2), directed, seed), nil
+	case "grid":
+		return graph.Grid(atoi(1), atoi(2), 10, seed), nil
+	case "ws":
+		beta := 0.1
+		if len(parts) > 3 {
+			if b, err := strconv.ParseFloat(parts[3], 64); err == nil {
+				beta = b
+			}
+		}
+		return graph.WattsStrogatz(atoi(1), atoi(2), beta, seed), nil
+	}
+	return nil, fmt.Errorf("unknown generator %q", parts[0])
+}
+
+func run(cfg runConfig) error {
+	var src string
+	switch {
+	case cfg.progName != "":
+		s, err := programs.Source(cfg.progName)
+		if err != nil {
+			return err
+		}
+		src = s
+	case cfg.file != "":
+		b, err := os.ReadFile(cfg.file)
+		if err != nil {
+			return err
+		}
+		src = string(b)
+	default:
+		return fmt.Errorf("need -program or -file")
+	}
+
+	var mode core.Mode
+	switch cfg.mode {
+	case "dv":
+		mode = core.Incremental
+	case "dvstar":
+		mode = core.Baseline
+	case "memotable":
+		mode = core.MemoTable
+	default:
+		return fmt.Errorf("unknown mode %q", cfg.mode)
+	}
+
+	g, err := loadGraph(cfg.dataset, cfg.edges, cfg.directed, cfg.gen, cfg.seed)
+	if err != nil {
+		return err
+	}
+	prog, err := core.Compile(src, core.Options{Mode: mode, Epsilon: cfg.epsilon})
+	if err != nil {
+		return err
+	}
+
+	sched := pregel.ScanAll
+	if cfg.queue {
+		sched = pregel.WorkQueue
+	}
+	part := pregel.PartitionBlock
+	if cfg.hash {
+		part = pregel.PartitionHash
+	}
+	res, err := vm.Run(prog, g, vm.RunOptions{
+		Params:    cfg.params,
+		Workers:   cfg.workers,
+		Scheduler: sched,
+		Partition: part,
+		Combine:   cfg.combine,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("graph:        %s\n", g)
+	fmt.Printf("mode:         %s (state %d bytes/vertex)\n", mode, prog.Layout.ByteSize())
+	fmt.Printf("supersteps:   %d\n", res.Stats.Supersteps)
+	fmt.Printf("iterations:   %v\n", res.Iterations)
+	fmt.Printf("messages:     %d sent, %d delivered after combining (%d cross-worker)\n",
+		res.Stats.MessagesSent, res.Stats.CombinedMessages, res.Stats.CrossWorker)
+	fmt.Printf("bytes:        %d\n", res.Stats.MessageBytes)
+	fmt.Printf("active total: %d vertex executions\n", res.Stats.TotalActive)
+	fmt.Printf("wall time:    %v\n", res.Stats.Duration)
+	if res.NonMonotoneSends > 0 {
+		fmt.Printf("WARNING: %d non-monotone Δ-messages (min/max accumulators may be stale)\n", res.NonMonotoneSends)
+	}
+	if cfg.trace {
+		fmt.Println("superstep  active     sent       delivered  cross      time")
+		for _, st := range res.Stats.Steps {
+			fmt.Printf("%-10d %-10d %-10d %-10d %-10d %v\n",
+				st.Superstep, st.ActiveVertices, st.MessagesSent, st.CombinedMessages, st.CrossWorker, st.Duration)
+		}
+	}
+
+	if cfg.show != "" {
+		show, top := cfg.show, cfg.top
+		vals := res.FieldVector(show)
+		type pair struct {
+			u uint32
+			v float64
+		}
+		pairs := make([]pair, len(vals))
+		for u, v := range vals {
+			pairs[u] = pair{uint32(u), v}
+		}
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].v > pairs[j].v })
+		if top > len(pairs) {
+			top = len(pairs)
+		}
+		fmt.Printf("top %d by %s:\n", top, show)
+		for _, p := range pairs[:top] {
+			fmt.Printf("  vertex %-8d %g\n", p.u, p.v)
+		}
+	}
+	return nil
+}

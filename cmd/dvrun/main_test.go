@@ -1,0 +1,130 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	if errRun != nil {
+		t.Fatalf("run: %v", errRun)
+	}
+	return string(buf[:n])
+}
+
+func TestRunSSSPOnGrid(t *testing.T) {
+	out := capture(t, func() error {
+		return run(runConfig{
+			mode: "dv", progName: "sssp", gen: "grid:10:10", seed: 1,
+			workers: 2, combine: true, show: "dist", top: 3, trace: true,
+			params: paramFlags{"src": 0},
+		})
+	})
+	for _, want := range []string{"graph:", "supersteps:", "top 3 by dist", "superstep  active"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunModesAndPlacement(t *testing.T) {
+	for _, mode := range []string{"dv", "dvstar", "memotable"} {
+		out := capture(t, func() error {
+			return run(runConfig{
+				mode: mode, progName: "pagerank", gen: "rmat:7:4", seed: 2,
+				workers: 3, hash: true, queue: true, combine: true,
+				params: paramFlags{},
+			})
+		})
+		if !strings.Contains(out, "messages:") {
+			t.Fatalf("mode %s output missing stats:\n%s", mode, out)
+		}
+	}
+}
+
+func TestRunFromEdgeListFile(t *testing.T) {
+	g := graph.Path(6, true)
+	f := filepath.Join(t.TempDir(), "g.el")
+	fh, err := os.Create(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteEdgeList(fh, g); err != nil {
+		t.Fatal(err)
+	}
+	fh.Close()
+	out := capture(t, func() error {
+		return run(runConfig{
+			mode: "dv", progName: "bfs", edges: f, directed: true,
+			combine: true, params: paramFlags{"src": 0}, show: "hop", top: 6,
+		})
+	})
+	if !strings.Contains(out, "top 6 by hop") {
+		t.Fatalf("edge-list run output:\n%s", out)
+	}
+}
+
+func TestRunProgramFile(t *testing.T) {
+	f := filepath.Join(t.TempDir(), "p.dv")
+	src := "init { local x : float = 1.0 * id };\niter k { let m : float = max [ u.x | u <- #in ] in x = max x m } until { fixpoint }\n"
+	if err := os.WriteFile(f, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := capture(t, func() error {
+		return run(runConfig{mode: "dv", file: f, gen: "er:50:150", seed: 3, combine: true, params: paramFlags{}})
+	})
+	if !strings.Contains(out, "wall time:") {
+		t.Fatalf("program file run output:\n%s", out)
+	}
+}
+
+func TestRunErrorPaths(t *testing.T) {
+	bad := []runConfig{
+		{mode: "dv", params: paramFlags{}},                                                  // no program
+		{mode: "bogus", progName: "sssp", gen: "grid:3:3", params: paramFlags{}},            // bad mode
+		{mode: "dv", progName: "sssp", params: paramFlags{}},                                // no graph
+		{mode: "dv", progName: "sssp", gen: "bogus:1", params: paramFlags{}},                // bad generator
+		{mode: "dv", progName: "nope", gen: "grid:3:3", params: paramFlags{}},               // unknown program
+		{mode: "dv", progName: "cc", gen: "rmat:4:2", directed: true, params: paramFlags{}}, // #neighbors on directed
+		{mode: "dv", progName: "sssp", gen: "grid:3:3", params: paramFlags{"q": 1}},         // unknown param
+		{mode: "dv", progName: "sssp", edges: "/nonexistent", params: paramFlags{}},         // missing file
+		{mode: "dv", file: "/nonexistent.dv", gen: "grid:3:3", params: paramFlags{}},
+	}
+	for i, cfg := range bad {
+		if err := run(cfg); err == nil {
+			t.Fatalf("case %d: run succeeded, want error", i)
+		}
+	}
+}
+
+func TestParamFlagParsing(t *testing.T) {
+	p := paramFlags{}
+	if err := p.Set("src=5"); err != nil || p["src"] != 5 {
+		t.Fatalf("Set(src=5): %v %v", err, p)
+	}
+	if err := p.Set("bogus"); err == nil {
+		t.Fatal("Set without '=' should fail")
+	}
+	if err := p.Set("x=abc"); err == nil {
+		t.Fatal("Set with non-numeric value should fail")
+	}
+	if p.String() == "" {
+		t.Fatal("String empty")
+	}
+}

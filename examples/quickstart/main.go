@@ -1,0 +1,55 @@
+// Quickstart: compile the paper's PageRank in ΔV, run it on a synthetic
+// graph, and see the automatic incrementalization cut the message count.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/deltav/vm"
+	"repro/internal/graph"
+	"repro/internal/programs"
+)
+
+func main() {
+	// A scale-free directed graph standing in for a small web crawl.
+	g := graph.RMAT(12, 8, 0.57, 0.19, 0.19, true, 1)
+	g.BuildReverse()
+	fmt.Println("graph:", g)
+
+	src := programs.MustSource("pagerank")
+	fmt.Println("\nΔV source:")
+	fmt.Println(src)
+
+	// Compile twice: with the paper's full incrementalization pipeline
+	// (ΔV) and without the message-reduction passes (ΔV★).
+	for _, mode := range []core.Mode{core.Incremental, core.Baseline} {
+		prog, err := core.Compile(src, core.Options{Mode: mode})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := vm.Run(prog, g, vm.RunOptions{Combine: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-4s state=%dB/vertex  messages=%-9d supersteps=%-3d wall=%v\n",
+			mode, prog.Layout.ByteSize(), res.Stats.MessagesSent, res.Stats.Supersteps, res.Stats.Duration)
+		if mode == core.Incremental {
+			fmt.Printf("     top rank: vertex with vl=%.6f\n", maxField(res, g))
+		}
+	}
+	fmt.Println("\nSame results, far fewer messages: every ΔV message is meaningful.")
+}
+
+func maxField(res *vm.Result, g *graph.Graph) float64 {
+	best := 0.0
+	for u := 0; u < g.NumVertices(); u++ {
+		if v := res.Field("vl", graph.VertexID(u)); v > best {
+			best = v
+		}
+	}
+	return best
+}

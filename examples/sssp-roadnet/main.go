@@ -1,0 +1,61 @@
+// SSSP on a weighted grid standing in for a road network: the min
+// aggregation is "pre-incrementalized" (paper §7.2), so ΔV and ΔV★ send
+// exactly the same messages — and both match Dijkstra.
+//
+//	go run ./examples/sssp-roadnet
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/deltav/vm"
+	"repro/internal/graph"
+	"repro/internal/programs"
+)
+
+func main() {
+	const rows, cols = 80, 80
+	g := graph.Grid(rows, cols, 10, 7) // weights in [1,10]
+	fmt.Println("road network:", g)
+
+	src := graph.VertexID(0) // top-left corner
+	var msgs [2]int64
+	var dv *vm.Result
+	for i, mode := range []core.Mode{core.Incremental, core.Baseline} {
+		prog, err := core.Compile(programs.MustSource("sssp"), core.Options{Mode: mode})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := vm.Run(prog, g, vm.RunOptions{
+			Params:  map[string]float64{"src": float64(src)},
+			Combine: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		msgs[i] = res.Stats.MessagesSent
+		if mode == core.Incremental {
+			dv = res
+		}
+		fmt.Printf("%-4s messages=%d supersteps=%d wall=%v\n",
+			mode, res.Stats.MessagesSent, res.Stats.Supersteps, res.Stats.Duration)
+	}
+	fmt.Printf("ΔV and ΔV★ message counts equal: %v (the standard algorithm is already incremental)\n\n",
+		msgs[0] == msgs[1])
+
+	// Check a few corners against Dijkstra.
+	oracle := algorithms.SSSPOracle(g, src)
+	for _, u := range []graph.VertexID{
+		graph.VertexID(cols - 1),          // top-right
+		graph.VertexID((rows - 1) * cols), // bottom-left
+		graph.VertexID(rows*cols - 1),     // bottom-right
+	} {
+		got := dv.Field("dist", u)
+		fmt.Printf("dist[%4d] = %8.3f (Dijkstra %8.3f, diff %.1e)\n",
+			u, got, oracle[u], math.Abs(got-oracle[u]))
+	}
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"repro/internal/deltav/ast"
+)
+
+// Halt-safety analysis.
+//
+// P6 (halt addition, §6.6) is justified by the paper's observation that
+// "once a vertex has computed a specific value and sent its messages, the
+// only way the values of the messages that it sends can change is by it
+// receiving new messages". That holds only when re-executing the statement
+// body with unchanged accumulators is a no-op on the vertex state — i.e.
+// the body is re-execution stable: F(F(x)) = F(x) for the state F produces.
+//
+// bodyStable verifies this with an ordered dataflow over the body's field
+// assignments. An assignment x = e is stable when every input it reads is
+// at its post-body value already, where the admissible inputs are:
+//
+//   - literals, params, graphSize, id, |g| (static per vertex);
+//   - aggregations (their memoized accumulators only move on messages);
+//   - fields not assigned anywhere in the body;
+//   - fields unconditionally assigned EARLIER in the body whose own
+//     assignments are stable (the read sees this superstep's value);
+//   - x itself read before its assignment, when every occurrence sits
+//     under idempotent structure only — min/max, && and ||, or the
+//     branches (not the condition) of an if — so x = min x m and
+//     reach = reach || r are stable, while seen = seen + 1 is not.
+//
+// Reading a field that is assigned *later* in the body (or only
+// conditionally) is unstable: the first execution sees the previous
+// superstep's value while a re-execution would see the new one — the
+// divergence the differential fuzzer caught. The iteration counter is an
+// unstable input (it changes every superstep regardless of messages).
+func bodyStable(body ast.Expr, iterVar string) bool {
+	a := &stabilityAnalysis{
+		iterVar:     iterVar,
+		lets:        map[string][]readSet{},
+		allAssigned: map[string]bool{},
+		done:        map[string]bool{},
+	}
+	// Pass A: which fields does the body assign at all?
+	a.collectAssigned(body)
+	// Pass B: ordered classification of every assignment's reads.
+	a.classify(body, nil)
+	if a.unanalyzable {
+		return false
+	}
+
+	// Least fixpoint over the "needs stable(y)" edges.
+	stable := map[string]bool{}
+	for changed := true; changed; {
+		changed = false
+		for field, recs := range a.records {
+			if stable[field] {
+				continue
+			}
+			ok := true
+			for _, r := range recs {
+				if r.unstable {
+					ok = false
+					break
+				}
+				for _, y := range r.needs {
+					if !stable[y] {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					break
+				}
+			}
+			if ok {
+				stable[field] = true
+				changed = true
+			}
+		}
+	}
+	for field := range a.records {
+		if !stable[field] {
+			return false
+		}
+	}
+	return true
+}
+
+// readSet is the raw inputs of an expression: field name → whether some
+// occurrence is outside idempotent structure; iterRead marks a read of the
+// iteration counter.
+type readSet struct {
+	fields   map[string]bool
+	iterRead bool
+}
+
+func (r *readSet) merge(o readSet) {
+	if o.iterRead {
+		r.iterRead = true
+	}
+	for f, outside := range o.fields {
+		r.fields[f] = r.fields[f] || outside
+	}
+}
+
+// assignRecord is one classified assignment: it is stable iff !unstable
+// and every field in needs is stable.
+type assignRecord struct {
+	needs    []string
+	unstable bool
+}
+
+type stabilityAnalysis struct {
+	iterVar      string
+	lets         map[string][]readSet // let var → reads of its init (scoped)
+	allAssigned  map[string]bool      // fields assigned anywhere in the body
+	done         map[string]bool      // fields unconditionally assigned so far
+	records      map[string][]assignRecord
+	unanalyzable bool
+}
+
+func (a *stabilityAnalysis) collectAssigned(e ast.Expr) {
+	ast.Walk(e, func(x ast.Expr) bool {
+		if asg, ok := x.(*ast.Assign); ok && asg.IsField {
+			a.allAssigned[asg.Name] = true
+		}
+		return true
+	})
+}
+
+// classify walks the body in execution order. conds carries the reads of
+// all enclosing if-conditions; assignments under conditions don't enter
+// the done set (a later reader can't rely on them having run).
+func (a *stabilityAnalysis) classify(e ast.Expr, conds []readSet) {
+	if a.records == nil {
+		a.records = map[string][]assignRecord{}
+	}
+	switch n := e.(type) {
+	case *ast.Seq:
+		for _, it := range n.Items {
+			a.classify(it, conds)
+		}
+	case *ast.Let:
+		a.lets[n.Name] = append(a.lets[n.Name], a.reads(n.Init, false))
+		a.classify(n.Body, conds)
+		a.lets[n.Name] = a.lets[n.Name][:len(a.lets[n.Name])-1]
+	case *ast.If:
+		cr := a.reads(n.Cond, false)
+		inner := append(append([]readSet(nil), conds...), cr)
+		a.classify(n.Then, inner)
+		if n.Else != nil {
+			a.classify(n.Else, inner)
+		}
+	case *ast.Assign:
+		if !n.IsField {
+			// Writes to let temporaries don't persist across supersteps.
+			// Their value flows were already captured when the let was
+			// bound; a re-read after an assignment is rare and the
+			// conservative treatment is to fold the assigned value's
+			// reads into the let's read set — approximate by treating
+			// the whole body as unanalyzable when a let is reassigned
+			// from an unstable source. Keep it simple and conservative:
+			rs := a.reads(n.Value, false)
+			if rs.iterRead {
+				a.unanalyzable = true
+			}
+			for _, stack := range [][]readSet{a.lets[n.Name]} {
+				if len(stack) > 0 {
+					stack[len(stack)-1].merge(rs)
+				}
+			}
+			return
+		}
+		rs := a.reads(n.Value, true)
+		for _, c := range conds {
+			rs.merge(c)
+		}
+		rec := assignRecord{unstable: rs.iterRead}
+		for y, outsideIdem := range rs.fields {
+			switch {
+			case y == n.Name && !a.done[y]:
+				// Pre-assignment self-read: the previous superstep's
+				// value, admissible only under idempotent structure.
+				if outsideIdem {
+					rec.unstable = true
+				}
+			case a.done[y]:
+				rec.needs = append(rec.needs, y)
+			case a.allAssigned[y]:
+				// Read of a field assigned later (or only conditionally):
+				// first execution and re-execution disagree.
+				rec.unstable = true
+			default:
+				// Unassigned field: cannot change without messages.
+			}
+		}
+		a.records[n.Name] = append(a.records[n.Name], rec)
+		if len(conds) == 0 {
+			a.done[n.Name] = true
+		}
+	default:
+		// Other statement-position forms don't write state.
+	}
+}
+
+// reads computes the raw read set of an expression. idem tracks whether
+// the current position is still inside idempotent-only structure counted
+// from the assignment's root.
+func (a *stabilityAnalysis) reads(e ast.Expr, idem bool) readSet {
+	rs := readSet{fields: map[string]bool{}}
+	a.readsInto(e, idem, &rs)
+	return rs
+}
+
+func (a *stabilityAnalysis) readsInto(e ast.Expr, idem bool, rs *readSet) {
+	switch n := e.(type) {
+	case *ast.IntLit, *ast.FloatLit, *ast.BoolLit, *ast.Infty, *ast.GraphSize,
+		*ast.VertexID, *ast.Cardinality, *ast.EdgeWeight, nil:
+		// Static inputs.
+	case *ast.Var:
+		if n.Name == a.iterVar && a.iterVar != "" {
+			rs.iterRead = true
+			return
+		}
+		if stack := a.lets[n.Name]; len(stack) > 0 {
+			// A let var used idempotently still exposes its init's reads
+			// non-idempotently (conservative).
+			rs.merge(stack[len(stack)-1])
+			return
+		}
+		// Params are static; any other name is a field reference (the
+		// analysis runs on the typed source, before Var→Field
+		// resolution).
+		rs.fields[n.Name] = rs.fields[n.Name] || !idem
+	case *ast.Field:
+		rs.fields[n.Name] = rs.fields[n.Name] || !idem
+	case *ast.Agg:
+		// Accumulators only move on messages; the aggregation body reads
+		// neighbour state, not local state.
+	case *ast.MinMax:
+		a.readsInto(n.A, idem, rs)
+		a.readsInto(n.B, idem, rs)
+	case *ast.Binary:
+		childIdem := idem && (n.Op == "&&" || n.Op == "||")
+		a.readsInto(n.L, childIdem, rs)
+		a.readsInto(n.R, childIdem, rs)
+	case *ast.If:
+		a.readsInto(n.Cond, false, rs)
+		a.readsInto(n.Then, idem, rs)
+		if n.Else != nil {
+			a.readsInto(n.Else, idem, rs)
+		}
+	case *ast.Unary:
+		a.readsInto(n.X, false, rs)
+	case *ast.Let:
+		a.lets[n.Name] = append(a.lets[n.Name], a.reads(n.Init, false))
+		a.readsInto(n.Body, idem, rs)
+		a.lets[n.Name] = a.lets[n.Name][:len(a.lets[n.Name])-1]
+	case *ast.Seq:
+		// A sequence in value position may contain assignments whose
+		// ordering the simple read-set treatment cannot see; be
+		// conservative.
+		for _, it := range n.Items {
+			if asg, ok := it.(*ast.Assign); ok && asg.IsField {
+				a.unanalyzable = true
+				continue
+			}
+			a.readsInto(it, false, rs)
+		}
+	case *ast.Assign:
+		if n.IsField {
+			a.unanalyzable = true
+			return
+		}
+		sub := a.reads(n.Value, false)
+		rs.merge(sub)
+	case *ast.NeighborField:
+		// Neighbour state: only visible through messages.
+	default:
+		a.unanalyzable = true
+	}
+}

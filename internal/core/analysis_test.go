@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// compileHaltCheck compiles a single-iter program with the given body and
+// reports whether P6 inserted a halt.
+func compileHaltCheck(t *testing.T, decls, body string) bool {
+	t.Helper()
+	src := fmt.Sprintf("init { %s };\niter k { %s } until { k >= 5 }", decls, body)
+	p, err := Compile(src, Options{Mode: Incremental})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p.Phases[0].Halts
+}
+
+func TestHaltSafetyAnalysis(t *testing.T) {
+	cases := []struct {
+		name, decls, body string
+		wantHalts         bool
+	}{
+		{
+			name:      "pure-aggregation-consumer",
+			decls:     "local x : float = 1.0",
+			body:      "let s : float = + [ u.x | u <- #in ] in x = s * 0.5",
+			wantHalts: true,
+		},
+		{
+			name:      "idempotent-self-min",
+			decls:     "local d : float = infty",
+			body:      "let m : float = min [ u.d | u <- #in ] in d = min d m",
+			wantHalts: true,
+		},
+		{
+			name:      "idempotent-self-or",
+			decls:     "local r : bool = false",
+			body:      "let a : bool = || [ u.r | u <- #in ] in r = r || a",
+			wantHalts: true,
+		},
+		{
+			name:      "counter-self-increment",
+			decls:     "local x : float = 1.0; local c : float = 0.0",
+			body:      "let s : float = + [ u.x | u <- #in ] in x = s; c = c + 1.0",
+			wantHalts: false,
+		},
+		{
+			name:      "iter-var-read",
+			decls:     "local x : float = 1.0",
+			body:      "let s : float = + [ u.x | u <- #in ] in x = s + 1.0 * k",
+			wantHalts: false,
+		},
+		{
+			name:      "iter-var-in-condition",
+			decls:     "local x : float = 1.0",
+			body:      "let s : float = + [ u.x | u <- #in ] in if k >= 3 then x = s",
+			wantHalts: false,
+		},
+		{
+			name:      "chained-stable-fields",
+			decls:     "local a : float = 1.0; local b : float = 0.0",
+			body:      "let s : float = + [ u.a | u <- #in ] in a = s * 0.5; b = a + 1.0",
+			wantHalts: true,
+		},
+		{
+			name:      "mutual-cycle-rejected",
+			decls:     "local a : float = 1.0; local b : float = 0.0",
+			body:      "let s : float = + [ u.a | u <- #in ] in a = b + 1.0; b = a; a = a + s * 0.0",
+			wantHalts: false,
+		},
+		{
+			name:      "self-plus-under-min-rejected",
+			decls:     "local d : float = 1.0",
+			body:      "let m : float = min [ u.d | u <- #in ] in d = min (d + 1.0) m",
+			wantHalts: false,
+		},
+		{
+			name:      "self-in-if-condition-rejected",
+			decls:     "local x : float = 1.0",
+			body:      "let s : float = + [ u.x | u <- #in ] in x = if x > 2.0 then s else s + 1.0",
+			wantHalts: false,
+		},
+		{
+			name:      "self-in-if-branches-ok",
+			decls:     "local x : float = 1.0; local c : bool = true",
+			body:      "let s : float = + [ u.x | u <- #in ] in x = if c then x else s",
+			wantHalts: true,
+		},
+		{
+			name:      "let-laundered-self-increment-rejected",
+			decls:     "local x : float = 1.0",
+			body:      "let s : float = + [ u.x | u <- #in ] in let t : float = x + 1.0 in x = min t s",
+			wantHalts: false,
+		},
+		{
+			name:      "assignment-to-let-is-harmless",
+			decls:     "local x : float = 1.0",
+			body:      "let s : float = + [ u.x | u <- #in ] in let t : float = 0.0 in t = t + 1.0; x = s",
+			wantHalts: true,
+		},
+		{
+			name:      "static-inputs-ok",
+			decls:     "local x : float = 1.0",
+			body:      "let s : float = + [ u.x | u <- #in ] in x = s + 1.0 / graphSize + 1.0 * id + 1.0 * |#out|",
+			wantHalts: true,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if got := compileHaltCheck(t, tc.decls, tc.body); got != tc.wantHalts {
+				t.Fatalf("halts = %v, want %v", got, tc.wantHalts)
+			}
+		})
+	}
+}
+
+func TestCorpusHaltFlags(t *testing.T) {
+	wantHalts := map[string]bool{
+		"bfs":       true,
+		"wcc":       true,
+		"pagerank":  true,
+		"sssp":      true,
+		"cc":        true,
+		"hits":      true,
+		"maxval":    true,
+		"reach":     true,
+		"prod":      false, // body reads the iteration counter
+		"allreach":  true,
+		"degreesum": true, // step
+		"twophase":  true,
+	}
+	for name, want := range wantHalts {
+		p := compileT(t, name, Incremental)
+		for i, ph := range p.Phases {
+			if ph.Halts != want {
+				t.Errorf("%s phase %d: halts = %v, want %v", name, i, ph.Halts, want)
+			}
+		}
+	}
+}

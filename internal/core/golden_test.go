@@ -1,0 +1,53 @@
+package core
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/programs"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden transformation outputs")
+
+// TestGoldenTransformations pins the complete compiled-program rendering
+// (layout, groups, sites, transformed bodies) for representative programs
+// and modes, so any change to a pass shows up as a reviewable diff.
+// Regenerate with: go test ./internal/core -run TestGolden -update-golden
+func TestGoldenTransformations(t *testing.T) {
+	cases := []struct {
+		file    string
+		program string
+		mode    Mode
+	}{
+		{"pagerank_dv.golden", "pagerank", Incremental},
+		{"pagerank_dvstar.golden", "pagerank", Baseline},
+		{"prod_dv.golden", "prod", Incremental},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.file, func(t *testing.T) {
+			prog, err := Compile(programs.MustSource(tc.program), Options{Mode: tc.mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := prog.String()
+			path := filepath.Join("testdata", tc.file)
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != string(want) {
+				t.Fatalf("compiled output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s",
+					path, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"repro/internal/deltav/ast"
+)
+
+// Variable slot encoding used by Var nodes after resolution:
+//
+//	slot >= 0      let-bound variable, index into the evaluation stack
+//	slot == -1     the enclosing iter statement's counter
+//	slot <= -2     program parameter with index -(slot+2)
+const (
+	// IterVarSlot marks a Var as the iteration counter.
+	IterVarSlot = -1
+)
+
+// ParamSlot encodes parameter index i as a Var slot.
+func ParamSlot(i int) int { return -(i + 2) }
+
+// ParamIndex decodes a parameter Var slot.
+func ParamIndex(slot int) int { return -slot - 2 }
+
+// resolveAll assigns layout slots to every field reference, stack slots to
+// let variables, converts Var nodes that name vertex-state fields into
+// Field nodes, fills per-site old-slot redirect tables, and computes the
+// program's adjacency usage flags.
+func (c *compiler) resolveAll() {
+	// Per-site old-slot redirects for Δ evaluation.
+	for _, s := range c.out.Sites {
+		g := c.out.Groups[s.Group]
+		if !g.changeDriven() {
+			continue
+		}
+		s.OldSlots = make([]int, len(s.Fields))
+		for i, fslot := range s.Fields {
+			name := oldName(g.ID, c.out.Layout.Fields[fslot].Name)
+			s.OldSlots[i] = c.fieldSlot[name]
+		}
+	}
+
+	r := &resolver{c: c, letSlots: map[string][]int{}}
+	for _, s := range c.out.Sites {
+		s.SlotExpr = r.expr(s.SlotExpr)
+	}
+	c.out.Init = r.expr(c.in.Init)
+	for pi := range c.out.Phases {
+		ph := &c.out.Phases[pi]
+		r.iterVar = ph.IterVar
+		ph.Body = r.expr(ph.Body)
+		if ph.Until != nil {
+			ph.Until = r.expr(ph.Until)
+		}
+		r.iterVar = ""
+	}
+	c.out.MaxLetDepth = r.maxDepth
+}
+
+type resolver struct {
+	c        *compiler
+	iterVar  string
+	letDepth int
+	maxDepth int
+	letSlots map[string][]int
+}
+
+func (r *resolver) fieldSlot(name string) int {
+	slot, ok := r.c.fieldSlot[name]
+	if !ok {
+		r.c.errf("internal: unresolved field %q", name)
+	}
+	return slot
+}
+
+func (r *resolver) markDir(g ast.GraphDir) {
+	switch g {
+	case ast.DirIn:
+		r.c.out.UsesIn = true
+	case ast.DirOut:
+		r.c.out.UsesOut = true
+	default:
+		r.c.out.UsesNeighbors = true
+	}
+}
+
+// expr resolves in place (the compiler owns the cloned tree) and returns
+// the node, replacing Var nodes that name fields with Field nodes.
+func (r *resolver) expr(e ast.Expr) ast.Expr {
+	switch n := e.(type) {
+	case nil:
+		return nil
+	case *ast.IntLit, *ast.FloatLit, *ast.BoolLit, *ast.Infty, *ast.GraphSize,
+		*ast.VertexID, *ast.FixpointRef, *ast.EdgeWeight, *ast.Halt,
+		*ast.MsgSlot, *ast.MsgIsNull, *ast.MsgPrevNull:
+		return e
+	case *ast.Cardinality:
+		r.markDir(n.G)
+		return e
+	case *ast.Var:
+		if stack := r.letSlots[n.Name]; len(stack) > 0 {
+			n.Slot = stack[len(stack)-1]
+			return n
+		}
+		if n.Name == r.iterVar && r.iterVar != "" {
+			n.Slot = IterVarSlot
+			return n
+		}
+		if idx, ok := r.c.paramIdx[n.Name]; ok {
+			n.Slot = ParamSlot(idx)
+			return n
+		}
+		if slot, ok := r.c.fieldSlot[n.Name]; ok {
+			return &ast.Field{Base: ast.Base{P: n.P, Ty: n.Ty}, Name: n.Name, Slot: slot}
+		}
+		r.c.errf("internal: unresolved variable %q", n.Name)
+	case *ast.Field:
+		n.Slot = r.fieldSlot(n.Name)
+		return n
+	case *ast.OldField:
+		n.Slot = r.fieldSlot(n.Name)
+		return n
+	case *ast.Changed:
+		n.Slot = r.fieldSlot(n.Name)
+		n.OldSlot = r.fieldSlot(n.OldName)
+		return n
+	case *ast.Unary:
+		n.X = r.expr(n.X)
+		return n
+	case *ast.Binary:
+		n.L = r.expr(n.L)
+		n.R = r.expr(n.R)
+		return n
+	case *ast.MinMax:
+		n.A = r.expr(n.A)
+		n.B = r.expr(n.B)
+		return n
+	case *ast.If:
+		n.Cond = r.expr(n.Cond)
+		n.Then = r.expr(n.Then)
+		if n.Else != nil {
+			n.Else = r.expr(n.Else)
+		}
+		return n
+	case *ast.Let:
+		n.Init = r.expr(n.Init)
+		n.Slot = r.letDepth
+		r.letDepth++
+		if r.letDepth > r.maxDepth {
+			r.maxDepth = r.letDepth
+		}
+		r.letSlots[n.Name] = append(r.letSlots[n.Name], n.Slot)
+		n.Body = r.expr(n.Body)
+		r.letSlots[n.Name] = r.letSlots[n.Name][:len(r.letSlots[n.Name])-1]
+		r.letDepth--
+		return n
+	case *ast.Local:
+		n.Init = r.expr(n.Init)
+		n.Slot = r.fieldSlot(n.Name)
+		return n
+	case *ast.Assign:
+		n.Value = r.expr(n.Value)
+		if stack := r.letSlots[n.Name]; len(stack) > 0 {
+			n.IsField = false
+			n.Slot = stack[len(stack)-1]
+			return n
+		}
+		n.IsField = true
+		n.Slot = r.fieldSlot(n.Name)
+		return n
+	case *ast.Seq:
+		for i := range n.Items {
+			n.Items[i] = r.expr(n.Items[i])
+		}
+		return n
+	case *ast.ForNeighbors:
+		r.markDir(n.G)
+		n.Body = r.expr(n.Body)
+		return n
+	case *ast.Send:
+		for i := range n.Payload {
+			n.Payload[i] = r.expr(n.Payload[i])
+		}
+		return n
+	case *ast.Delta:
+		n.X = r.expr(n.X)
+		return n
+	case *ast.MsgLoop:
+		n.Body = r.expr(n.Body)
+		return n
+	case *ast.TableUpdate, *ast.TableFold:
+		return e
+	case *ast.Agg, *ast.NeighborField:
+		r.c.errf("internal: %T survived aggregation conversion", e)
+	}
+	r.c.errf("internal: resolver missing case for %T", e)
+	return nil
+}

@@ -1,0 +1,390 @@
+// Package ast defines the abstract syntax tree of ΔV (paper Fig. 3).
+//
+// Two groups of nodes exist, mirroring the figure: user-visible forms that
+// the parser can produce, and compiler-internal forms (the highlighted
+// productions: send, halt, for-loops over neighbours and messages, Δ-message
+// operators, old-value and dirty-bit references) that only the
+// transformation passes in internal/core introduce.
+package ast
+
+import (
+	"repro/internal/deltav/token"
+	"repro/internal/deltav/types"
+)
+
+// Node is any AST node.
+type Node interface {
+	Pos() token.Pos
+}
+
+// Expr is an expression node. Every expression carries the type assigned by
+// the type checker (types.Invalid before checking).
+type Expr interface {
+	Node
+	Type() types.Type
+	SetType(types.Type)
+	isExpr()
+}
+
+// Base supplies position and type storage for expression nodes.
+type Base struct {
+	P  token.Pos
+	Ty types.Type
+}
+
+// Pos returns the node's source position.
+func (b *Base) Pos() token.Pos { return b.P }
+
+// Type returns the node's checked type.
+func (b *Base) Type() types.Type { return b.Ty }
+
+// SetType records the node's checked type.
+func (b *Base) SetType(t types.Type) { b.Ty = t }
+
+func (*Base) isExpr() {}
+
+// GraphDir is a graph expression g: the vertex set an aggregation ranges
+// over, from the receiving vertex's perspective.
+type GraphDir int
+
+// Graph expressions.
+const (
+	DirIn        GraphDir = iota // #in: in-neighbours
+	DirOut                       // #out: out-neighbours
+	DirNeighbors                 // #neighbors: neighbours of an undirected graph
+)
+
+// String returns the surface spelling.
+func (g GraphDir) String() string {
+	switch g {
+	case DirIn:
+		return "#in"
+	case DirOut:
+		return "#out"
+	}
+	return "#neighbors"
+}
+
+// AggOp is an aggregation operator ⊞ (commutative and associative).
+type AggOp int
+
+// Aggregation operators.
+const (
+	AggSum  AggOp = iota // +
+	AggProd              // *
+	AggMin               // min
+	AggMax               // max
+	AggOr                // ||
+	AggAnd               // &&
+)
+
+// String returns the surface spelling.
+func (op AggOp) String() string {
+	switch op {
+	case AggSum:
+		return "+"
+	case AggProd:
+		return "*"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggOr:
+		return "||"
+	}
+	return "&&"
+}
+
+// Multiplicative reports whether ⊞ has an absorbing ("nullary") element
+// that requires the three-field tracking of paper §6.4.1: 0 for *, false
+// for &&, true for ||.
+func (op AggOp) Multiplicative() bool {
+	return op == AggProd || op == AggAnd || op == AggOr
+}
+
+// Idempotent reports whether ⊞ is idempotent (min/max), in which case a
+// value is its own Δ-message and memoization requires monotone updates.
+func (op AggOp) Idempotent() bool { return op == AggMin || op == AggMax }
+
+// ---------------------------------------------------------------------------
+// User-visible expressions.
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Base
+	Val int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	Base
+	Val float64
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	Base
+	Val bool
+}
+
+// Infty is the literal ∞ (spelled infty).
+type Infty struct{ Base }
+
+// GraphSize is the number of vertices in the graph.
+type GraphSize struct{ Base }
+
+// VertexID is the current vertex's ID (spelled id).
+type VertexID struct{ Base }
+
+// FixpointRef is the fixpoint predicate, legal only inside until{}: true
+// when no vertex changed any state field during the iteration.
+type FixpointRef struct{ Base }
+
+// Var references a let-bound variable, a param, or an iter counter.
+// Slot is assigned by the resolver: params and iteration counters get
+// negative encodings, let variables get stack depths.
+type Var struct {
+	Base
+	Name string
+	Slot int
+}
+
+// Field references a vertex-state field (underlined variables in the
+// paper). Slot indexes the vertex-state layout after resolution.
+type Field struct {
+	Base
+	Name string
+	Slot int
+}
+
+// Unary is -x or not x.
+type Unary struct {
+	Base
+	Op string // "-" or "not"
+	X  Expr
+}
+
+// Binary is a binary operator expression.
+type Binary struct {
+	Base
+	Op   string // + - * / && || < > <= >= == !=
+	L, R Expr
+}
+
+// MinMax is the prefix pop form: min e1 e2 / max e1 e2.
+type MinMax struct {
+	Base
+	IsMax bool
+	A, B  Expr
+}
+
+// If is if/then or if/then/else; Else may be nil (statement form).
+type If struct {
+	Base
+	Cond, Then Expr
+	Else       Expr // may be nil
+}
+
+// Let is let x : τ = e1 in e2.
+type Let struct {
+	Base
+	Name     string
+	DeclType types.Type
+	Init     Expr
+	Body     Expr
+	Slot     int
+}
+
+// Local declares a vertex-state field inside init{}: local x : τ = e.
+type Local struct {
+	Base
+	Name     string
+	DeclType types.Type
+	Init     Expr
+	Slot     int
+}
+
+// Assign is x = e where x is a field or a local let variable.
+type Assign struct {
+	Base
+	Name    string
+	IsField bool
+	Slot    int
+	Value   Expr
+}
+
+// Seq is e1; e2; …; en evaluated in order.
+type Seq struct {
+	Base
+	Items []Expr
+}
+
+// Agg is the aggregation ⊞ [ body | var <- g ]. Site is the aggregation
+// site index assigned during compilation (-1 before).
+type Agg struct {
+	Base
+	Op      AggOp
+	BindVar string
+	G       GraphDir
+	Body    Expr
+	Site    int
+}
+
+// NeighborField is u.f inside an aggregation body: the bound neighbour
+// variable's vertex-state field f.
+type NeighborField struct {
+	Base
+	Var  string
+	Name string
+	Slot int
+}
+
+// EdgeWeight is ew: the weight of the edge between the aggregating vertex
+// and the bound neighbour; legal only inside an aggregation body.
+type EdgeWeight struct{ Base }
+
+// Cardinality is |g|: the number of vertices g ranges over.
+type Cardinality struct {
+	Base
+	G GraphDir
+}
+
+// ---------------------------------------------------------------------------
+// Compiler-internal forms (highlighted in paper Fig. 3). The parser never
+// produces these; the passes in internal/core insert them.
+
+// ForNeighbors is for(u : g){ body }: iterate over the push targets.
+type ForNeighbors struct {
+	Base
+	Var  string
+	G    GraphDir // direction from the *sender's* perspective
+	Body Expr
+}
+
+// Send is send(u, payload…): send one message of the given send group to
+// the loop variable's vertex. Payload holds one expression per message
+// slot (one per aggregation site of the group).
+type Send struct {
+	Base
+	DestVar string
+	Group   int
+	Payload []Expr
+}
+
+// Delta wraps a payload slot: ∆_{old}(new) for the aggregation site's ⊞
+// (paper Eq. 10/11). X is the aggregand expression; the old value is
+// recomputed against the saved old fields.
+type Delta struct {
+	Base
+	Site int
+	X    Expr
+}
+
+// MsgLoop is for(m : messages){ body } restricted to one send group.
+type MsgLoop struct {
+	Base
+	Group int
+	Body  Expr
+}
+
+// MsgSlot reads the current message's value for an aggregation site.
+type MsgSlot struct {
+	Base
+	Site int
+}
+
+// MsgIsNull is is_nullary(m) for a multiplicative site (paper Eq. 9).
+type MsgIsNull struct {
+	Base
+	Site int
+}
+
+// MsgPrevNull is prev_nullary(m) for a multiplicative site (paper Eq. 9).
+type MsgPrevNull struct {
+	Base
+	Site int
+}
+
+// OldField reads the saved "most recently sent" value o_f of a field
+// (paper §6.3).
+type OldField struct {
+	Base
+	Name string
+	Slot int
+}
+
+// Halt is vote_to_halt() (paper Eq. 12).
+type Halt struct{ Base }
+
+// Changed is the ε-aware change check of a field against its saved
+// most-recently-sent value (paper §6.3; ε from §9's slop extension).
+type Changed struct {
+	Base
+	Name    string // user field
+	OldName string // $old_g_f field holding the most recently sent value
+	Slot    int    // field slot
+	OldSlot int    // $old_g_f slot
+}
+
+// TableUpdate records incoming (sender, values) pairs of a send group into
+// the per-neighbour lookup tables of the §4.2.1 strawman.
+type TableUpdate struct {
+	Base
+	Group int
+}
+
+// TableFold refolds a site's whole lookup table into its accumulator
+// (§4.2.1: "use this lookup table as a proxy for the messages").
+type TableFold struct {
+	Base
+	Site int
+}
+
+// ---------------------------------------------------------------------------
+// Program structure.
+
+// Param is a program parameter with a literal default, overridable at run
+// time (used e.g. for the SSSP source vertex).
+type Param struct {
+	Name     string
+	DeclType types.Type
+	Default  Expr // IntLit/FloatLit/BoolLit
+	P        token.Pos
+}
+
+// Stmt is a top-level statement: step{e} or iter i {e} until {e}.
+type Stmt interface {
+	Node
+	isStmt()
+}
+
+// Step runs its body for a single superstep.
+type Step struct {
+	P    token.Pos
+	Body Expr
+}
+
+// Pos returns the statement position.
+func (s *Step) Pos() token.Pos { return s.P }
+func (*Step) isStmt()          {}
+
+// Iter runs its body repeatedly until the condition holds. Var is the
+// iteration counter, starting at 1 on the first execution of the body.
+type Iter struct {
+	P     token.Pos
+	Var   string
+	Body  Expr
+	Until Expr
+}
+
+// Pos returns the statement position.
+func (s *Iter) Pos() token.Pos { return s.P }
+func (*Iter) isStmt()          {}
+
+// Program is a complete ΔV program: parameters, the init expression, and
+// the statement list.
+type Program struct {
+	Params []Param
+	Init   Expr
+	Stmts  []Stmt
+}

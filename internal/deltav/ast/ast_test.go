@@ -1,0 +1,184 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/deltav/types"
+)
+
+func sampleExpr() Expr {
+	// if a > 1 then { x = min a 2; y = a + b } else { halt }
+	return &If{
+		Cond: &Binary{Op: ">", L: &Field{Name: "a"}, R: &IntLit{Val: 1}},
+		Then: &Seq{Items: []Expr{
+			&Assign{Name: "x", Value: &MinMax{A: &Field{Name: "a"}, B: &IntLit{Val: 2}}},
+			&Assign{Name: "y", Value: &Binary{Op: "+", L: &Field{Name: "a"}, R: &Field{Name: "b"}}},
+		}},
+		Else: &Halt{},
+	}
+}
+
+func TestWalkVisitsEverything(t *testing.T) {
+	var kinds []string
+	Walk(sampleExpr(), func(e Expr) bool {
+		kinds = append(kinds, strings.TrimPrefix(strings.TrimPrefix(
+			strings.Split(strings.TrimPrefix(ExprString(e), "("), " ")[0], "*"), "ast."))
+		return true
+	})
+	// If + cond(binary+field+lit) + seq + assign(minmax+field+lit) +
+	// assign(binary+field+field) + halt = 14 nodes.
+	if len(kinds) != 14 {
+		t.Fatalf("visited %d nodes, want 14", len(kinds))
+	}
+}
+
+func TestWalkPruning(t *testing.T) {
+	count := 0
+	Walk(sampleExpr(), func(e Expr) bool {
+		count++
+		_, isSeq := e.(*Seq)
+		return !isSeq // prune below the Seq
+	})
+	// if + cond(3) + seq + else-halt = 6.
+	if count != 6 {
+		t.Fatalf("visited %d nodes with pruning, want 6", count)
+	}
+}
+
+func TestRewriteReplacesEveryOccurrence(t *testing.T) {
+	e := sampleExpr()
+	out := Rewrite(e, func(x Expr) Expr {
+		if f, ok := x.(*Field); ok && f.Name == "a" {
+			return &Field{Base: f.Base, Name: "z", Slot: f.Slot}
+		}
+		return x
+	})
+	s := ExprString(out)
+	if strings.Contains(s, "a") && strings.Contains(s, " a ") {
+		t.Fatalf("occurrences of a remain: %s", s)
+	}
+	if got := strings.Count(s, "z"); got != 3 {
+		t.Fatalf("z occurs %d times, want 3 in %q", got, s)
+	}
+	// Original untouched (C[e1] ⇝ C[e1'] builds a new context).
+	if strings.Contains(ExprString(e), "z") {
+		t.Fatal("Rewrite mutated its input")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	e := sampleExpr()
+	c := Clone(e)
+	if ExprString(c) != ExprString(e) {
+		t.Fatalf("clone differs:\n%s\nvs\n%s", ExprString(c), ExprString(e))
+	}
+	c.(*If).Cond.(*Binary).L.(*Field).Name = "mutated"
+	if strings.Contains(ExprString(e), "mutated") {
+		t.Fatal("clone shares nodes with the original")
+	}
+}
+
+func TestChildrenCoverage(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want int
+	}{
+		{&Unary{Op: "-", X: &IntLit{}}, 1},
+		{&Binary{Op: "+", L: &IntLit{}, R: &IntLit{}}, 2},
+		{&MinMax{A: &IntLit{}, B: &IntLit{}}, 2},
+		{&If{Cond: &BoolLit{}, Then: &IntLit{}}, 2},
+		{&If{Cond: &BoolLit{}, Then: &IntLit{}, Else: &IntLit{}}, 3},
+		{&Let{Init: &IntLit{}, Body: &IntLit{}}, 2},
+		{&Local{Init: &IntLit{}}, 1},
+		{&Assign{Value: &IntLit{}}, 1},
+		{&Seq{Items: []Expr{&IntLit{}, &IntLit{}, &IntLit{}}}, 3},
+		{&Agg{Body: &NeighborField{}}, 1},
+		{&ForNeighbors{Body: &Halt{}}, 1},
+		{&Send{Payload: []Expr{&Delta{X: &Field{}}, &Field{}}}, 2},
+		{&Delta{X: &Field{}}, 1},
+		{&MsgLoop{Body: &Halt{}}, 1},
+		{&IntLit{}, 0},
+		{&Changed{}, 0},
+		{&TableUpdate{}, 0},
+		{&TableFold{}, 0},
+	}
+	for i, tc := range cases {
+		if got := len(Children(tc.e)); got != tc.want {
+			t.Errorf("case %d (%T): children = %d, want %d", i, tc.e, got, tc.want)
+		}
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	if !AggProd.Multiplicative() || !AggAnd.Multiplicative() || !AggOr.Multiplicative() {
+		t.Fatal("*, &&, || must be multiplicative")
+	}
+	if AggSum.Multiplicative() || AggMin.Multiplicative() {
+		t.Fatal("+ and min are not multiplicative")
+	}
+	if !AggMin.Idempotent() || !AggMax.Idempotent() || AggSum.Idempotent() {
+		t.Fatal("idempotent predicate wrong")
+	}
+	for op, want := range map[AggOp]string{
+		AggSum: "+", AggProd: "*", AggMin: "min", AggMax: "max", AggOr: "||", AggAnd: "&&",
+	} {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), want)
+		}
+	}
+	for d, want := range map[GraphDir]string{DirIn: "#in", DirOut: "#out", DirNeighbors: "#neighbors"} {
+		if d.String() != want {
+			t.Errorf("dir %d = %q, want %q", d, d.String(), want)
+		}
+	}
+}
+
+func TestTypeByteSizes(t *testing.T) {
+	if types.Bool.ByteSize() != 1 || types.Int.ByteSize() != 8 || types.Float.ByteSize() != 8 {
+		t.Fatal("byte sizes wrong")
+	}
+	if types.Unit.ByteSize() != 0 || types.Invalid.ByteSize() != 0 {
+		t.Fatal("unit/invalid must be zero-sized")
+	}
+	if !types.Int.Numeric() || !types.Float.Numeric() || types.Bool.Numeric() {
+		t.Fatal("Numeric predicate wrong")
+	}
+	for ty, want := range map[types.Type]string{
+		types.Int: "int", types.Bool: "bool", types.Float: "float", types.Unit: "unit", types.Invalid: "invalid",
+	} {
+		if ty.String() != want {
+			t.Errorf("%v = %q", ty, want)
+		}
+	}
+}
+
+func TestPrintParenthesization(t *testing.T) {
+	// (1 + 2) * 3 must keep its parens; 1 + (2 * 3) must not add them.
+	e1 := &Binary{Op: "*",
+		L: &Binary{Op: "+", L: &IntLit{Val: 1}, R: &IntLit{Val: 2}},
+		R: &IntLit{Val: 3}}
+	if got := ExprString(e1); got != "(1 + 2) * 3" {
+		t.Fatalf("got %q", got)
+	}
+	e2 := &Binary{Op: "+",
+		L: &IntLit{Val: 1},
+		R: &Binary{Op: "*", L: &IntLit{Val: 2}, R: &IntLit{Val: 3}}}
+	if got := ExprString(e2); got != "1 + 2 * 3" {
+		t.Fatalf("got %q", got)
+	}
+	// Unary binding.
+	e3 := &Unary{Op: "-", X: &Binary{Op: "+", L: &IntLit{Val: 1}, R: &IntLit{Val: 2}}}
+	if got := ExprString(e3); got != "-(1 + 2)" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestPrintFloatsRoundTrippable(t *testing.T) {
+	for _, v := range []float64{0, 1, 0.85, 1e-9, 2.5e10} {
+		s := ExprString(&FloatLit{Val: v})
+		if !strings.ContainsAny(s, ".eE") {
+			t.Errorf("float literal %v printed as %q (would reparse as int)", v, s)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package ast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Print renders a program in concrete ΔV syntax. Programs containing only
+// user-visible forms re-parse to an equal tree; compiler-internal forms are
+// rendered in the paper's pseudo-syntax (send, halt, for(m : messages), Δ)
+// and are for human consumption (golden tests, -emit output).
+func Print(p *Program) string {
+	var b strings.Builder
+	for _, pm := range p.Params {
+		fmt.Fprintf(&b, "param %s : %s = %s;\n", pm.Name, pm.DeclType, ExprString(pm.Default))
+	}
+	b.WriteString("init {\n")
+	writeBody(&b, p.Init, 1)
+	b.WriteString("\n}")
+	for _, s := range p.Stmts {
+		b.WriteString(";\n")
+		switch st := s.(type) {
+		case *Step:
+			b.WriteString("step {\n")
+			writeBody(&b, st.Body, 1)
+			b.WriteString("\n}")
+		case *Iter:
+			fmt.Fprintf(&b, "iter %s {\n", st.Var)
+			writeBody(&b, st.Body, 1)
+			b.WriteString("\n} until {\n")
+			writeBody(&b, st.Until, 1)
+			b.WriteString("\n}")
+		}
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// ExprString renders a single expression on one line.
+func ExprString(e Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e, 0, false)
+	return b.String()
+}
+
+func writeBody(b *strings.Builder, e Expr, depth int) {
+	if seq, ok := e.(*Seq); ok {
+		for i, it := range seq.Items {
+			if i > 0 {
+				b.WriteString(";\n")
+			}
+			indent(b, depth)
+			writeExpr(b, it, depth, true)
+		}
+		return
+	}
+	indent(b, depth)
+	writeExpr(b, e, depth, true)
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+// prec returns a binding strength for parenthesization.
+func binPrec(op string) int {
+	switch op {
+	case "||":
+		return 1
+	case "&&":
+		return 2
+	case "<", ">", "<=", ">=", "==", "!=":
+		return 3
+	case "+", "-":
+		return 4
+	case "*", "/":
+		return 5
+	}
+	return 0
+}
+
+func writeExpr(b *strings.Builder, e Expr, depth int, stmtPos bool) {
+	switch n := e.(type) {
+	case *IntLit:
+		b.WriteString(strconv.FormatInt(n.Val, 10))
+	case *FloatLit:
+		s := strconv.FormatFloat(n.Val, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		b.WriteString(s)
+	case *BoolLit:
+		b.WriteString(strconv.FormatBool(n.Val))
+	case *Infty:
+		b.WriteString("infty")
+	case *GraphSize:
+		b.WriteString("graphSize")
+	case *VertexID:
+		b.WriteString("id")
+	case *FixpointRef:
+		b.WriteString("fixpoint")
+	case *Var:
+		b.WriteString(n.Name)
+	case *Field:
+		b.WriteString(n.Name)
+	case *Unary:
+		if n.Op == "not" {
+			b.WriteString("not ")
+		} else {
+			b.WriteString(n.Op)
+		}
+		writeChild(b, n.X, 6, depth)
+	case *Binary:
+		p := binPrec(n.Op)
+		writeChild(b, n.L, p, depth)
+		fmt.Fprintf(b, " %s ", n.Op)
+		writeChild(b, n.R, p+1, depth)
+	case *MinMax:
+		if n.IsMax {
+			b.WriteString("max ")
+		} else {
+			b.WriteString("min ")
+		}
+		writeChild(b, n.A, 7, depth)
+		b.WriteString(" ")
+		writeChild(b, n.B, 7, depth)
+	case *If:
+		b.WriteString("if ")
+		writeExpr(b, n.Cond, depth, false)
+		b.WriteString(" then {\n")
+		writeBody(b, n.Then, depth+1)
+		b.WriteString("\n")
+		indent(b, depth)
+		b.WriteString("}")
+		if n.Else != nil {
+			b.WriteString(" else {\n")
+			writeBody(b, n.Else, depth+1)
+			b.WriteString("\n")
+			indent(b, depth)
+			b.WriteString("}")
+		}
+	case *Let:
+		fmt.Fprintf(b, "let %s : %s = ", n.Name, n.DeclType)
+		writeExpr(b, n.Init, depth, false)
+		b.WriteString(" in\n")
+		writeBody(b, n.Body, depth)
+	case *Local:
+		fmt.Fprintf(b, "local %s : %s = ", n.Name, n.DeclType)
+		writeExpr(b, n.Init, depth, false)
+	case *Assign:
+		fmt.Fprintf(b, "%s = ", n.Name)
+		writeExpr(b, n.Value, depth, false)
+	case *Seq:
+		// A nested sequence in expression position.
+		b.WriteString("{\n")
+		writeBody(b, n, depth+1)
+		b.WriteString("\n")
+		indent(b, depth)
+		b.WriteString("}")
+	case *Agg:
+		fmt.Fprintf(b, "%s [ ", n.Op)
+		writeExpr(b, n.Body, depth, false)
+		fmt.Fprintf(b, " | %s <- %s ]", n.BindVar, n.G)
+	case *NeighborField:
+		fmt.Fprintf(b, "%s.%s", n.Var, n.Name)
+	case *EdgeWeight:
+		b.WriteString("ew")
+	case *Cardinality:
+		fmt.Fprintf(b, "|%s|", n.G)
+
+	// Internal forms, paper-style pseudo-syntax.
+	case *ForNeighbors:
+		fmt.Fprintf(b, "for (%s : %s) {\n", n.Var, n.G)
+		writeBody(b, n.Body, depth+1)
+		b.WriteString("\n")
+		indent(b, depth)
+		b.WriteString("}")
+	case *Send:
+		fmt.Fprintf(b, "send(%s", n.DestVar)
+		for _, p := range n.Payload {
+			b.WriteString(", ")
+			writeExpr(b, p, depth, false)
+		}
+		b.WriteString(")")
+	case *Delta:
+		fmt.Fprintf(b, "delta<%d>(", n.Site)
+		writeExpr(b, n.X, depth, false)
+		b.WriteString(")")
+	case *MsgLoop:
+		fmt.Fprintf(b, "for (m : messages<%d>) {\n", n.Group)
+		writeBody(b, n.Body, depth+1)
+		b.WriteString("\n")
+		indent(b, depth)
+		b.WriteString("}")
+	case *MsgSlot:
+		fmt.Fprintf(b, "m.slot%d", n.Site)
+	case *MsgIsNull:
+		fmt.Fprintf(b, "is_nullary<%d>(m)", n.Site)
+	case *MsgPrevNull:
+		fmt.Fprintf(b, "prev_nullary<%d>(m)", n.Site)
+	case *OldField:
+		fmt.Fprintf(b, "old(%s)", n.Name)
+	case *Halt:
+		b.WriteString("halt")
+	case *Changed:
+		fmt.Fprintf(b, "changed(%s)", n.Name)
+	case *TableUpdate:
+		fmt.Fprintf(b, "table_update<%d>(messages)", n.Group)
+	case *TableFold:
+		fmt.Fprintf(b, "table_fold<%d>()", n.Site)
+	default:
+		fmt.Fprintf(b, "<?%T>", e)
+	}
+	_ = stmtPos
+}
+
+// writeChild writes a sub-expression, parenthesizing when its own binding
+// strength is weaker than the surrounding context needs.
+func writeChild(b *strings.Builder, e Expr, need int, depth int) {
+	own := 8
+	switch n := e.(type) {
+	case *Binary:
+		own = binPrec(n.Op)
+	case *Unary:
+		own = 6
+	case *MinMax:
+		own = 6
+	case *If, *Let, *Seq, *Assign:
+		own = 0
+	default:
+		_ = n
+	}
+	if own < need {
+		b.WriteString("(")
+		writeExpr(b, e, depth, false)
+		b.WriteString(")")
+		return
+	}
+	writeExpr(b, e, depth, false)
+}

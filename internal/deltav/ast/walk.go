@@ -1,0 +1,216 @@
+package ast
+
+import "fmt"
+
+// Walk calls fn on e and every descendant expression, pre-order. If fn
+// returns false the node's children are skipped.
+func Walk(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	for _, c := range Children(e) {
+		Walk(c, fn)
+	}
+}
+
+// Children returns e's direct child expressions.
+func Children(e Expr) []Expr {
+	switch n := e.(type) {
+	case *Unary:
+		return []Expr{n.X}
+	case *Binary:
+		return []Expr{n.L, n.R}
+	case *MinMax:
+		return []Expr{n.A, n.B}
+	case *If:
+		if n.Else != nil {
+			return []Expr{n.Cond, n.Then, n.Else}
+		}
+		return []Expr{n.Cond, n.Then}
+	case *Let:
+		return []Expr{n.Init, n.Body}
+	case *Local:
+		return []Expr{n.Init}
+	case *Assign:
+		return []Expr{n.Value}
+	case *Seq:
+		return n.Items
+	case *Agg:
+		return []Expr{n.Body}
+	case *ForNeighbors:
+		return []Expr{n.Body}
+	case *Send:
+		return n.Payload
+	case *Delta:
+		return []Expr{n.X}
+	case *MsgLoop:
+		return []Expr{n.Body}
+	}
+	return nil
+}
+
+// Rewrite applies fn bottom-up: children are rewritten first, then fn is
+// applied to the (possibly reconstructed) node. fn must return a non-nil
+// expression. The input tree is not modified; shared leaves are reused.
+// This realizes the paper's context-based rewriting C[e1] ⇝ C[e1']: fn is
+// applied at every expression hole.
+func Rewrite(e Expr, fn func(Expr) Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch n := e.(type) {
+	case *Unary:
+		m := *n
+		m.X = Rewrite(n.X, fn)
+		return fn(&m)
+	case *Binary:
+		m := *n
+		m.L = Rewrite(n.L, fn)
+		m.R = Rewrite(n.R, fn)
+		return fn(&m)
+	case *MinMax:
+		m := *n
+		m.A = Rewrite(n.A, fn)
+		m.B = Rewrite(n.B, fn)
+		return fn(&m)
+	case *If:
+		m := *n
+		m.Cond = Rewrite(n.Cond, fn)
+		m.Then = Rewrite(n.Then, fn)
+		if n.Else != nil {
+			m.Else = Rewrite(n.Else, fn)
+		}
+		return fn(&m)
+	case *Let:
+		m := *n
+		m.Init = Rewrite(n.Init, fn)
+		m.Body = Rewrite(n.Body, fn)
+		return fn(&m)
+	case *Local:
+		m := *n
+		m.Init = Rewrite(n.Init, fn)
+		return fn(&m)
+	case *Assign:
+		m := *n
+		m.Value = Rewrite(n.Value, fn)
+		return fn(&m)
+	case *Seq:
+		m := *n
+		m.Items = make([]Expr, len(n.Items))
+		for i, it := range n.Items {
+			m.Items[i] = Rewrite(it, fn)
+		}
+		return fn(&m)
+	case *Agg:
+		m := *n
+		m.Body = Rewrite(n.Body, fn)
+		return fn(&m)
+	case *ForNeighbors:
+		m := *n
+		m.Body = Rewrite(n.Body, fn)
+		return fn(&m)
+	case *Send:
+		m := *n
+		m.Payload = make([]Expr, len(n.Payload))
+		for i, p := range n.Payload {
+			m.Payload[i] = Rewrite(p, fn)
+		}
+		return fn(&m)
+	case *Delta:
+		m := *n
+		m.X = Rewrite(n.X, fn)
+		return fn(&m)
+	case *MsgLoop:
+		m := *n
+		m.Body = Rewrite(n.Body, fn)
+		return fn(&m)
+	default:
+		// Leaves: copy so that later slot assignment cannot alias.
+		return fn(cloneLeaf(e))
+	}
+}
+
+func cloneLeaf(e Expr) Expr {
+	switch n := e.(type) {
+	case *IntLit:
+		m := *n
+		return &m
+	case *FloatLit:
+		m := *n
+		return &m
+	case *BoolLit:
+		m := *n
+		return &m
+	case *Infty:
+		m := *n
+		return &m
+	case *GraphSize:
+		m := *n
+		return &m
+	case *VertexID:
+		m := *n
+		return &m
+	case *FixpointRef:
+		m := *n
+		return &m
+	case *Var:
+		m := *n
+		return &m
+	case *Field:
+		m := *n
+		return &m
+	case *NeighborField:
+		m := *n
+		return &m
+	case *EdgeWeight:
+		m := *n
+		return &m
+	case *Cardinality:
+		m := *n
+		return &m
+	case *MsgSlot:
+		m := *n
+		return &m
+	case *MsgIsNull:
+		m := *n
+		return &m
+	case *MsgPrevNull:
+		m := *n
+		return &m
+	case *OldField:
+		m := *n
+		return &m
+	case *Halt:
+		m := *n
+		return &m
+	case *Changed:
+		m := *n
+		return &m
+	case *TableUpdate:
+		m := *n
+		return &m
+	case *TableFold:
+		m := *n
+		return &m
+	}
+	panic(fmt.Sprintf("ast: cloneLeaf on non-leaf %T", e))
+}
+
+// Clone deep-copies an expression.
+func Clone(e Expr) Expr {
+	return Rewrite(e, func(x Expr) Expr { return x })
+}
+
+// CloneProgram deep-copies a program.
+func CloneProgram(p *Program) *Program {
+	out := &Program{Params: append([]Param(nil), p.Params...), Init: Clone(p.Init)}
+	for _, s := range p.Stmts {
+		switch st := s.(type) {
+		case *Step:
+			out.Stmts = append(out.Stmts, &Step{P: st.P, Body: Clone(st.Body)})
+		case *Iter:
+			out.Stmts = append(out.Stmts, &Iter{P: st.P, Var: st.Var, Body: Clone(st.Body), Until: Clone(st.Until)})
+		}
+	}
+	return out
+}

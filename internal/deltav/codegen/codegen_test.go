@@ -1,0 +1,110 @@
+package codegen
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/programs"
+)
+
+func generateT(t *testing.T, name string, mode core.Mode) string {
+	t.Helper()
+	prog, err := core.Compile(programs.MustSource(name), core.Options{Mode: mode})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	src, err := Generate(prog, "dvgen")
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return src
+}
+
+// Every corpus program in every mode must generate syntactically valid Go.
+func TestGenerateParsesForWholeCorpus(t *testing.T) {
+	for _, name := range programs.Names() {
+		for _, mode := range []core.Mode{core.Incremental, core.Baseline, core.MemoTable} {
+			name, mode := name, mode
+			t.Run(name+"/"+mode.String(), func(t *testing.T) {
+				src := generateT(t, name, mode)
+				fset := token.NewFileSet()
+				if _, err := parser.ParseFile(fset, "gen.go", src, 0); err != nil {
+					t.Fatalf("generated source does not parse: %v\n%s", err, src)
+				}
+			})
+		}
+	}
+}
+
+func TestGeneratedPageRankShowsPaperConstructs(t *testing.T) {
+	src := generateT(t, "pagerank", core.Incremental)
+	for _, want := range []string{
+		"func computeDelta0(oldMsg, newMsg float64) float64 {",
+		"return newMsg - oldMsg",             // §3.3's computeDelta
+		"v.dirtyG0 = b2f(v.pr != v.oldG0Pr)", // §6.3 change check
+		"ctx.VoteToHalt()",                   // Eq. 12
+		"msg := Message{Group: 0}",           // Δ-message assembly
+		"type VertexState struct",            // §6.2 state
+	} {
+		if !strings.Contains(src, want) {
+			t.Fatalf("generated source missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestGeneratedProdHasTaggedDelta(t *testing.T) {
+	src := generateT(t, "prod", core.Incremental)
+	for _, want := range []string{
+		"func computeDelta0(oldMsg, newMsg, lastNonNull float64) (delta float64, isNull, prevNull bool)",
+		"return newMsg / lastNonNull, false, true",
+		"msg.TagNull |= 1 << 0",
+	} {
+		if !strings.Contains(src, want) {
+			t.Fatalf("prod source missing %q:\n%s", want, src)
+		}
+	}
+}
+
+// The generated code must actually compile with the Go toolchain.
+func TestGeneratedSourceBuilds(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not available")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module dvgen\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for i, tc := range []struct {
+		name string
+		mode core.Mode
+	}{
+		{"pagerank", core.Incremental},
+		{"hits", core.Incremental},
+		{"sssp", core.Incremental},
+		{"prod", core.Incremental},
+		{"pagerank", core.Baseline},
+	} {
+		src := generateT(t, tc.name, tc.mode)
+		// One package per file to avoid symbol collisions.
+		sub := filepath.Join(dir, "p", string(rune('a'+i)))
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(sub, "gen.go"), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cmd := exec.Command("go", "build", "./...")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod", "GOPROXY=off")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("generated code failed to build: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,59 @@
+// Package deltav groups the ΔV language implementation: the lexical and
+// syntactic front end (token, lexer, ast, parser), the type checker
+// (typer), the execution runtime (vm) and the Go backend (codegen). The
+// transformation passes themselves — the paper's contribution — live in
+// internal/core.
+//
+// # The ΔV language
+//
+// ΔV (paper Fig. 3) is a small pull-based vertex-centric query language.
+// A program is
+//
+//	param*  init { … } ; stmt (';' stmt)*
+//
+// where each statement is either step{e} (one superstep) or
+// iter x {e} until {cond} (repeat e, with x counting iterations from 1).
+// The init block runs once per vertex before any communication and is the
+// only place vertex-state fields may be declared:
+//
+//	local pr : float = 1.0 / graphSize
+//
+// # Expressions
+//
+//	let x : τ = e in e        lexical binding (binds the rest of a block)
+//	x = e                     assignment to a field or let variable
+//	if e then e [else e]      branches may be blocks: if c then { …; … }
+//	⊞ [ e | u <- g ]          aggregation, ⊞ ∈ {+ * min max || &&},
+//	                          g ∈ {#in #out #neighbors}
+//	u.f                       the bound neighbour's field (only inside
+//	                          an aggregation body)
+//	ew                        the connecting edge's weight (ditto)
+//	|g|                       neighbour count
+//	min e e / max e e         binary prefix form
+//	graphSize, id, infty      |V|, own vertex id, +∞
+//	fixpoint                  (until only) no vertex changed state during
+//	                          the iteration
+//
+// Types are int, bool, float with implicit int→float widening at bindings
+// and assignments; '/' is always real-valued (so 1/graphSize is a
+// fraction, as the paper's PageRank requires).
+//
+// # Static rules the compilation scheme relies on
+//
+// Aggregation bodies may only read the bound neighbour's fields, ew,
+// literals, graphSize and params — this is what makes Δ-messages locally
+// determinable at the sender (§4.2.2). Aggregations may not appear in
+// init{} or until{}. Until conditions are master-evaluable: only the
+// iteration counter, fixpoint, params and constants. #neighbors requires
+// an undirected graph; on undirected graphs #in and #out mean #neighbors.
+//
+// # Execution model
+//
+// Compiled programs run as a master-driven state machine over the Pregel
+// engine: each phase begins with a priming superstep that performs the
+// initial full-value sends (§6.1), then body supersteps evaluate the
+// transformed statement with messages applied to memoized accumulators.
+// With the full pipeline (core.Incremental) vertices halt by default and
+// wake on messages, so quiescent regions cost nothing and a globally
+// quiescent iter is fast-forwarded to its exit condition.
+package deltav

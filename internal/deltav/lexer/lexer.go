@@ -1,0 +1,246 @@
+// Package lexer tokenizes ΔV source text.
+//
+// Comments run from "//" to end of line. Whitespace separates tokens. The
+// cardinality form |g| and the aggregation separator share the '|'
+// character; the lexer emits PIPE and the parser disambiguates.
+package lexer
+
+import (
+	"fmt"
+	"unicode"
+	"unicode/utf8"
+
+	"repro/internal/deltav/token"
+)
+
+// Lexer scans ΔV source into tokens.
+type Lexer struct {
+	src  string
+	off  int // byte offset of next rune
+	line int
+	col  int // column of next rune, 1-based
+	errs []error
+}
+
+// New returns a Lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns the accumulated lexical errors.
+func (l *Lexer) Errors() []error { return l.errs }
+
+// Tokenize scans the entire input, returning all tokens ending with EOF,
+// and any lexical errors.
+func Tokenize(src string) ([]token.Token, []error) {
+	l := New(src)
+	var toks []token.Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			break
+		}
+	}
+	return toks, l.Errors()
+}
+
+func (l *Lexer) errorf(pos token.Pos, format string, args ...any) {
+	l.errs = append(l.errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+func (l *Lexer) peek() rune {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.off:])
+	return r
+}
+
+func (l *Lexer) peek2() rune {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	_, sz := utf8.DecodeRuneInString(l.src[l.off:])
+	if l.off+sz >= len(l.src) {
+		return 0
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.off+sz:])
+	return r
+}
+
+func (l *Lexer) advance() rune {
+	r, sz := utf8.DecodeRuneInString(l.src[l.off:])
+	l.off += sz
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		r := l.peek()
+		switch {
+		case r == ' ' || r == '\t' || r == '\r' || r == '\n':
+			l.advance()
+		case r == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentCont(r rune) bool  { return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) }
+
+// Next returns the next token.
+func (l *Lexer) Next() token.Token {
+	l.skipSpaceAndComments()
+	pos := token.Pos{Line: l.line, Col: l.col}
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}
+	}
+	r := l.peek()
+	switch {
+	case isIdentStart(r):
+		start := l.off
+		for l.off < len(l.src) && isIdentCont(l.peek()) {
+			l.advance()
+		}
+		word := l.src[start:l.off]
+		if k, ok := token.Keywords[word]; ok {
+			return token.Token{Kind: k, Lit: word, Pos: pos}
+		}
+		return token.Token{Kind: token.IDENT, Lit: word, Pos: pos}
+	case unicode.IsDigit(r):
+		return l.number(pos)
+	case r == '#':
+		l.advance()
+		start := l.off
+		for l.off < len(l.src) && isIdentCont(l.peek()) {
+			l.advance()
+		}
+		switch word := l.src[start:l.off]; word {
+		case "in":
+			return token.Token{Kind: token.HASHIN, Lit: "#in", Pos: pos}
+		case "out":
+			return token.Token{Kind: token.HASHOUT, Lit: "#out", Pos: pos}
+		case "neighbors":
+			return token.Token{Kind: token.HASHNEIGHBORS, Lit: "#neighbors", Pos: pos}
+		default:
+			l.errorf(pos, "unknown graph expression #%s", word)
+			return token.Token{Kind: token.ILLEGAL, Lit: "#" + word, Pos: pos}
+		}
+	}
+	l.advance()
+	two := func(next rune, withKind, aloneKind token.Kind) token.Token {
+		if l.peek() == next {
+			l.advance()
+			return token.Token{Kind: withKind, Pos: pos}
+		}
+		return token.Token{Kind: aloneKind, Pos: pos}
+	}
+	switch r {
+	case '+':
+		return token.Token{Kind: token.PLUS, Pos: pos}
+	case '-':
+		return token.Token{Kind: token.MINUS, Pos: pos}
+	case '*':
+		return token.Token{Kind: token.STAR, Pos: pos}
+	case '/':
+		return token.Token{Kind: token.SLASH, Pos: pos}
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+			return token.Token{Kind: token.ANDAND, Pos: pos}
+		}
+		l.errorf(pos, "unexpected '&'")
+		return token.Token{Kind: token.ILLEGAL, Lit: "&", Pos: pos}
+	case '|':
+		return two('|', token.OROR, token.PIPE)
+	case '<':
+		if l.peek() == '-' {
+			l.advance()
+			return token.Token{Kind: token.LARROW, Pos: pos}
+		}
+		return two('=', token.LE, token.LT)
+	case '>':
+		return two('=', token.GE, token.GT)
+	case '=':
+		return two('=', token.EQ, token.ASSIGN)
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			return token.Token{Kind: token.NE, Pos: pos}
+		}
+		l.errorf(pos, "unexpected '!' (use 'not')")
+		return token.Token{Kind: token.ILLEGAL, Lit: "!", Pos: pos}
+	case ';':
+		return token.Token{Kind: token.SEMI, Pos: pos}
+	case ':':
+		return token.Token{Kind: token.COLON, Pos: pos}
+	case ',':
+		return token.Token{Kind: token.COMMA, Pos: pos}
+	case '.':
+		return token.Token{Kind: token.DOT, Pos: pos}
+	case '{':
+		return token.Token{Kind: token.LBRACE, Pos: pos}
+	case '}':
+		return token.Token{Kind: token.RBRACE, Pos: pos}
+	case '[':
+		return token.Token{Kind: token.LBRACKET, Pos: pos}
+	case ']':
+		return token.Token{Kind: token.RBRACKET, Pos: pos}
+	case '(':
+		return token.Token{Kind: token.LPAREN, Pos: pos}
+	case ')':
+		return token.Token{Kind: token.RPAREN, Pos: pos}
+	}
+	l.errorf(pos, "unexpected character %q", r)
+	return token.Token{Kind: token.ILLEGAL, Lit: string(r), Pos: pos}
+}
+
+func (l *Lexer) number(pos token.Pos) token.Token {
+	start := l.off
+	for l.off < len(l.src) && unicode.IsDigit(l.peek()) {
+		l.advance()
+	}
+	isFloat := false
+	// A '.' followed by a digit continues the number (plain "1." is not a
+	// float; '.' is also field access).
+	if l.peek() == '.' && unicode.IsDigit(l.peek2()) {
+		isFloat = true
+		l.advance()
+		for l.off < len(l.src) && unicode.IsDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if l.peek() == 'e' || l.peek() == 'E' {
+		save := l.off
+		saveLine, saveCol := l.line, l.col
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		if unicode.IsDigit(l.peek()) {
+			isFloat = true
+			for l.off < len(l.src) && unicode.IsDigit(l.peek()) {
+				l.advance()
+			}
+		} else {
+			l.off, l.line, l.col = save, saveLine, saveCol
+		}
+	}
+	lit := l.src[start:l.off]
+	if isFloat {
+		return token.Token{Kind: token.FLOAT, Lit: lit, Pos: pos}
+	}
+	return token.Token{Kind: token.INT, Lit: lit, Pos: pos}
+}

@@ -1,0 +1,121 @@
+package lexer
+
+import (
+	"testing"
+
+	"repro/internal/deltav/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	toks, errs := Tokenize(src)
+	if len(errs) > 0 {
+		t.Fatalf("Tokenize(%q): %v", src, errs[0])
+	}
+	out := make([]token.Kind, len(toks))
+	for i, tk := range toks {
+		out[i] = tk.Kind
+	}
+	return out
+}
+
+func expectKinds(t *testing.T, src string, want ...token.Kind) {
+	t.Helper()
+	got := kinds(t, src)
+	want = append(want, token.EOF)
+	if len(got) != len(want) {
+		t.Fatalf("Tokenize(%q): got %v, want %v", src, got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Tokenize(%q)[%d] = %v, want %v", src, i, got[i], want[i])
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	expectKinds(t, "+ - * / && || < > <= >= == != = ; : , . | <- { } [ ] ( )",
+		token.PLUS, token.MINUS, token.STAR, token.SLASH, token.ANDAND, token.OROR,
+		token.LT, token.GT, token.LE, token.GE, token.EQ, token.NE, token.ASSIGN,
+		token.SEMI, token.COLON, token.COMMA, token.DOT, token.PIPE, token.LARROW,
+		token.LBRACE, token.RBRACE, token.LBRACKET, token.RBRACKET, token.LPAREN, token.RPAREN)
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	expectKinds(t, "init step iter until let in if then else local min max not graphSize infty id fixpoint ew param int bool float true false foo",
+		token.INIT, token.STEP, token.ITER, token.UNTIL, token.LET, token.IN,
+		token.IF, token.THEN, token.ELSE, token.LOCAL, token.MINKW, token.MAXKW,
+		token.NOT, token.GSIZE, token.INFTY, token.IDKW, token.FIXPOINT, token.EW,
+		token.PARAM, token.TINT, token.TBOOL, token.TFLOAT, token.TRUE, token.FALSE,
+		token.IDENT)
+}
+
+func TestGraphExprs(t *testing.T) {
+	expectKinds(t, "#in #out #neighbors", token.HASHIN, token.HASHOUT, token.HASHNEIGHBORS)
+	if _, errs := Tokenize("#bogus"); len(errs) == 0 {
+		t.Fatal("expected error for #bogus")
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks, errs := Tokenize("42 0.85 1e-3 2.5E+2 7e 1.x")
+	if len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	// 7e → INT(7) IDENT(e); 1.x → INT(1) DOT IDENT(x)
+	want := []struct {
+		k token.Kind
+		l string
+	}{
+		{token.INT, "42"}, {token.FLOAT, "0.85"}, {token.FLOAT, "1e-3"},
+		{token.FLOAT, "2.5E+2"}, {token.INT, "7"}, {token.IDENT, "e"},
+		{token.INT, "1"}, {token.DOT, ""}, {token.IDENT, "x"}, {token.EOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(toks), toks, len(want))
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.k || (w.l != "" && toks[i].Lit != w.l) {
+			t.Fatalf("tok[%d] = %v, want %v %q", i, toks[i], w.k, w.l)
+		}
+	}
+}
+
+func TestCommentsAndPositions(t *testing.T) {
+	toks, errs := Tokenize("a // comment\n  b")
+	if len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Fatalf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Fatalf("b at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestIllegalCharacters(t *testing.T) {
+	for _, src := range []string{"@", "!", "&", "$", "?"} {
+		if _, errs := Tokenize(src); len(errs) == 0 {
+			t.Errorf("Tokenize(%q): want error", src)
+		}
+	}
+	// != and && are fine.
+	expectKinds(t, "!= &&", token.NE, token.ANDAND)
+}
+
+func TestTokenStrings(t *testing.T) {
+	tok := token.Token{Kind: token.IDENT, Lit: "pr"}
+	if tok.String() != "IDENT(pr)" {
+		t.Fatalf("String = %q", tok.String())
+	}
+	if token.PLUS.String() != "+" {
+		t.Fatalf("PLUS = %q", token.PLUS)
+	}
+	if (token.Pos{Line: 3, Col: 7}).String() != "3:7" {
+		t.Fatal("pos string")
+	}
+	if (token.Pos{}).IsValid() {
+		t.Fatal("zero pos should be invalid")
+	}
+}

@@ -1,0 +1,477 @@
+// Package parser builds ΔV abstract syntax trees from source text.
+//
+// The grammar is the user-visible fragment of paper Fig. 3, concretized as
+// documented in DESIGN.md §5. The parser never produces compiler-internal
+// nodes (send, halt, message loops); those are introduced by the passes in
+// internal/core.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/deltav/ast"
+	"repro/internal/deltav/lexer"
+	"repro/internal/deltav/token"
+	"repro/internal/deltav/types"
+)
+
+// Parse parses a complete ΔV program.
+func Parse(src string) (*ast.Program, error) {
+	toks, errs := lexer.Tokenize(src)
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("deltav: lex: %w", errs[0])
+	}
+	p := &parser{toks: toks}
+	var prog *ast.Program
+	err := p.catch(func() { prog = p.parseProgram() })
+	if err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// ParseExpr parses a single expression (used by tests and tools).
+func ParseExpr(src string) (ast.Expr, error) {
+	toks, errs := lexer.Tokenize(src)
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("deltav: lex: %w", errs[0])
+	}
+	p := &parser{toks: toks}
+	var e ast.Expr
+	err := p.catch(func() {
+		e = p.parseSeq(token.EOF)
+		p.expect(token.EOF)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+type parser struct {
+	toks []token.Token
+	pos  int
+}
+
+type parseError struct{ err error }
+
+func (p *parser) catch(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(parseError); ok {
+				err = pe.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn()
+	return nil
+}
+
+func (p *parser) fail(format string, args ...any) {
+	t := p.peek()
+	msg := fmt.Sprintf(format, args...)
+	panic(parseError{fmt.Errorf("deltav: parse: %s: %s (at %s)", t.Pos, msg, t)})
+}
+
+func (p *parser) peek() token.Token { return p.toks[p.pos] }
+func (p *parser) peek2() token.Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) next() token.Token {
+	t := p.toks[p.pos]
+	if t.Kind != token.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(k token.Kind) bool { return p.peek().Kind == k }
+
+func (p *parser) accept(k token.Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k token.Kind) token.Token {
+	if !p.at(k) {
+		p.fail("expected %s", k)
+	}
+	return p.next()
+}
+
+// parseProgram := param* init { seq } (";" stmt)* [";"]
+func (p *parser) parseProgram() *ast.Program {
+	prog := &ast.Program{}
+	for p.at(token.PARAM) {
+		prog.Params = append(prog.Params, p.parseParam())
+	}
+	p.expect(token.INIT)
+	p.expect(token.LBRACE)
+	prog.Init = p.parseSeq(token.RBRACE)
+	p.expect(token.RBRACE)
+	for p.accept(token.SEMI) {
+		if p.at(token.EOF) {
+			break
+		}
+		prog.Stmts = append(prog.Stmts, p.parseStmt())
+	}
+	p.expect(token.EOF)
+	if len(prog.Stmts) == 0 {
+		p.fail("program has no statements after init")
+	}
+	return prog
+}
+
+func (p *parser) parseParam() ast.Param {
+	pos := p.expect(token.PARAM).Pos
+	name := p.expect(token.IDENT).Lit
+	p.expect(token.COLON)
+	ty := p.parseType()
+	p.expect(token.ASSIGN)
+	def := p.parseLiteral()
+	p.expect(token.SEMI)
+	return ast.Param{Name: name, DeclType: ty, Default: def, P: pos}
+}
+
+func (p *parser) parseLiteral() ast.Expr {
+	t := p.peek()
+	neg := false
+	if t.Kind == token.MINUS {
+		neg = true
+		p.next()
+		t = p.peek()
+	}
+	switch t.Kind {
+	case token.INT:
+		p.next()
+		v, err := strconv.ParseInt(t.Lit, 10, 64)
+		if err != nil {
+			p.fail("bad integer literal %q", t.Lit)
+		}
+		if neg {
+			v = -v
+		}
+		return &ast.IntLit{Base: ast.Base{P: t.Pos}, Val: v}
+	case token.FLOAT:
+		p.next()
+		v, err := strconv.ParseFloat(t.Lit, 64)
+		if err != nil {
+			p.fail("bad float literal %q", t.Lit)
+		}
+		if neg {
+			v = -v
+		}
+		return &ast.FloatLit{Base: ast.Base{P: t.Pos}, Val: v}
+	case token.TRUE, token.FALSE:
+		if neg {
+			p.fail("cannot negate a bool literal")
+		}
+		p.next()
+		return &ast.BoolLit{Base: ast.Base{P: t.Pos}, Val: t.Kind == token.TRUE}
+	}
+	p.fail("expected literal")
+	return nil
+}
+
+func (p *parser) parseType() types.Type {
+	switch t := p.next(); t.Kind {
+	case token.TINT:
+		return types.Int
+	case token.TBOOL:
+		return types.Bool
+	case token.TFLOAT:
+		return types.Float
+	default:
+		p.fail("expected type (int, bool, float)")
+		return types.Invalid
+	}
+}
+
+func (p *parser) parseStmt() ast.Stmt {
+	switch t := p.peek(); t.Kind {
+	case token.STEP:
+		p.next()
+		p.expect(token.LBRACE)
+		body := p.parseSeq(token.RBRACE)
+		p.expect(token.RBRACE)
+		return &ast.Step{P: t.Pos, Body: body}
+	case token.ITER:
+		p.next()
+		v := p.expect(token.IDENT).Lit
+		p.expect(token.LBRACE)
+		body := p.parseSeq(token.RBRACE)
+		p.expect(token.RBRACE)
+		p.expect(token.UNTIL)
+		p.expect(token.LBRACE)
+		cond := p.parseExpr()
+		p.expect(token.RBRACE)
+		return &ast.Iter{P: t.Pos, Var: v, Body: body, Until: cond}
+	default:
+		p.fail("expected step or iter")
+		return nil
+	}
+}
+
+// parseSeq parses e1; e2; …; en up to (not consuming) the terminator. A
+// `let` binds the remainder of the sequence as its body, matching the
+// paper's usage.
+func (p *parser) parseSeq(term token.Kind) ast.Expr {
+	pos := p.peek().Pos
+	var items []ast.Expr
+	for {
+		if p.at(term) || p.at(token.EOF) {
+			break
+		}
+		e := p.parseSeqElement(term)
+		items = append(items, e)
+		if _, isLet := e.(*ast.Let); isLet {
+			break // let consumed the rest of the sequence
+		}
+		if !p.accept(token.SEMI) {
+			break
+		}
+	}
+	switch len(items) {
+	case 0:
+		p.fail("empty block")
+		return nil
+	case 1:
+		return items[0]
+	default:
+		return &ast.Seq{Base: ast.Base{P: pos}, Items: items}
+	}
+}
+
+func (p *parser) parseSeqElement(term token.Kind) ast.Expr {
+	switch t := p.peek(); t.Kind {
+	case token.LOCAL:
+		p.next()
+		name := p.expect(token.IDENT).Lit
+		p.expect(token.COLON)
+		ty := p.parseType()
+		p.expect(token.ASSIGN)
+		init := p.parseExpr()
+		return &ast.Local{Base: ast.Base{P: t.Pos}, Name: name, DeclType: ty, Init: init}
+	case token.LET:
+		return p.parseLet(term)
+	case token.IDENT:
+		if p.peek2().Kind == token.ASSIGN {
+			p.next()
+			p.expect(token.ASSIGN)
+			val := p.parseExpr()
+			return &ast.Assign{Base: ast.Base{P: t.Pos}, Name: t.Lit, Value: val}
+		}
+	}
+	return p.parseExpr()
+}
+
+// parseLet parses let x : τ = e in <rest-of-seq>.
+func (p *parser) parseLet(term token.Kind) ast.Expr {
+	t := p.expect(token.LET)
+	name := p.expect(token.IDENT).Lit
+	p.expect(token.COLON)
+	ty := p.parseType()
+	p.expect(token.ASSIGN)
+	init := p.parseExpr()
+	p.expect(token.IN)
+	body := p.parseSeq(term)
+	return &ast.Let{Base: ast.Base{P: t.Pos}, Name: name, DeclType: ty, Init: init, Body: body}
+}
+
+func (p *parser) parseExpr() ast.Expr { return p.parseBinary(1) }
+
+func binOpPrec(k token.Kind) (string, int) {
+	switch k {
+	case token.OROR:
+		return "||", 1
+	case token.ANDAND:
+		return "&&", 2
+	case token.LT:
+		return "<", 3
+	case token.GT:
+		return ">", 3
+	case token.LE:
+		return "<=", 3
+	case token.GE:
+		return ">=", 3
+	case token.EQ:
+		return "==", 3
+	case token.NE:
+		return "!=", 3
+	case token.PLUS:
+		return "+", 4
+	case token.MINUS:
+		return "-", 4
+	case token.STAR:
+		return "*", 5
+	case token.SLASH:
+		return "/", 5
+	}
+	return "", 0
+}
+
+func (p *parser) parseBinary(minPrec int) ast.Expr {
+	left := p.parseUnary()
+	for {
+		op, prec := binOpPrec(p.peek().Kind)
+		if prec == 0 || prec < minPrec {
+			return left
+		}
+		t := p.next()
+		right := p.parseBinary(prec + 1)
+		left = &ast.Binary{Base: ast.Base{P: t.Pos}, Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseUnary() ast.Expr {
+	switch t := p.peek(); t.Kind {
+	case token.MINUS:
+		p.next()
+		x := p.parseUnary()
+		return &ast.Unary{Base: ast.Base{P: t.Pos}, Op: "-", X: x}
+	case token.NOT:
+		p.next()
+		x := p.parseUnary()
+		return &ast.Unary{Base: ast.Base{P: t.Pos}, Op: "not", X: x}
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() ast.Expr {
+	e := p.parsePrimary()
+	if p.at(token.DOT) {
+		v, ok := e.(*ast.Var)
+		if !ok {
+			p.fail("field access requires a variable on the left")
+		}
+		p.next()
+		f := p.expect(token.IDENT)
+		return &ast.NeighborField{Base: ast.Base{P: v.P}, Var: v.Name, Name: f.Lit}
+	}
+	return e
+}
+
+func (p *parser) parseGraphDir() ast.GraphDir {
+	switch t := p.next(); t.Kind {
+	case token.HASHIN:
+		return ast.DirIn
+	case token.HASHOUT:
+		return ast.DirOut
+	case token.HASHNEIGHBORS:
+		return ast.DirNeighbors
+	default:
+		p.fail("expected graph expression (#in, #out, #neighbors)")
+		return ast.DirIn
+	}
+}
+
+// parseAgg parses ⊞ [ body | u <- g ] with ⊞ already consumed.
+func (p *parser) parseAgg(op ast.AggOp, pos token.Pos) ast.Expr {
+	p.expect(token.LBRACKET)
+	body := p.parseExpr()
+	p.expect(token.PIPE)
+	v := p.expect(token.IDENT).Lit
+	p.expect(token.LARROW)
+	g := p.parseGraphDir()
+	p.expect(token.RBRACKET)
+	return &ast.Agg{Base: ast.Base{P: pos}, Op: op, BindVar: v, G: g, Body: body, Site: -1}
+}
+
+// parseBranch parses either a braced sequence, a bare assignment, or a
+// single expression, for then/else branches.
+func (p *parser) parseBranch() ast.Expr {
+	if p.accept(token.LBRACE) {
+		e := p.parseSeq(token.RBRACE)
+		p.expect(token.RBRACE)
+		return e
+	}
+	if t := p.peek(); t.Kind == token.IDENT && p.peek2().Kind == token.ASSIGN {
+		p.next()
+		p.expect(token.ASSIGN)
+		val := p.parseExpr()
+		return &ast.Assign{Base: ast.Base{P: t.Pos}, Name: t.Lit, Value: val}
+	}
+	return p.parseExpr()
+}
+
+func (p *parser) parsePrimary() ast.Expr {
+	t := p.peek()
+	switch t.Kind {
+	case token.INT, token.FLOAT, token.TRUE, token.FALSE:
+		return p.parseLiteral()
+	case token.INFTY:
+		p.next()
+		return &ast.Infty{Base: ast.Base{P: t.Pos}}
+	case token.GSIZE:
+		p.next()
+		return &ast.GraphSize{Base: ast.Base{P: t.Pos}}
+	case token.IDKW:
+		p.next()
+		return &ast.VertexID{Base: ast.Base{P: t.Pos}}
+	case token.FIXPOINT:
+		p.next()
+		return &ast.FixpointRef{Base: ast.Base{P: t.Pos}}
+	case token.EW:
+		p.next()
+		return &ast.EdgeWeight{Base: ast.Base{P: t.Pos}}
+	case token.IDENT:
+		p.next()
+		return &ast.Var{Base: ast.Base{P: t.Pos}, Name: t.Lit, Slot: -1}
+	case token.LPAREN:
+		p.next()
+		e := p.parseExpr()
+		p.expect(token.RPAREN)
+		return e
+	case token.PIPE:
+		p.next()
+		g := p.parseGraphDir()
+		p.expect(token.PIPE)
+		return &ast.Cardinality{Base: ast.Base{P: t.Pos}, G: g}
+	case token.IF:
+		p.next()
+		cond := p.parseExpr()
+		p.expect(token.THEN)
+		then := p.parseBranch()
+		var els ast.Expr
+		if p.accept(token.ELSE) {
+			els = p.parseBranch()
+		}
+		return &ast.If{Base: ast.Base{P: t.Pos}, Cond: cond, Then: then, Else: els}
+	case token.PLUS:
+		p.next()
+		return p.parseAgg(ast.AggSum, t.Pos)
+	case token.STAR:
+		p.next()
+		return p.parseAgg(ast.AggProd, t.Pos)
+	case token.OROR:
+		p.next()
+		return p.parseAgg(ast.AggOr, t.Pos)
+	case token.ANDAND:
+		p.next()
+		return p.parseAgg(ast.AggAnd, t.Pos)
+	case token.MINKW, token.MAXKW:
+		p.next()
+		isMax := t.Kind == token.MAXKW
+		if p.at(token.LBRACKET) {
+			if isMax {
+				return p.parseAgg(ast.AggMax, t.Pos)
+			}
+			return p.parseAgg(ast.AggMin, t.Pos)
+		}
+		a := p.parseUnary()
+		b := p.parseUnary()
+		return &ast.MinMax{Base: ast.Base{P: t.Pos}, IsMax: isMax, A: a, B: b}
+	}
+	p.fail("expected expression")
+	return nil
+}

@@ -1,0 +1,298 @@
+package parser
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/deltav/ast"
+	"repro/internal/deltav/types"
+	"repro/internal/programs"
+)
+
+func parseOK(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return p
+}
+
+func TestParsePaperPageRank(t *testing.T) {
+	p := parseOK(t, programs.MustSource("pagerank"))
+	if len(p.Stmts) != 1 {
+		t.Fatalf("stmts = %d, want 1", len(p.Stmts))
+	}
+	it, ok := p.Stmts[0].(*ast.Iter)
+	if !ok {
+		t.Fatalf("stmt is %T, want *Iter", p.Stmts[0])
+	}
+	if it.Var != "i" {
+		t.Fatalf("iter var = %q, want i", it.Var)
+	}
+	// Body must start with a let of an aggregation.
+	let, ok := it.Body.(*ast.Let)
+	if !ok {
+		t.Fatalf("iter body is %T, want *Let", it.Body)
+	}
+	agg, ok := let.Init.(*ast.Agg)
+	if !ok {
+		t.Fatalf("let init is %T, want *Agg", let.Init)
+	}
+	if agg.Op != ast.AggSum || agg.G != ast.DirIn || agg.BindVar != "u" {
+		t.Fatalf("agg = %v %v %q", agg.Op, agg.G, agg.BindVar)
+	}
+	nf, ok := agg.Body.(*ast.NeighborField)
+	if !ok || nf.Var != "u" || nf.Name != "pr" {
+		t.Fatalf("agg body = %#v, want u.pr", agg.Body)
+	}
+	// The let body is the two assignments.
+	seq, ok := let.Body.(*ast.Seq)
+	if !ok || len(seq.Items) != 2 {
+		t.Fatalf("let body = %T, want 2-item Seq", let.Body)
+	}
+	if a, ok := seq.Items[0].(*ast.Assign); !ok || a.Name != "vl" {
+		t.Fatalf("first item = %#v, want vl = …", seq.Items[0])
+	}
+}
+
+func TestParseParams(t *testing.T) {
+	p := parseOK(t, programs.MustSource("sssp"))
+	if len(p.Params) != 1 || p.Params[0].Name != "src" || p.Params[0].DeclType != types.Int {
+		t.Fatalf("params = %+v", p.Params)
+	}
+	if _, ok := p.Params[0].Default.(*ast.IntLit); !ok {
+		t.Fatalf("default = %T, want IntLit", p.Params[0].Default)
+	}
+}
+
+func TestParseAllCorpusPrograms(t *testing.T) {
+	for _, name := range programs.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			parseOK(t, programs.MustSource(name))
+		})
+	}
+}
+
+// Print → reparse must give a structurally identical tree (ignoring
+// positions and types) for the whole corpus.
+func TestPrintReparseRoundTrip(t *testing.T) {
+	for _, name := range programs.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			p1 := parseOK(t, programs.MustSource(name))
+			text := ast.Print(p1)
+			p2, err := Parse(text)
+			if err != nil {
+				t.Fatalf("reparse of printed program failed: %v\n%s", err, text)
+			}
+			s1, s2 := canon(p1), canon(p2)
+			if s1 != s2 {
+				t.Fatalf("round trip mismatch:\n-- first --\n%s\n-- second --\n%s", s1, s2)
+			}
+		})
+	}
+}
+
+// canon prints a program after zeroing positions so trees compare stably.
+func canon(p *ast.Program) string { return ast.Print(p) }
+
+func TestParsePrecedence(t *testing.T) {
+	e, err := ParseExpr("1 + 2 * 3 < 4 && true || false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ((1 + (2*3)) < 4 && true) || false
+	or, ok := e.(*ast.Binary)
+	if !ok || or.Op != "||" {
+		t.Fatalf("top = %#v, want ||", e)
+	}
+	and, ok := or.L.(*ast.Binary)
+	if !ok || and.Op != "&&" {
+		t.Fatalf("or.L = %#v, want &&", or.L)
+	}
+	lt, ok := and.L.(*ast.Binary)
+	if !ok || lt.Op != "<" {
+		t.Fatalf("and.L = %#v, want <", and.L)
+	}
+	plus, ok := lt.L.(*ast.Binary)
+	if !ok || plus.Op != "+" {
+		t.Fatalf("lt.L = %#v, want +", lt.L)
+	}
+	if mul, ok := plus.R.(*ast.Binary); !ok || mul.Op != "*" {
+		t.Fatalf("plus.R = %#v, want *", plus.R)
+	}
+}
+
+func TestParseMinMaxForms(t *testing.T) {
+	// Prefix pop form.
+	e, err := ParseExpr("min 1 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm, ok := e.(*ast.MinMax); !ok || mm.IsMax {
+		t.Fatalf("min 1 2 = %#v", e)
+	}
+	// Aggregation form.
+	prog := `
+init { local v : float = 0.0 };
+step { v = max [ u.v | u <- #in ] }`
+	p := parseOK(t, prog)
+	st := p.Stmts[0].(*ast.Step)
+	asg := st.Body.(*ast.Assign)
+	if agg, ok := asg.Value.(*ast.Agg); !ok || agg.Op != ast.AggMax {
+		t.Fatalf("value = %#v, want max aggregation", asg.Value)
+	}
+}
+
+func TestParseCardinalityVsOr(t *testing.T) {
+	e, err := ParseExpr("|#in| + |#out| + |#neighbors|")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	ast.Walk(e, func(x ast.Expr) bool {
+		if _, ok := x.(*ast.Cardinality); ok {
+			found++
+		}
+		return true
+	})
+	if found != 3 {
+		t.Fatalf("cardinalities = %d, want 3", found)
+	}
+	// || still parses as the or operator / or-aggregation.
+	if _, err := ParseExpr("true || false"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseIfForms(t *testing.T) {
+	e, err := ParseExpr("if 1 < 2 then 3 else 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := e.(*ast.If)
+	if n.Else == nil {
+		t.Fatal("else missing")
+	}
+	e2, err := ParseExpr("if true then { x = 1; y = 2 }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2 := e2.(*ast.If)
+	if n2.Else != nil {
+		t.Fatal("unexpected else")
+	}
+	if _, ok := n2.Then.(*ast.Seq); !ok {
+		t.Fatalf("braced then = %T, want Seq", n2.Then)
+	}
+}
+
+func TestParseLetBindsRestOfSequence(t *testing.T) {
+	e, err := ParseExpr("let x : int = 1 in a = x; b = x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	let := e.(*ast.Let)
+	seq, ok := let.Body.(*ast.Seq)
+	if !ok || len(seq.Items) != 2 {
+		t.Fatalf("let body = %#v, want 2-item seq", let.Body)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",                                 // no init
+		"init { }",                         // empty init
+		"init { local x : int = 1 }",       // no statements
+		"init { local x : int = 1 }; blah", // bad statement keyword
+		"init { local x : int = 1 }; step", // missing braces
+		"init { local x : int = 1 }; iter { x = 1 } until { true }",  // missing counter
+		"init { local x : int = 1 }; step { x = }",                   // missing rhs
+		"init { local x : int = 1 }; step { + [ u.v | u <- #bad ] }", // bad graph dir
+		"init { local x : int = 1 }; step { (1 + 2 }",                // unbalanced paren
+		"init { local x : int = 1 }; step { 3.v }",                   // field access on literal
+		"init { local x : int @ 1 }; step { x = 1 }",                 // illegal char
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+// leading comment
+init {
+  local x : int = 1 // trailing comment
+};
+step { x = 2 } // done
+`
+	parseOK(t, src)
+}
+
+func TestParseNegativeLiterals(t *testing.T) {
+	p := parseOK(t, "param bias : float = -2.5;\ninit { local x : float = bias };\nstep { x = 0.0 - 1.0 }")
+	def := p.Params[0].Default.(*ast.FloatLit)
+	if def.Val != -2.5 {
+		t.Fatalf("default = %v, want -2.5", def.Val)
+	}
+}
+
+func TestParseScientificFloats(t *testing.T) {
+	e, err := ParseExpr("1e-3 + 2.5E+2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := e.(*ast.Binary)
+	if l := b.L.(*ast.FloatLit); l.Val != 1e-3 {
+		t.Fatalf("lhs = %v", l.Val)
+	}
+	if r := b.R.(*ast.FloatLit); r.Val != 2.5e2 {
+		t.Fatalf("rhs = %v", r.Val)
+	}
+}
+
+func TestExprStringCoversInternalForms(t *testing.T) {
+	base := ast.Base{}
+	send := &ast.Send{DestVar: "u", Group: 0, Payload: []ast.Expr{
+		&ast.Delta{Site: 0, X: &ast.Field{Base: base, Name: "pr"}},
+	}}
+	loop := &ast.ForNeighbors{Var: "u", G: ast.DirOut, Body: send}
+	s := ast.ExprString(loop)
+	for _, want := range []string{"for (u : #out)", "send(u", "delta<0>(pr)"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("printed %q, missing %q", s, want)
+		}
+	}
+	ml := &ast.MsgLoop{Group: 1, Body: &ast.Seq{Items: []ast.Expr{
+		&ast.MsgSlot{Site: 2},
+		&ast.MsgIsNull{Site: 2},
+		&ast.MsgPrevNull{Site: 2},
+		&ast.OldField{Name: "pr"},
+		&ast.Halt{},
+	}}}
+	s2 := ast.ExprString(ml)
+	for _, want := range []string{"messages<1>", "m.slot2", "is_nullary<2>(m)", "prev_nullary<2>(m)", "old(pr)", "halt"} {
+		if !strings.Contains(s2, want) {
+			t.Fatalf("printed %q, missing %q", s2, want)
+		}
+	}
+}
+
+func TestCloneProgramIsDeep(t *testing.T) {
+	p1 := parseOK(t, programs.MustSource("pagerank"))
+	p2 := ast.CloneProgram(p1)
+	if !reflect.DeepEqual(ast.Print(p1), ast.Print(p2)) {
+		t.Fatal("clone prints differently")
+	}
+	// Mutating the clone must not affect the original.
+	it := p2.Stmts[0].(*ast.Iter)
+	it.Body = &ast.Halt{}
+	if ast.Print(p1) == ast.Print(p2) {
+		t.Fatal("mutation leaked into original")
+	}
+}

@@ -1,0 +1,139 @@
+// Package token defines the lexical tokens of the ΔV language (paper
+// Fig. 3) and source positions.
+package token
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind int
+
+// Token kinds.
+const (
+	ILLEGAL Kind = iota
+	EOF
+
+	// Literals and identifiers.
+	IDENT // pr, sum, u
+	INT   // 42
+	FLOAT // 0.85
+	TRUE  // true
+	FALSE // false
+
+	// Keywords.
+	PARAM    // param
+	INIT     // init
+	STEP     // step
+	ITER     // iter
+	UNTIL    // until
+	LET      // let
+	IN       // in
+	IF       // if
+	THEN     // then
+	ELSE     // else
+	LOCAL    // local
+	MINKW    // min
+	MAXKW    // max
+	NOT      // not
+	GSIZE    // graphSize
+	INFTY    // infty
+	IDKW     // id
+	FIXPOINT // fixpoint
+	EW       // ew
+	TINT     // int
+	TBOOL    // bool
+	TFLOAT   // float
+
+	// Graph expressions.
+	HASHIN        // #in
+	HASHOUT       // #out
+	HASHNEIGHBORS // #neighbors
+
+	// Operators and punctuation.
+	PLUS      // +
+	MINUS     // -
+	STAR      // *
+	SLASH     // /
+	ANDAND    // &&
+	OROR      // ||
+	LT        // <
+	GT        // >
+	LE        // <=
+	GE        // >=
+	EQ        // ==
+	NE        // !=
+	ASSIGN    // =
+	SEMI      // ;
+	COLON     // :
+	COMMA     // ,
+	DOT       // .
+	PIPE      // |
+	LARROW    // <-
+	LBRACE    // {
+	RBRACE    // }
+	LBRACKET  // [
+	RBRACKET  // ]
+	LPAREN    // (
+	RPAREN    // )
+	numtokens // sentinel
+)
+
+var names = map[Kind]string{
+	ILLEGAL: "ILLEGAL", EOF: "EOF",
+	IDENT: "IDENT", INT: "INT", FLOAT: "FLOAT", TRUE: "true", FALSE: "false",
+	PARAM: "param", INIT: "init", STEP: "step", ITER: "iter", UNTIL: "until",
+	LET: "let", IN: "in", IF: "if", THEN: "then", ELSE: "else", LOCAL: "local",
+	MINKW: "min", MAXKW: "max", NOT: "not", GSIZE: "graphSize", INFTY: "infty",
+	IDKW: "id", FIXPOINT: "fixpoint", EW: "ew",
+	TINT: "int", TBOOL: "bool", TFLOAT: "float",
+	HASHIN: "#in", HASHOUT: "#out", HASHNEIGHBORS: "#neighbors",
+	PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", ANDAND: "&&", OROR: "||",
+	LT: "<", GT: ">", LE: "<=", GE: ">=", EQ: "==", NE: "!=", ASSIGN: "=",
+	SEMI: ";", COLON: ":", COMMA: ",", DOT: ".", PIPE: "|", LARROW: "<-",
+	LBRACE: "{", RBRACE: "}", LBRACKET: "[", RBRACKET: "]", LPAREN: "(", RPAREN: ")",
+}
+
+// String returns the canonical spelling of the kind.
+func (k Kind) String() string {
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps keyword spellings to kinds.
+var Keywords = map[string]Kind{
+	"param": PARAM, "init": INIT, "step": STEP, "iter": ITER, "until": UNTIL,
+	"let": LET, "in": IN, "if": IF, "then": THEN, "else": ELSE, "local": LOCAL,
+	"min": MINKW, "max": MAXKW, "not": NOT, "graphSize": GSIZE, "infty": INFTY,
+	"id": IDKW, "fixpoint": FIXPOINT, "ew": EW,
+	"int": TINT, "bool": TBOOL, "float": TFLOAT,
+	"true": TRUE, "false": FALSE,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line, Col int
+}
+
+// String renders the position as line:col.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// IsValid reports whether the position was set.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Lit  string // literal text for IDENT/INT/FLOAT
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, FLOAT:
+		return fmt.Sprintf("%s(%s)", t.Kind, t.Lit)
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,391 @@
+// Package typer type-checks ΔV programs, annotating every expression with
+// its type (the paper's type-annotation pass that runs before all
+// transformation passes, §6: typeOf(e)).
+//
+// Beyond Fig. 3's simple types, the checker enforces the structural
+// restrictions the compilation scheme relies on:
+//
+//   - aggregation bodies may only reference the bound neighbour's fields,
+//     the edge weight ew, literals, graphSize and params — this is what
+//     makes Δ-messages locally determinable at the sender (paper §4.2.2);
+//   - aggregations may not appear in init{} (no messages exist yet) nor in
+//     until{} conditions;
+//   - until{} conditions are master-evaluable: only the iteration counter,
+//     fixpoint, literals, graphSize and params may appear;
+//   - vertex-state fields (local declarations) may only be introduced in
+//     init{}.
+package typer
+
+import (
+	"fmt"
+
+	"repro/internal/deltav/ast"
+	"repro/internal/deltav/token"
+	"repro/internal/deltav/types"
+)
+
+// Info is the result of checking: the program's symbol tables.
+type Info struct {
+	// Fields lists vertex-state fields in declaration order.
+	Fields []FieldInfo
+	// Params maps parameter names to types.
+	Params map[string]types.Type
+}
+
+// FieldInfo describes one declared vertex-state field.
+type FieldInfo struct {
+	Name string
+	Type types.Type
+}
+
+// FieldType returns the declared type of a field, or Invalid.
+func (in *Info) FieldType(name string) types.Type {
+	for _, f := range in.Fields {
+		if f.Name == name {
+			return f.Type
+		}
+	}
+	return types.Invalid
+}
+
+// Check type-checks prog in place and returns its symbol information.
+func Check(prog *ast.Program) (*Info, error) {
+	c := &checker{
+		info:   &Info{Params: map[string]types.Type{}},
+		fields: map[string]types.Type{},
+		lets:   map[string][]types.Type{},
+	}
+	err := c.catch(func() { c.program(prog) })
+	if err != nil {
+		return nil, err
+	}
+	return c.info, nil
+}
+
+type checker struct {
+	info    *Info
+	fields  map[string]types.Type
+	lets    map[string][]types.Type // scope stacks per name
+	iterVar string
+
+	inInit  bool
+	inUntil bool
+	aggVar  string // non-empty while inside an aggregation body
+}
+
+type checkError struct{ err error }
+
+func (c *checker) catch(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ce, ok := r.(checkError); ok {
+				err = ce.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn()
+	return nil
+}
+
+func (c *checker) errf(pos token.Pos, format string, args ...any) {
+	panic(checkError{fmt.Errorf("deltav: type: %s: %s", pos, fmt.Sprintf(format, args...))})
+}
+
+func (c *checker) program(prog *ast.Program) {
+	for _, p := range prog.Params {
+		if _, dup := c.info.Params[p.Name]; dup {
+			c.errf(p.P, "duplicate param %q", p.Name)
+		}
+		dt := c.expr(p.Default)
+		if !assignable(p.DeclType, dt) {
+			c.errf(p.P, "param %q default has type %s, want %s", p.Name, dt, p.DeclType)
+		}
+		c.info.Params[p.Name] = p.DeclType
+	}
+	c.inInit = true
+	c.expr(prog.Init)
+	c.inInit = false
+	if len(c.info.Fields) == 0 {
+		c.errf(token.Pos{Line: 1, Col: 1}, "init declares no vertex-state fields")
+	}
+	for _, s := range prog.Stmts {
+		switch st := s.(type) {
+		case *ast.Step:
+			c.expr(st.Body)
+		case *ast.Iter:
+			if st.Var == "" {
+				c.errf(st.P, "iter without counter variable")
+			}
+			saved := c.iterVar
+			c.iterVar = st.Var
+			c.expr(st.Body)
+			c.inUntil = true
+			ut := c.expr(st.Until)
+			c.inUntil = false
+			if ut != types.Bool {
+				c.errf(st.Until.Pos(), "until condition has type %s, want bool", ut)
+			}
+			c.iterVar = saved
+		}
+	}
+}
+
+func assignable(dst, src types.Type) bool {
+	if dst == src {
+		return true
+	}
+	return dst == types.Float && src == types.Int
+}
+
+func (c *checker) lookupVar(name string) (types.Type, bool) {
+	if stack := c.lets[name]; len(stack) > 0 {
+		return stack[len(stack)-1], true
+	}
+	if name == c.iterVar && c.iterVar != "" {
+		return types.Int, true
+	}
+	if t, ok := c.info.Params[name]; ok {
+		return t, true
+	}
+	return types.Invalid, false
+}
+
+func (c *checker) set(e ast.Expr, t types.Type) types.Type {
+	e.SetType(t)
+	return t
+}
+
+func (c *checker) expr(e ast.Expr) types.Type {
+	switch n := e.(type) {
+	case *ast.IntLit:
+		return c.set(e, types.Int)
+	case *ast.FloatLit:
+		return c.set(e, types.Float)
+	case *ast.BoolLit:
+		return c.set(e, types.Bool)
+	case *ast.Infty:
+		return c.set(e, types.Float)
+	case *ast.GraphSize:
+		return c.set(e, types.Int)
+	case *ast.Cardinality:
+		if c.inUntil {
+			c.errf(n.P, "|%s| not allowed in until{}", n.G)
+		}
+		return c.set(e, types.Int)
+	case *ast.VertexID:
+		if c.inUntil {
+			c.errf(n.P, "id not allowed in until{} (condition must be master-evaluable)")
+		}
+		return c.set(e, types.Int)
+	case *ast.FixpointRef:
+		if !c.inUntil {
+			c.errf(n.P, "fixpoint is only legal inside until{}")
+		}
+		return c.set(e, types.Bool)
+	case *ast.EdgeWeight:
+		if c.aggVar == "" {
+			c.errf(n.P, "ew is only legal inside an aggregation body")
+		}
+		return c.set(e, types.Float)
+	case *ast.Var:
+		if c.aggVar != "" && n.Name == c.aggVar {
+			c.errf(n.P, "aggregation variable %q must be used as %s.field", n.Name, n.Name)
+		}
+		if c.aggVar != "" {
+			// Only params are allowed inside an aggregation body.
+			if t, ok := c.info.Params[n.Name]; ok {
+				return c.set(e, t)
+			}
+			c.errf(n.P, "%q not usable inside an aggregation body (only %s.field, ew, literals, graphSize, params)", n.Name, c.aggVar)
+		}
+		if t, ok := c.lookupVar(n.Name); ok {
+			if c.inUntil && n.Name != c.iterVar {
+				if _, isParam := c.info.Params[n.Name]; !isParam {
+					c.errf(n.P, "until{} may only reference the iteration counter, fixpoint, params and constants")
+				}
+			}
+			return c.set(e, t)
+		}
+		if t, ok := c.fields[n.Name]; ok {
+			if c.inUntil {
+				c.errf(n.P, "until{} may not reference vertex state (%q)", n.Name)
+			}
+			// The parser cannot distinguish fields from variables; retype
+			// the node as a field reference is done by the resolver in
+			// internal/core. Here we only record the type.
+			return c.set(e, t)
+		}
+		c.errf(n.P, "undefined variable %q", n.Name)
+	case *ast.Unary:
+		xt := c.expr(n.X)
+		if n.Op == "not" {
+			if xt != types.Bool {
+				c.errf(n.P, "not applied to %s", xt)
+			}
+			return c.set(e, types.Bool)
+		}
+		if !xt.Numeric() {
+			c.errf(n.P, "unary - applied to %s", xt)
+		}
+		return c.set(e, xt)
+	case *ast.Binary:
+		lt, rt := c.expr(n.L), c.expr(n.R)
+		switch n.Op {
+		case "+", "-", "*":
+			if !lt.Numeric() || !rt.Numeric() {
+				c.errf(n.P, "%s applied to %s and %s", n.Op, lt, rt)
+			}
+			if lt == types.Float || rt == types.Float {
+				return c.set(e, types.Float)
+			}
+			return c.set(e, types.Int)
+		case "/":
+			if !lt.Numeric() || !rt.Numeric() {
+				c.errf(n.P, "/ applied to %s and %s", lt, rt)
+			}
+			// Division is always real-valued in ΔV: 1 / graphSize is a
+			// fraction, as the paper's PageRank uses it.
+			return c.set(e, types.Float)
+		case "&&", "||":
+			if lt != types.Bool || rt != types.Bool {
+				c.errf(n.P, "%s applied to %s and %s", n.Op, lt, rt)
+			}
+			return c.set(e, types.Bool)
+		case "<", ">", "<=", ">=":
+			if !lt.Numeric() || !rt.Numeric() {
+				c.errf(n.P, "%s applied to %s and %s", n.Op, lt, rt)
+			}
+			return c.set(e, types.Bool)
+		case "==", "!=":
+			if lt != rt && !(lt.Numeric() && rt.Numeric()) {
+				c.errf(n.P, "%s compares %s and %s", n.Op, lt, rt)
+			}
+			return c.set(e, types.Bool)
+		}
+		c.errf(n.P, "unknown operator %q", n.Op)
+	case *ast.MinMax:
+		at, bt := c.expr(n.A), c.expr(n.B)
+		if !at.Numeric() || !bt.Numeric() {
+			c.errf(n.P, "min/max applied to %s and %s", at, bt)
+		}
+		if at == types.Float || bt == types.Float {
+			return c.set(e, types.Float)
+		}
+		return c.set(e, types.Int)
+	case *ast.If:
+		ct := c.expr(n.Cond)
+		if ct != types.Bool {
+			c.errf(n.P, "if condition has type %s", ct)
+		}
+		tt := c.expr(n.Then)
+		if n.Else == nil {
+			return c.set(e, types.Unit)
+		}
+		et := c.expr(n.Else)
+		switch {
+		case tt == et:
+			return c.set(e, tt)
+		case tt.Numeric() && et.Numeric():
+			return c.set(e, types.Float)
+		default:
+			return c.set(e, types.Unit)
+		}
+	case *ast.Let:
+		it := c.expr(n.Init)
+		if !assignable(n.DeclType, it) {
+			c.errf(n.P, "let %s : %s initialized with %s", n.Name, n.DeclType, it)
+		}
+		c.lets[n.Name] = append(c.lets[n.Name], n.DeclType)
+		bt := c.expr(n.Body)
+		c.lets[n.Name] = c.lets[n.Name][:len(c.lets[n.Name])-1]
+		return c.set(e, bt)
+	case *ast.Local:
+		if !c.inInit {
+			c.errf(n.P, "local declarations are only legal in init{}")
+		}
+		if _, dup := c.fields[n.Name]; dup {
+			c.errf(n.P, "duplicate field %q", n.Name)
+		}
+		if _, isParam := c.info.Params[n.Name]; isParam {
+			c.errf(n.P, "field %q shadows a param", n.Name)
+		}
+		it := c.expr(n.Init)
+		if !assignable(n.DeclType, it) {
+			c.errf(n.P, "local %s : %s initialized with %s", n.Name, n.DeclType, it)
+		}
+		c.fields[n.Name] = n.DeclType
+		c.info.Fields = append(c.info.Fields, FieldInfo{Name: n.Name, Type: n.DeclType})
+		return c.set(e, types.Unit)
+	case *ast.Assign:
+		vt := c.expr(n.Value)
+		if t := c.lets[n.Name]; len(t) > 0 {
+			if !assignable(t[len(t)-1], vt) {
+				c.errf(n.P, "assigning %s to %s %q", vt, t[len(t)-1], n.Name)
+			}
+			n.IsField = false
+			return c.set(e, types.Unit)
+		}
+		if t, ok := c.fields[n.Name]; ok {
+			if !assignable(t, vt) {
+				c.errf(n.P, "assigning %s to %s field %q", vt, t, n.Name)
+			}
+			n.IsField = true
+			return c.set(e, types.Unit)
+		}
+		if n.Name == c.iterVar {
+			c.errf(n.P, "cannot assign to iteration counter %q", n.Name)
+		}
+		if _, isParam := c.info.Params[n.Name]; isParam {
+			c.errf(n.P, "cannot assign to param %q", n.Name)
+		}
+		c.errf(n.P, "assignment to undefined name %q", n.Name)
+	case *ast.Seq:
+		var t types.Type = types.Unit
+		for _, it := range n.Items {
+			t = c.expr(it)
+		}
+		return c.set(e, t)
+	case *ast.Agg:
+		if c.inInit {
+			c.errf(n.P, "aggregations are not allowed in init{} (no prior superstep exists)")
+		}
+		if c.inUntil {
+			c.errf(n.P, "aggregations are not allowed in until{}")
+		}
+		if c.aggVar != "" {
+			c.errf(n.P, "nested aggregations are not supported")
+		}
+		c.aggVar = n.BindVar
+		bt := c.expr(n.Body)
+		c.aggVar = ""
+		switch n.Op {
+		case ast.AggSum, ast.AggProd, ast.AggMin, ast.AggMax:
+			if !bt.Numeric() {
+				c.errf(n.P, "%s aggregation over %s body", n.Op, bt)
+			}
+			return c.set(e, bt)
+		case ast.AggOr, ast.AggAnd:
+			if bt != types.Bool {
+				c.errf(n.P, "%s aggregation over %s body", n.Op, bt)
+			}
+			return c.set(e, types.Bool)
+		}
+	case *ast.NeighborField:
+		if c.aggVar == "" {
+			c.errf(n.P, "%s.%s outside an aggregation", n.Var, n.Name)
+		}
+		if n.Var != c.aggVar {
+			c.errf(n.P, "unknown aggregation variable %q (bound: %q)", n.Var, c.aggVar)
+		}
+		t, ok := c.fields[n.Name]
+		if !ok {
+			c.errf(n.P, "unknown field %q", n.Name)
+		}
+		return c.set(e, t)
+	default:
+		c.errf(e.Pos(), "internal form %T cannot appear in source", e)
+	}
+	return types.Invalid
+}

@@ -1,0 +1,198 @@
+package typer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/deltav/ast"
+	"repro/internal/deltav/parser"
+	"repro/internal/deltav/types"
+	"repro/internal/programs"
+)
+
+func check(t *testing.T, src string) (*ast.Program, *Info, error) {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := Check(p)
+	return p, info, err
+}
+
+func mustCheck(t *testing.T, src string) (*ast.Program, *Info) {
+	t.Helper()
+	p, info, err := check(t, src)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return p, info
+}
+
+func TestCheckCorpus(t *testing.T) {
+	for _, name := range programs.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			mustCheck(t, programs.MustSource(name))
+		})
+	}
+}
+
+func TestFieldAndParamInfo(t *testing.T) {
+	_, info := mustCheck(t, programs.MustSource("sssp"))
+	if got := info.FieldType("dist"); got != types.Float {
+		t.Fatalf("dist type = %s, want float", got)
+	}
+	if got := info.FieldType("nope"); got != types.Invalid {
+		t.Fatalf("unknown field type = %s, want invalid", got)
+	}
+	if info.Params["src"] != types.Int {
+		t.Fatalf("params = %v", info.Params)
+	}
+}
+
+func TestTypesAnnotated(t *testing.T) {
+	p, _ := mustCheck(t, programs.MustSource("pagerank"))
+	it := p.Stmts[0].(*ast.Iter)
+	let := it.Body.(*ast.Let)
+	if let.Init.Type() != types.Float {
+		t.Fatalf("aggregation type = %s, want float", let.Init.Type())
+	}
+	if it.Until.Type() != types.Bool {
+		t.Fatalf("until type = %s, want bool", it.Until.Type())
+	}
+	// Every expression in the program must have a type after checking.
+	count, untyped := 0, 0
+	walkAll(p, func(e ast.Expr) {
+		count++
+		if e.Type() == types.Invalid {
+			untyped++
+		}
+	})
+	if untyped != 0 {
+		t.Fatalf("%d of %d expressions untyped", untyped, count)
+	}
+}
+
+func walkAll(p *ast.Program, fn func(ast.Expr)) {
+	visit := func(e ast.Expr) {
+		ast.Walk(e, func(x ast.Expr) bool { fn(x); return true })
+	}
+	visit(p.Init)
+	for _, s := range p.Stmts {
+		switch st := s.(type) {
+		case *ast.Step:
+			visit(st.Body)
+		case *ast.Iter:
+			visit(st.Body)
+			visit(st.Until)
+		}
+	}
+}
+
+func TestDivisionIsAlwaysFloat(t *testing.T) {
+	p, _ := mustCheck(t, `
+init { local x : float = 1 / graphSize };
+step { x = 3 / 4 }`)
+	loc := findLocal(p, "x")
+	if loc.Init.Type() != types.Float {
+		t.Fatalf("1/graphSize type = %s, want float", loc.Init.Type())
+	}
+}
+
+func findLocal(p *ast.Program, name string) *ast.Local {
+	var out *ast.Local
+	ast.Walk(p.Init, func(e ast.Expr) bool {
+		if l, ok := e.(*ast.Local); ok && l.Name == name {
+			out = l
+		}
+		return true
+	})
+	return out
+}
+
+func TestIntToFloatCoercion(t *testing.T) {
+	mustCheck(t, `
+init { local x : float = 3 };
+step { x = id }`)
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"undefined-var", `init { local x : int = y };step { x = 1 }`, "undefined"},
+		{"no-fields", `init { let x : int = 1 in x };step { 1 }`, "no vertex-state fields"},
+		{"dup-field", `init { local x : int = 1; local x : int = 2 };step { x = 1 }`, "duplicate field"},
+		{"dup-param", "param a : int = 1;\nparam a : int = 2;\ninit { local x : int = 1 };step { x = 1 }", "duplicate param"},
+		{"param-default-type", "param a : int = 1.5;\ninit { local x : int = 1 };step { x = 1 }", "default has type"},
+		{"field-shadows-param", "param a : int = 1;\ninit { local a : int = 1 };step { a = 1 }", "shadows a param"},
+		{"local-outside-init", `init { local x : int = 1 };step { local y : int = 2 }`, "only legal in init"},
+		{"assign-undefined", `init { local x : int = 1 };step { y = 2 }`, "undefined name"},
+		{"assign-param", "param a : int = 1;\ninit { local x : int = 1 };step { a = 2 }", "cannot assign to param"},
+		{"assign-iter-var", `init { local x : int = 1 };iter i { i = 2 } until { true }`, "iteration counter"},
+		{"assign-type", `init { local x : int = 1 };step { x = 1.5 }`, "assigning float to int"},
+		{"let-type", `init { local x : int = 1 };step { let y : bool = 3 in x = 1 }`, "initialized with"},
+		{"float-to-int-local", `init { local x : int = 1.5 };step { x = 1 }`, "initialized with"},
+		{"not-on-int", `init { local x : bool = not 3 };step { x = true }`, "not applied"},
+		{"neg-bool", `init { local x : int = -true };step { x = 1 }`, "unary - applied"},
+		{"plus-bool", `init { local x : int = 1 + true };step { x = 1 }`, "applied to"},
+		{"and-int", `init { local x : bool = 1 && true };step { x = true }`, "applied to"},
+		{"cmp-mixed", `init { local x : bool = true < 1 };step { x = true }`, "applied to"},
+		{"eq-mixed", `init { local x : bool = true == 1 };step { x = true }`, "compares"},
+		{"if-cond", `init { local x : int = if 3 then 1 else 2 };step { x = 1 }`, "if condition"},
+		{"minmax-bool", `init { local x : int = min true 2 };step { x = 1 }`, "min/max applied"},
+		{"agg-in-init", `init { local x : float = + [ u.x | u <- #in ] };step { x = 1.0 }`, "not allowed in init"},
+		{"agg-in-until", `init { local x : float = 1.0 };iter i { x = 2.0 } until { + [ u.x | u <- #in ] > 1.0 }`, "not allowed in until"},
+		{"nested-agg", `init { local x : float = 1.0 };step { x = + [ u.x + (+ [ v.x | v <- #in ]) | u <- #in ] }`, "nested aggregations"},
+		{"agg-local-state", `init { local x : float = 1.0 };step { x = + [ u.x + x | u <- #in ] }`, "not usable inside an aggregation"},
+		{"agg-bare-bindvar", `init { local x : float = 1.0 };step { x = + [ u | u <- #in ] }`, "must be used as"},
+		{"agg-unknown-field", `init { local x : float = 1.0 };step { x = + [ u.q | u <- #in ] }`, "unknown field"},
+		{"agg-wrong-bindvar", `init { local x : float = 1.0 };step { x = + [ v.x | u <- #in ] }`, "unknown aggregation variable"},
+		{"agg-bool-sum", `init { local x : bool = true };step { let y : bool = + [ u.x | u <- #in ] in x = y }`, "aggregation over bool"},
+		{"agg-float-and", `init { local x : float = 1.0 };step { let y : float = && [ u.x | u <- #in ] in x = y }`, "aggregation over float"},
+		{"ew-outside-agg", `init { local x : float = ew };step { x = 1.0 }`, "only legal inside an aggregation"},
+		{"neighborfield-outside", `init { local x : float = 1.0 };step { x = u.x }`, "outside an aggregation"},
+		{"fixpoint-outside-until", `init { local x : bool = fixpoint };step { x = true }`, "only legal inside until"},
+		{"until-not-bool", `init { local x : int = 1 };iter i { x = 2 } until { i + 1 }`, "want bool"},
+		{"until-field-ref", `init { local x : bool = true };iter i { x = true } until { x }`, "may not reference vertex state"},
+		{"until-id", `init { local x : int = 1 };iter i { x = 2 } until { id > 3 }`, "not allowed in until"},
+		{"until-cardinality", `init { local x : int = 1 };iter i { x = 2 } until { |#in| > 3 }`, "not allowed in until"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := check(t, tc.src)
+			if err == nil {
+				t.Fatalf("Check succeeded, want error containing %q", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestUntilMayUseParams(t *testing.T) {
+	mustCheck(t, "param lim : int = 5;\ninit { local x : int = 1 };\niter i { x = x + 1 } until { i >= lim }")
+}
+
+func TestLetShadowsField(t *testing.T) {
+	// A let with the same name as a field shadows it within its body.
+	mustCheck(t, `
+init { local x : float = 1.0 };
+step {
+  let x : int = 3 in
+  x = 4
+}`)
+}
+
+func TestIfBranchUnification(t *testing.T) {
+	p, _ := mustCheck(t, `
+init { local x : float = if true then 1 else 2.5 };
+step { x = 1.0 }`)
+	loc := findLocal(p, "x")
+	if loc.Init.Type() != types.Float {
+		t.Fatalf("mixed-numeric if = %s, want float", loc.Init.Type())
+	}
+}

@@ -1,0 +1,46 @@
+// Package types defines the ΔV type universe: int, bool, float (paper
+// Fig. 3), plus Unit for statement-position expressions.
+package types
+
+// Type is a ΔV type.
+type Type int
+
+// The ΔV types.
+const (
+	Invalid Type = iota
+	Int
+	Bool
+	Float
+	Unit // the "type" of assignments, sequences and other statements
+)
+
+// String returns the surface spelling.
+func (t Type) String() string {
+	switch t {
+	case Int:
+		return "int"
+	case Bool:
+		return "bool"
+	case Float:
+		return "float"
+	case Unit:
+		return "unit"
+	}
+	return "invalid"
+}
+
+// Numeric reports whether t is int or float.
+func (t Type) Numeric() bool { return t == Int || t == Float }
+
+// ByteSize returns the bytes the ΔV-to-Pregel compiler accounts for a field
+// of this type in the vertex state (Table 2 accounting): 8 for numeric
+// scalars, 1 for bool.
+func (t Type) ByteSize() int {
+	switch t {
+	case Bool:
+		return 1
+	case Int, Float:
+		return 8
+	}
+	return 0
+}

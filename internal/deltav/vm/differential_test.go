@@ -1,0 +1,210 @@
+package vm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Differential testing: generate random (but type-correct) ΔV programs and
+// check that the incrementalized compilation computes the same vertex
+// state as the baseline and the lookup-table strawman. This is the
+// repository's strongest end-to-end check of the Eq. 11 Δ-message algebra:
+// any unsound delta, tag, suppression or memoization shows up as a state
+// divergence.
+
+// randProgram builds a random program over nFields float fields with
+// 1..2 aggregation sites. Expressions are damped to avoid float blow-up.
+// Fields feeding min (max) sites get monotone non-increasing
+// (non-decreasing) updates — the contract idempotent Δ-messages require.
+func randProgram(rng *rand.Rand) string {
+	nFields := 2 + rng.Intn(2)
+	nSites := 1 + rng.Intn(2)
+	iters := 3 + rng.Intn(5)
+
+	// role[f]: "" free, "min" monotone down, "max" monotone up.
+	role := make([]string, nFields)
+
+	type site struct {
+		op    string
+		field int
+		ew    bool
+	}
+	sites := make([]site, nSites)
+	ops := []string{"+", "min", "max"}
+	for s := range sites {
+		op := ops[rng.Intn(len(ops))]
+		// Pick a field compatible with the op's monotonicity need.
+		field := -1
+		for attempts := 0; attempts < 2*nFields; attempts++ {
+			f := rng.Intn(nFields)
+			if op == "+" || role[f] == "" || role[f] == op {
+				field = f
+				break
+			}
+		}
+		if field < 0 {
+			op, field = "+", rng.Intn(nFields)
+		}
+		if op != "+" {
+			role[field] = op
+		}
+		sites[s] = site{op: op, field: field, ew: op != "+" && rng.Intn(3) == 0}
+	}
+
+	var b strings.Builder
+	b.WriteString("init {\n")
+	for f := 0; f < nFields; f++ {
+		switch rng.Intn(3) {
+		case 0:
+			fmt.Fprintf(&b, "  local f%d : float = 1.0 + 1.0 * id / graphSize", f)
+		case 1:
+			fmt.Fprintf(&b, "  local f%d : float = if id == 0 then 2.0 else 0.5", f)
+		default:
+			fmt.Fprintf(&b, "  local f%d : float = 0.25 * (1.0 + 1.0 * id)", f)
+		}
+		if f != nFields-1 {
+			b.WriteString(";\n")
+		} else {
+			b.WriteString("\n")
+		}
+	}
+	b.WriteString("};\niter k {\n")
+
+	for s, st := range sites {
+		aggrand := fmt.Sprintf("u.f%d", st.field)
+		if st.ew {
+			aggrand += " + ew"
+		}
+		fmt.Fprintf(&b, "  let a%d : float = %s [ %s | u <- #in ] in\n", s, st.op, aggrand)
+	}
+	// Field updates honouring each field's monotonicity role.
+	for f := 0; f < nFields; f++ {
+		var upd string
+		switch role[f] {
+		case "min":
+			upd = fmt.Sprintf("min f%d (%s)", f, randUpdate(rng, f, nFields, nSites))
+		case "max":
+			upd = fmt.Sprintf("max f%d (%s)", f, randUpdate(rng, f, nFields, nSites))
+		default:
+			upd = randUpdate(rng, f, nFields, nSites)
+		}
+		fmt.Fprintf(&b, "  f%d = %s", f, upd)
+		if f != nFields-1 {
+			b.WriteString(";\n")
+		} else {
+			b.WriteString("\n")
+		}
+	}
+	fmt.Fprintf(&b, "} until { k >= %d }\n", iters)
+	return b.String()
+}
+
+func randUpdate(rng *rand.Rand, f, nFields, nSites int) string {
+	atom := func() string {
+		switch rng.Intn(4) {
+		case 0:
+			return fmt.Sprintf("a%d", rng.Intn(nSites))
+		case 1:
+			return fmt.Sprintf("f%d", rng.Intn(nFields))
+		case 2:
+			return "0.75"
+		default:
+			return "1.0 * k"
+		}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf("0.3 * (%s) + 0.2 * (%s)", atom(), atom())
+	case 1:
+		return fmt.Sprintf("min (%s) (%s)", atom(), atom())
+	case 2:
+		return fmt.Sprintf("max (%s) (0.1 * (%s))", atom(), atom())
+	default:
+		return fmt.Sprintf("if %s > 1.0 then 0.4 * (%s) else 0.25 + 0.5 * (%s)", atom(), atom(), atom())
+	}
+}
+
+func randGraphD(rng *rand.Rand) *graph.Graph {
+	n := 4 + rng.Intn(40)
+	m := 1 + rng.Intn(5*n)
+	b := graph.NewBuilder(n, true)
+	for i := 0; i < m; i++ {
+		b.AddWeightedEdge(graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)), 0.5+2*rng.Float64())
+	}
+	g := b.Finalize()
+	g.BuildReverse()
+	return g
+}
+
+func TestDifferentialModesAgree(t *testing.T) {
+	const trials = 120
+	skipped := 0
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) * 7919))
+		src := randProgram(rng)
+		g := randGraphD(rng)
+
+		type outcome struct {
+			fields map[string][]float64
+			nonMon int64
+		}
+		results := map[core.Mode]outcome{}
+		failed := false
+		for _, mode := range allModes {
+			prog, err := core.Compile(src, core.Options{Mode: mode})
+			if err != nil {
+				t.Fatalf("trial %d: compile %v failed for\n%s\n%v", trial, mode, src, err)
+			}
+			res, err := Run(prog, g, RunOptions{Workers: 3})
+			if err != nil {
+				t.Fatalf("trial %d: run %v failed for\n%s\n%v", trial, mode, src, err)
+			}
+			out := outcome{fields: map[string][]float64{}, nonMon: res.NonMonotoneSends}
+			for _, f := range prog.Layout.Fields[:prog.Layout.UserFields] {
+				out.fields[f.Name] = res.FieldVector(f.Name)
+			}
+			results[mode] = out
+			if res.NonMonotoneSends > 0 {
+				failed = true // min/max fed by a non-monotone field: Δs unsound by contract
+			}
+		}
+		if failed {
+			skipped++
+			continue
+		}
+		base := results[core.Baseline]
+		for _, mode := range []core.Mode{core.Incremental, core.MemoTable} {
+			got := results[mode]
+			for name, want := range base.fields {
+				for u := range want {
+					if !close9(got.fields[name][u], want[u]) {
+						t.Fatalf("trial %d: %v diverges from baseline at %s[%d]: %g vs %g\nprogram:\n%s",
+							trial, mode, name, u, got.fields[name][u], want[u], src)
+					}
+				}
+			}
+		}
+	}
+	if skipped > trials/2 {
+		t.Fatalf("too many trials skipped for non-monotone min/max: %d of %d", skipped, trials)
+	}
+	t.Logf("differential: %d trials, %d skipped (non-monotone min/max)", trials, skipped)
+}
+
+func close9(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		// ±Inf identity elements mixing across aggregations produce NaN
+		// deterministically in every mode.
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	return math.Abs(a-b) <= 1e-6*(1+math.Abs(a)+math.Abs(b))
+}

@@ -1,0 +1,227 @@
+package vm
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/deltav/ast"
+	"repro/internal/pregel"
+)
+
+// masterHook drives the compiled statement state machine: prime → body
+// transitions, iteration counting, until{} evaluation with the fixpoint
+// aggregator, quiescence fast-forwarding (the halt-by-default runtime of
+// §6.6/§9), and final termination.
+func (m *Machine) masterHook(mc *pregel.MasterContext) {
+	if m.masterErr != nil {
+		mc.Stop()
+		return
+	}
+	gl := mc.Globals().(*globals)
+	if len(m.prog.Phases) == 0 {
+		mc.Stop()
+		return
+	}
+	switch gl.Mode {
+	case modePrime:
+		// The prime superstep (superstep 0 folds init into it) just
+		// finished; every vertex must run the first body superstep, since
+		// a body execution can differ from the init{} values even without
+		// messages.
+		mc.SetGlobals(&globals{Phase: gl.Phase, Mode: modeBody, Iter: 1})
+		mc.ActivateAll()
+	case modeBody:
+		ph := &m.prog.Phases[gl.Phase]
+		m.iterations[gl.Phase]++
+		if ph.Kind == core.PhaseStep {
+			m.advance(mc, gl.Phase)
+			return
+		}
+		fix := mc.AggValue(aggUnchanged) != 0
+		if m.untilSatisfied(ph, gl.Iter, fix) {
+			m.advance(mc, gl.Phase)
+			return
+		}
+		if gl.Iter >= m.prog.Opts.MaxIterations {
+			m.failf(mc, "phase %d: iteration limit %d reached", gl.Phase, m.prog.Opts.MaxIterations)
+			return
+		}
+		quiescent := mc.NextActive() == 0 && mc.Step().CombinedMessages == 0
+		if quiescent {
+			// No vertex can change any more, so every future body
+			// superstep is a no-op; fast-forward the iteration counter to
+			// the first satisfying value (with fixpoint = true) instead
+			// of spinning.
+			for k := gl.Iter + 1; k <= m.prog.Opts.MaxIterations; k++ {
+				if m.untilSatisfied(ph, k, true) {
+					m.advance(mc, gl.Phase)
+					return
+				}
+			}
+			m.failf(mc, "phase %d: computation quiesced but until{} can never hold", gl.Phase)
+			return
+		}
+		mc.SetGlobals(&globals{Phase: gl.Phase, Mode: modeBody, Iter: gl.Iter + 1})
+		if !ph.Halts {
+			// Halt-by-default is off for this phase (scratch groups or an
+			// iteration-dependent body): every vertex runs every body
+			// superstep, as a hand-written Pregel+ program would.
+			mc.ActivateAll()
+		}
+	}
+}
+
+func (m *Machine) failf(mc *pregel.MasterContext, format string, args ...any) {
+	m.masterErr = fmt.Errorf("vm: %s", fmt.Sprintf(format, args...))
+	mc.Stop()
+}
+
+// advance moves the state machine past the given phase.
+func (m *Machine) advance(mc *pregel.MasterContext, phase int) {
+	next := phase + 1
+	if next >= len(m.prog.Phases) {
+		mc.Stop()
+		return
+	}
+	if len(m.prog.Phases[next].Groups) > 0 {
+		mc.SetGlobals(&globals{Phase: next, Mode: modePrime})
+	} else {
+		mc.SetGlobals(&globals{Phase: next, Mode: modeBody, Iter: 1})
+	}
+	mc.ActivateAll()
+}
+
+// untilSatisfied evaluates the (master-evaluable) until condition.
+func (m *Machine) untilSatisfied(ph *core.Phase, iter int, fixpoint bool) bool {
+	if ph.Until == nil {
+		return true
+	}
+	return m.evalMaster(ph.Until, iter, fixpoint) != 0
+}
+
+// evalMaster evaluates the restricted until{} expression language: the
+// iteration counter, params, fixpoint, graphSize, literals and pure
+// operators (enforced by the type checker).
+func (m *Machine) evalMaster(e ast.Expr, iter int, fixpoint bool) float64 {
+	ev := func(x ast.Expr) float64 { return m.evalMaster(x, iter, fixpoint) }
+	switch n := e.(type) {
+	case *ast.IntLit:
+		return float64(n.Val)
+	case *ast.FloatLit:
+		return n.Val
+	case *ast.BoolLit:
+		return boolTo01(n.Val)
+	case *ast.Infty:
+		return math.Inf(1)
+	case *ast.GraphSize:
+		return float64(m.g.NumVertices())
+	case *ast.FixpointRef:
+		return boolTo01(fixpoint)
+	case *ast.Var:
+		if n.Slot == core.IterVarSlot {
+			return float64(iter)
+		}
+		return m.params[core.ParamIndex(n.Slot)]
+	case *ast.Unary:
+		if n.Op == "not" {
+			return boolTo01(ev(n.X) == 0)
+		}
+		return -ev(n.X)
+	case *ast.Binary:
+		switch n.Op {
+		case "&&":
+			return boolTo01(ev(n.L) != 0 && ev(n.R) != 0)
+		case "||":
+			return boolTo01(ev(n.L) != 0 || ev(n.R) != 0)
+		}
+		l, r := ev(n.L), ev(n.R)
+		switch n.Op {
+		case "+":
+			return l + r
+		case "-":
+			return l - r
+		case "*":
+			return l * r
+		case "/":
+			return l / r
+		case "<":
+			return boolTo01(l < r)
+		case ">":
+			return boolTo01(l > r)
+		case "<=":
+			return boolTo01(l <= r)
+		case ">=":
+			return boolTo01(l >= r)
+		case "==":
+			return boolTo01(l == r)
+		case "!=":
+			return boolTo01(l != r)
+		}
+	case *ast.MinMax:
+		a, b := ev(n.A), ev(n.B)
+		if n.IsMax {
+			return math.Max(a, b)
+		}
+		return math.Min(a, b)
+	case *ast.If:
+		if ev(n.Cond) != 0 {
+			return ev(n.Then)
+		}
+		if n.Else != nil {
+			return ev(n.Else)
+		}
+		return 0
+	}
+	panic(fmt.Sprintf("vm: until{} contains unsupported form %T", e))
+}
+
+// combiner builds the sender-side combiner for the program, or nil when no
+// group is combinable. Messages of a combinable group (single-strategy,
+// non-multiplicative slots, no sender identity) combine slot-wise with
+// their sites' operators; all other messages get unique keys and pass
+// through untouched.
+func (m *Machine) combiner() pregel.Combiner[Msg] {
+	combinable := make([]bool, len(m.prog.Groups))
+	any := false
+	for _, g := range m.prog.Groups {
+		ok := g.Strategy != core.StrategyTable
+		for _, sid := range g.Sites {
+			s := m.prog.Sites[sid]
+			if s.Multiplicative() {
+				ok = false // nullary tags are not mergeable
+			}
+		}
+		combinable[g.ID] = ok
+		any = any || ok
+	}
+	if !any {
+		return nil
+	}
+	return &vmCombiner{m: m, combinable: combinable}
+}
+
+type vmCombiner struct {
+	m          *Machine
+	combinable []bool
+	serial     atomic.Uint32
+}
+
+// Key implements pregel.KeyedCombiner: combinable groups share a key per
+// group; everything else gets a unique key so it is never combined.
+func (c *vmCombiner) Key(msg Msg) uint32 {
+	if c.combinable[msg.Group] {
+		return uint32(msg.Group)
+	}
+	return 1<<31 | c.serial.Add(1)
+}
+
+// Combine merges two same-group messages slot-wise with each slot's ⊞.
+func (c *vmCombiner) Combine(a, b Msg) Msg {
+	g := c.m.prog.Groups[a.Group]
+	for i, sid := range g.Sites {
+		a.Vals[i] = core.Apply(c.m.prog.Sites[sid].Op, a.Vals[i], b.Vals[i])
+	}
+	return a
+}

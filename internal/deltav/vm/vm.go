@@ -1,0 +1,432 @@
+// Package vm executes compiled ΔV programs (core.Program) on the Pregel
+// engine. It plays the role of the Pregel+ compute() function the paper's
+// compiler emits: the statement list runs as a master-driven state machine,
+// each vertex evaluates the transformed statement bodies (including the
+// internal receive loops, change checks, Δ-message sends and halts the
+// passes inserted), and the master evaluates until{} conditions with an
+// incrementally maintained fixpoint aggregator.
+package vm
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/pregel"
+)
+
+// VState is the engine-side vertex value; the Machine keeps all ΔV vertex
+// state in its own flat arrays, so this is empty.
+type VState struct{}
+
+// MaxSlots is the widest supported message (aggregation sites per send
+// group).
+const MaxSlots = 4
+
+// Msg is one ΔV message: the values of a send group's slots, with the
+// §6.4.1 nullary/previous-nullary tag bits, and the sender id for the
+// §4.2.1 lookup-table mode.
+type Msg struct {
+	Group   uint8
+	NVals   uint8
+	TagNull uint8 // bit i: slot i carries a nullary value
+	TagPrev uint8 // bit i: slot i's previous message was nullary
+	Sender  graph.VertexID
+	Vals    [MaxSlots]float64
+}
+
+// stepMode is the master state machine's mode.
+type stepMode int
+
+const (
+	modePrime stepMode = iota // send full slot values, skip the body
+	modeBody                  // run the transformed statement body
+)
+
+// globals is the engine-wide state vertices read; replaced (not mutated)
+// by the master between supersteps.
+type globals struct {
+	Phase int
+	Mode  stepMode
+	Iter  int // 1-based iteration counter of the current iter phase
+}
+
+// RunOptions configure an execution.
+type RunOptions struct {
+	// Params override program parameter defaults by name.
+	Params map[string]float64
+	// Workers is the engine worker count (default GOMAXPROCS).
+	Workers int
+	// Scheduler selects the engine's vertex scheduler.
+	Scheduler pregel.Scheduler
+	// Partition selects the vertex-to-worker placement.
+	Partition pregel.Partition
+	// Combine enables sender-side combining of combinable send groups.
+	Combine bool
+	// MaxSupersteps bounds the engine (default 10h of supersteps: 100k).
+	MaxSupersteps int
+}
+
+// Result is a finished execution.
+type Result struct {
+	Stats *pregel.Stats
+	// Supersteps per phase body (iterations executed per iter phase).
+	Iterations []int
+	// NonMonotoneSends counts Δ-messages of idempotent (min/max) sites
+	// whose value moved against the operator's direction; non-zero means
+	// the memoized accumulators may be stale (see DESIGN.md).
+	NonMonotoneSends int64
+
+	machine *Machine
+}
+
+// Field returns vertex u's final value of the named user field, decoded
+// per its declared type (bools: 0/1).
+func (r *Result) Field(name string, u graph.VertexID) float64 {
+	return r.machine.FieldValue(name, u)
+}
+
+// FieldVector returns the named field for all vertices.
+func (r *Result) FieldVector(name string) []float64 {
+	n := r.machine.g.NumVertices()
+	out := make([]float64, n)
+	for u := 0; u < n; u++ {
+		out[u] = r.machine.FieldValue(name, graph.VertexID(u))
+	}
+	return out
+}
+
+// Machine executes one compiled program over one graph.
+type Machine struct {
+	prog   *core.Program
+	g      *graph.Graph
+	params []float64
+
+	stride int
+	state  []float64 // n × stride
+
+	// tables[site] is the §4.2.1 per-neighbour cache: one map per vertex,
+	// allocated lazily. Only non-nil in MemoTable mode.
+	tables [][]map[graph.VertexID]float64
+
+	// redirects[site] maps user-field slots to $old slots, precomputed so
+	// workers never mutate shared state during Δ evaluation.
+	redirects []map[int]int
+
+	iterations  []int
+	nonMonotone atomic.Int64
+	masterErr   error
+	ran         bool
+
+	msgBytes int
+}
+
+// NewMachine prepares a machine; Run executes it. The graph must be
+// compatible with the program (undirected if #neighbors is used; reverse
+// adjacency is built as needed).
+func NewMachine(prog *core.Program, g *graph.Graph, opts RunOptions) (*Machine, error) {
+	if prog.MaxSlotsPerGroup > MaxSlots {
+		return nil, fmt.Errorf("vm: program needs %d message slots, max %d", prog.MaxSlotsPerGroup, MaxSlots)
+	}
+	if prog.UsesNeighbors && g.Directed() {
+		return nil, fmt.Errorf("vm: program uses #neighbors but the graph is directed")
+	}
+	if prog.UsesIn || prog.UsesNeighbors {
+		g.BuildReverse()
+	}
+	m := &Machine{
+		prog:   prog,
+		g:      g,
+		stride: len(prog.Layout.Fields),
+	}
+	m.params = make([]float64, len(prog.Params))
+	for i, p := range prog.Params {
+		m.params[i] = p.Default
+		if v, ok := opts.Params[p.Name]; ok {
+			m.params[i] = v
+		}
+	}
+	for name := range opts.Params {
+		if _, ok := paramIndex(prog, name); !ok {
+			return nil, fmt.Errorf("vm: unknown param %q", name)
+		}
+	}
+	m.state = make([]float64, g.NumVertices()*m.stride)
+	if prog.Mode == core.MemoTable {
+		m.tables = make([][]map[graph.VertexID]float64, len(prog.Sites))
+		for i := range m.tables {
+			m.tables[i] = make([]map[graph.VertexID]float64, g.NumVertices())
+		}
+	}
+	m.iterations = make([]int, len(prog.Phases))
+	m.msgBytes = MessageBytes(prog)
+	m.redirects = make([]map[int]int, len(prog.Sites))
+	for _, s := range prog.Sites {
+		if s.OldSlots == nil {
+			continue
+		}
+		r := make(map[int]int, len(s.Fields))
+		for i, f := range s.Fields {
+			r[f] = s.OldSlots[i]
+		}
+		m.redirects[s.ID] = r
+	}
+	return m, nil
+}
+
+func paramIndex(p *core.Program, name string) (int, bool) {
+	for i, ps := range p.Params {
+		if ps.Name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// MessageBytes returns the wire size the compiled program's messages are
+// accounted at: group tag + one 8-byte value per slot, plus a tag byte when
+// any multiplicative site exists, plus the sender id in MemoTable mode
+// (the §4.2.1 "tagged with the sending vertex's id" overhead).
+func MessageBytes(p *core.Program) int {
+	n := 1 + 8*maxInt(1, p.MaxSlotsPerGroup)
+	for _, s := range p.Sites {
+		if s.Multiplicative() {
+			n++
+			break
+		}
+	}
+	if p.Mode == core.MemoTable {
+		n += 4
+	}
+	return n
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Run executes the program to completion.
+func Run(prog *core.Program, g *graph.Graph, opts RunOptions) (*Result, error) {
+	m, err := NewMachine(prog, g, opts)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(opts)
+}
+
+// Run executes the machine. It may only be called once.
+func (m *Machine) Run(opts RunOptions) (*Result, error) {
+	if m.ran {
+		return nil, fmt.Errorf("vm: Machine.Run called twice")
+	}
+	m.ran = true
+	if opts.MaxSupersteps <= 0 {
+		opts.MaxSupersteps = 100_000
+	}
+	eng := pregel.New[VState, Msg](m.g, pregel.Options{
+		Workers:       opts.Workers,
+		Scheduler:     opts.Scheduler,
+		Partition:     opts.Partition,
+		MaxSupersteps: opts.MaxSupersteps,
+	})
+	eng.SetMessageSize(m.msgBytes)
+	if err := eng.RegisterAggregator(aggUnchanged, pregel.AggAnd, false); err != nil {
+		return nil, err
+	}
+	if opts.Combine {
+		if c := m.combiner(); c != nil {
+			eng.SetCombiner(c)
+		}
+	}
+	eng.SetGlobals(&globals{Phase: 0, Mode: modePrime})
+	eng.SetMasterHook(m.masterHook)
+	stats, err := eng.Run(m)
+	if err != nil {
+		return nil, err
+	}
+	if m.masterErr != nil {
+		return nil, m.masterErr
+	}
+	res := &Result{
+		Stats:            stats,
+		Iterations:       m.iterations,
+		NonMonotoneSends: m.nonMonotone.Load(),
+		machine:          m,
+	}
+	return res, nil
+}
+
+const aggUnchanged = "$unchanged"
+
+// FieldValue returns vertex u's current value of a layout field by name.
+func (m *Machine) FieldValue(name string, u graph.VertexID) float64 {
+	slot := m.prog.Layout.Slot(name)
+	if slot < 0 {
+		panic(fmt.Sprintf("vm: unknown field %q", name))
+	}
+	return m.state[int(u)*m.stride+slot]
+}
+
+// StateBytes reports the per-vertex state size: the compiled layout plus,
+// in MemoTable mode, the measured average lookup-table footprint (id +
+// value per cached neighbour), which is the §4.2.1 memory blow-up.
+func (m *Machine) StateBytes() float64 {
+	base := float64(m.prog.Layout.ByteSize())
+	if m.tables == nil {
+		return base
+	}
+	entries := 0
+	for _, per := range m.tables {
+		for _, t := range per {
+			entries += len(t)
+		}
+	}
+	n := m.g.NumVertices()
+	if n == 0 {
+		return base
+	}
+	return base + float64(entries*12)/float64(n)
+}
+
+// Init runs at superstep 0 on every vertex: default-initialize the
+// synthesized fields, evaluate the init{} body, and prime phase 0's send
+// groups with full slot values.
+func (m *Machine) Init(ctx *pregel.Context[VState, Msg]) {
+	u := ctx.ID()
+	base := int(u) * m.stride
+	for i, f := range m.prog.Layout.Fields {
+		m.state[base+i] = m.fieldDefault(f)
+	}
+	ev := &evaluator{m: m, ctx: ctx, base: base, u: u}
+	ev.lets = make([]float64, m.prog.MaxLetDepth)
+	ev.eval(m.prog.Init)
+	if len(m.prog.Phases) > 0 {
+		m.primeSends(ev, 0)
+	}
+	// The master activates all vertices for the first body superstep, so
+	// halting after the prime is always sound.
+	ctx.VoteToHalt()
+}
+
+func (m *Machine) fieldDefault(f core.FieldSpec) float64 {
+	switch f.Kind {
+	case core.AccField, core.NNAccField:
+		return core.Identity(m.prog.Sites[f.Ref].Op)
+	case core.NullsField:
+		return 0
+	case core.LastNNField:
+		return 1 // multiplicative identity: first non-null Δ is the raw value
+	case core.DirtyField:
+		return 1 // pre-set, §6.3
+	default:
+		return 0
+	}
+}
+
+// Compute runs a vertex at supersteps >= 1.
+func (m *Machine) Compute(ctx *pregel.Context[VState, Msg], msgs []Msg) {
+	gl := ctx.Globals().(*globals)
+	u := ctx.ID()
+	base := int(u) * m.stride
+	ev := &evaluator{m: m, ctx: ctx, base: base, u: u, msgs: msgs, iter: gl.Iter}
+	ev.lets = make([]float64, m.prog.MaxLetDepth)
+	ph := &m.prog.Phases[gl.Phase]
+	switch gl.Mode {
+	case modePrime:
+		// Messages in flight at a prime superstep belong to the previous,
+		// finished phase; they are dropped (see package docs).
+		m.primeSends(ev, gl.Phase)
+		ctx.VoteToHalt()
+	case modeBody:
+		ev.eval(ph.Body)
+		ctx.Aggregate(aggUnchanged, boolTo01(!ev.changed))
+		// Halting is performed by the Halt node for incremental programs;
+		// non-halting programs stay active for the next body superstep.
+	}
+}
+
+func boolTo01(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// primeSends implements the initial full-value send of §6.1 ("at the first
+// superstep send the data from the neighbors' perspective") for every send
+// group of a phase, records the sent values as the most-recently-sent
+// state, and clears the dirty bits.
+func (m *Machine) primeSends(ev *evaluator, phase int) {
+	for _, gid := range m.prog.Phases[phase].Groups {
+		g := m.prog.Groups[gid]
+		m.primeGroup(ev, g)
+	}
+}
+
+func (m *Machine) primeGroup(ev *evaluator, g *core.SendGroup) {
+	sites := make([]*core.AggSite, len(g.Sites))
+	for i, sid := range g.Sites {
+		sites[i] = m.prog.Sites[sid]
+	}
+	buildFull := func(w float64) (Msg, bool) {
+		msg := Msg{Group: uint8(g.ID), NVals: uint8(len(sites)), Sender: ev.u}
+		noop := true
+		for i, s := range sites {
+			ev.curWeight = w
+			v := ev.eval(s.SlotExpr)
+			msg.Vals[i] = v
+			if s.Multiplicative() {
+				if abs, _ := core.Absorbing(s.Op); v == abs {
+					msg.TagNull |= 1 << i
+					noop = false
+					continue
+				}
+			}
+			if v != core.Identity(s.Op) {
+				noop = false
+			}
+		}
+		if noop && g.Strategy != core.StrategyTable {
+			// An all-identity message cannot affect any accumulator;
+			// receivers' caches already agree (Def. 1's initial
+			// coherence), so it is never meaningful.
+			return msg, false
+		}
+		return msg, true
+	}
+	if !m.groupUsesWeight(g.ID) {
+		// Edge-independent payload: build once, broadcast (Eq. 7 lift).
+		if msg, sendIt := buildFull(1); sendIt {
+			ev.forPushEdges(g.PushDir, func(dest graph.VertexID, _ float64) {
+				ev.ctx.Send(dest, msg)
+			})
+		}
+	} else {
+		ev.forPushEdges(g.PushDir, func(dest graph.VertexID, w float64) {
+			if msg, sendIt := buildFull(w); sendIt {
+				ev.ctx.Send(dest, msg)
+			}
+		})
+	}
+	// Record what receivers now believe (§6.2) and reset the dirty bits.
+	if g.DirtySlot >= 0 {
+		m.state[ev.base+g.DirtySlot] = 0
+	}
+	for _, s := range sites {
+		for i, fslot := range s.Fields {
+			if s.OldSlots != nil {
+				m.state[ev.base+s.OldSlots[i]] = m.state[ev.base+fslot]
+			}
+		}
+		if s.LastNNSlot >= 0 {
+			ev.curWeight = 1
+			if v := ev.eval(s.SlotExpr); v != 0 {
+				m.state[ev.base+s.LastNNSlot] = v
+			}
+		}
+	}
+}

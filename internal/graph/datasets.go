@@ -1,0 +1,65 @@
+package graph
+
+import "fmt"
+
+// Dataset describes one of the benchmark graphs standing in for the
+// datasets in Table 1 of the paper. Each stand-in preserves the original's
+// directedness and edge/vertex ratio at roughly 1/1000 scale and is
+// generated deterministically.
+type Dataset struct {
+	Name     string // stand-in name, e.g. "wikipedia-s"
+	Original string // dataset in the paper
+	Directed bool
+	// Paper-reported sizes (for EXPERIMENTS.md comparison).
+	PaperV, PaperE int64
+	// Generator for the stand-in graph.
+	Build func() *Graph
+}
+
+// Datasets lists the four Table-1 stand-ins in the paper's order.
+func Datasets() []Dataset {
+	return []Dataset{
+		{
+			Name: "wikipedia-s", Original: "Wikipedia", Directed: true,
+			PaperV: 18_270_000, PaperE: 136_540_000,
+			// |E|/|V| ≈ 7.5 → R-MAT scale 14 (16384 vertices), edge factor 8.
+			Build: func() *Graph {
+				g := RMAT(14, 8, 0.57, 0.19, 0.19, true, 1)
+				g.BuildReverse()
+				return g
+			},
+		},
+		{
+			Name: "livejournal-dg-s", Original: "LiveJournal-DG", Directed: true,
+			PaperV: 4_850_000, PaperE: 68_480_000,
+			// |E|/|V| ≈ 14 → R-MAT scale 12 (4096 vertices), edge factor 14.
+			Build: func() *Graph {
+				g := RMAT(12, 14, 0.57, 0.19, 0.19, true, 2)
+				g.BuildReverse()
+				return g
+			},
+		},
+		{
+			Name: "facebook-s", Original: "Facebook", Directed: false,
+			PaperV: 59_220_000, PaperE: 185_040_000,
+			// |E|/|V| ≈ 3.1 → preferential attachment with k=3.
+			Build: func() *Graph { return PreferentialAttachment(60_000, 3, 3) },
+		},
+		{
+			Name: "livejournal-ug-s", Original: "LiveJournal-UG", Directed: false,
+			PaperV: 3_990_000, PaperE: 34_680_000,
+			// |E|/|V| ≈ 8.7 → preferential attachment with k=9.
+			Build: func() *Graph { return PreferentialAttachment(4_000, 9, 4) },
+		},
+	}
+}
+
+// DatasetByName returns the named stand-in dataset.
+func DatasetByName(name string) (Dataset, error) {
+	for _, d := range Datasets() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("graph: unknown dataset %q", name)
+}

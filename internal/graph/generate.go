@@ -1,0 +1,266 @@
+package graph
+
+import (
+	"math/rand"
+)
+
+// The generators in this file are deterministic given their seed so that
+// every benchmark and test is reproducible. They stand in for the paper's
+// real-world datasets (Wikipedia, LiveJournal, Facebook), which are not
+// redistributable; see DESIGN.md §2 for the substitution argument.
+
+// RMAT generates a directed (or undirected) recursive-matrix graph with
+// 2^scale vertices and approximately edgeFactor·2^scale edges, using the
+// classic (a,b,c,d) quadrant probabilities. Duplicate arcs are removed.
+// R-MAT graphs have heavy-tailed degree distributions similar to web and
+// social graphs.
+func RMAT(scale int, edgeFactor int, a, b, c float64, directed bool, seed int64) *Graph {
+	n := 1 << scale
+	m := edgeFactor * n
+	rng := rand.New(rand.NewSource(seed))
+	bld := NewBuilder(n, directed)
+	bld.SetDedup(true)
+	for e := 0; e < m; e++ {
+		u, v := rmatEdge(rng, scale, a, b, c)
+		if u == v {
+			continue // drop self loops
+		}
+		bld.AddEdge(VertexID(u), VertexID(v))
+	}
+	return bld.Finalize()
+}
+
+func rmatEdge(rng *rand.Rand, scale int, a, b, c float64) (int, int) {
+	u, v := 0, 0
+	for bit := 0; bit < scale; bit++ {
+		r := rng.Float64()
+		switch {
+		case r < a:
+			// top-left: nothing set
+		case r < a+b:
+			v |= 1 << bit
+		case r < a+b+c:
+			u |= 1 << bit
+		default:
+			u |= 1 << bit
+			v |= 1 << bit
+		}
+	}
+	return u, v
+}
+
+// PreferentialAttachment generates an undirected Barabási–Albert graph: n
+// vertices, each new vertex attaching k edges to existing vertices chosen
+// proportionally to their degree. The result is connected and scale-free.
+func PreferentialAttachment(n, k int, seed int64) *Graph {
+	if k < 1 {
+		k = 1
+	}
+	if n < k+1 {
+		n = k + 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	bld := NewBuilder(n, false)
+	bld.SetDedup(true)
+	// Repeated-endpoints list: choosing a uniform element of targets is
+	// equivalent to degree-proportional selection.
+	targets := make([]VertexID, 0, 2*n*k)
+	// Seed clique over the first k+1 vertices.
+	for i := 0; i <= k; i++ {
+		for j := i + 1; j <= k; j++ {
+			bld.AddEdge(VertexID(i), VertexID(j))
+			targets = append(targets, VertexID(i), VertexID(j))
+		}
+	}
+	for v := k + 1; v < n; v++ {
+		seen := make(map[VertexID]bool, k)
+		chosen := make([]VertexID, 0, k) // insertion order keeps runs deterministic
+		for len(chosen) < k {
+			t := targets[rng.Intn(len(targets))]
+			if int(t) == v || seen[t] {
+				continue
+			}
+			seen[t] = true
+			chosen = append(chosen, t)
+		}
+		for _, t := range chosen {
+			bld.AddEdge(VertexID(v), t)
+			targets = append(targets, VertexID(v), t)
+		}
+	}
+	return bld.Finalize()
+}
+
+// ErdosRenyi generates a G(n, m) random graph with exactly m distinct
+// edges (arcs if directed).
+func ErdosRenyi(n, m int, directed bool, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	bld := NewBuilder(n, directed)
+	bld.SetDedup(true)
+	seen := make(map[uint64]bool, m)
+	for len(seen) < m {
+		u := VertexID(rng.Intn(n))
+		v := VertexID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		key := uint64(u)<<32 | uint64(v)
+		if !directed && u > v {
+			key = uint64(v)<<32 | uint64(u)
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		bld.AddEdge(u, v)
+	}
+	return bld.Finalize()
+}
+
+// Grid generates an undirected rows×cols grid with weighted edges drawn
+// uniformly from [1, maxW]. With maxW <= 1 the grid is unweighted. Grids
+// approximate road networks: large diameter, uniform low degree.
+func Grid(rows, cols int, maxW float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := rows * cols
+	bld := NewBuilder(n, false)
+	w := func() float64 {
+		if maxW <= 1 {
+			return 1
+		}
+		return 1 + rng.Float64()*(maxW-1)
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			u := VertexID(r*cols + c)
+			if c+1 < cols {
+				bld.AddWeightedEdge(u, u+1, w())
+			}
+			if r+1 < rows {
+				bld.AddWeightedEdge(u, VertexID((r+1)*cols+c), w())
+			}
+		}
+	}
+	return bld.Finalize()
+}
+
+// Star generates a star: vertex 0 connected to all others. Directed stars
+// point from the hub outward.
+func Star(n int, directed bool) *Graph {
+	bld := NewBuilder(n, directed)
+	for v := 1; v < n; v++ {
+		bld.AddEdge(0, VertexID(v))
+	}
+	return bld.Finalize()
+}
+
+// Path generates a path 0-1-…-(n-1). Directed paths point forward.
+func Path(n int, directed bool) *Graph {
+	bld := NewBuilder(n, directed)
+	for v := 0; v+1 < n; v++ {
+		bld.AddEdge(VertexID(v), VertexID(v+1))
+	}
+	return bld.Finalize()
+}
+
+// Cycle generates a cycle over n vertices.
+func Cycle(n int, directed bool) *Graph {
+	bld := NewBuilder(n, directed)
+	for v := 0; v < n; v++ {
+		bld.AddEdge(VertexID(v), VertexID((v+1)%n))
+	}
+	return bld.Finalize()
+}
+
+// Complete generates the complete graph K_n (all ordered pairs if directed).
+func Complete(n int, directed bool) *Graph {
+	bld := NewBuilder(n, directed)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			if !directed && u > v {
+				continue
+			}
+			bld.AddEdge(VertexID(u), VertexID(v))
+		}
+	}
+	return bld.Finalize()
+}
+
+// WattsStrogatz generates an undirected small-world graph: a ring lattice
+// of n vertices each connected to its k nearest neighbours (k even), with
+// every edge rewired to a random endpoint with probability beta. Low beta
+// keeps high clustering and large diameter (road-like); high beta
+// approaches Erdős–Rényi.
+func WattsStrogatz(n, k int, beta float64, seed int64) *Graph {
+	if k%2 != 0 {
+		k++
+	}
+	if k >= n {
+		k = n - 1 - (n-1)%2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	type edge struct{ u, v VertexID }
+	seen := map[uint64]bool{}
+	key := func(a, b VertexID) uint64 {
+		if a > b {
+			a, b = b, a
+		}
+		return uint64(a)<<32 | uint64(b)
+	}
+	var edges []edge
+	add := func(a, b VertexID) bool {
+		if a == b || seen[key(a, b)] {
+			return false
+		}
+		seen[key(a, b)] = true
+		edges = append(edges, edge{a, b})
+		return true
+	}
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k/2; j++ {
+			add(VertexID(u), VertexID((u+j)%n))
+		}
+	}
+	// Rewire: replace the far endpoint with a uniform random vertex.
+	for i := range edges {
+		if rng.Float64() >= beta {
+			continue
+		}
+		e := edges[i]
+		for attempts := 0; attempts < 8; attempts++ {
+			w := VertexID(rng.Intn(n))
+			if w == e.u || seen[key(e.u, w)] {
+				continue
+			}
+			delete(seen, key(e.u, e.v))
+			seen[key(e.u, w)] = true
+			edges[i].v = w
+			break
+		}
+	}
+	bld := NewBuilder(n, false)
+	for _, e := range edges {
+		bld.AddEdge(e.u, e.v)
+	}
+	return bld.Finalize()
+}
+
+// WithRandomWeights returns a weighted copy of g with edge weights drawn
+// uniformly from [lo, hi]. For undirected graphs the two arcs of an edge
+// receive the same weight.
+func WithRandomWeights(g *Graph, lo, hi float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	bld := NewBuilder(g.n, g.directed)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.OutNeighbors(VertexID(u)) {
+			if !g.directed && v < VertexID(u) {
+				continue // the mirrored arc is added by the builder
+			}
+			bld.AddWeightedEdge(VertexID(u), v, lo+rng.Float64()*(hi-lo))
+		}
+	}
+	return bld.Finalize()
+}

@@ -1,0 +1,273 @@
+// Package graph provides the compressed-sparse-row (CSR) graph
+// representation used by the Pregel engine and the ΔV runtime, together
+// with deterministic synthetic generators and simple edge-list I/O.
+//
+// Graphs are immutable after construction: build them with a Builder or a
+// generator, then share them freely between workers. Both directed and
+// undirected graphs are supported; undirected graphs store each edge in
+// both directions so that the out-adjacency of a vertex is exactly its
+// neighbour set.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a vertex. IDs are dense: a graph with n vertices uses
+// IDs 0..n-1.
+type VertexID = uint32
+
+// Edge is a single adjacency entry: the far endpoint and the edge weight.
+// Unweighted graphs report weight 1 for every edge.
+type Edge struct {
+	To     VertexID
+	Weight float64
+}
+
+// Graph is an immutable CSR graph.
+type Graph struct {
+	n        int
+	directed bool
+	weighted bool
+
+	// Out-adjacency in CSR form.
+	outOff []int64
+	outAdj []VertexID
+	outW   []float64 // nil when unweighted
+
+	// In-adjacency (reverse CSR). For undirected graphs these alias the
+	// out-adjacency slices. For directed graphs they are built lazily by
+	// BuildReverse (or eagerly by the Builder when requested).
+	inOff []int64
+	inAdj []VertexID
+	inW   []float64
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return g.n }
+
+// NumEdges returns |E|: the number of directed arcs for a directed graph,
+// and the number of undirected edges for an undirected graph.
+func (g *Graph) NumEdges() int {
+	if g.directed {
+		return len(g.outAdj)
+	}
+	return len(g.outAdj) / 2
+}
+
+// NumArcs returns the number of stored adjacency entries. For a directed
+// graph this equals NumEdges; for an undirected graph it is 2·NumEdges.
+func (g *Graph) NumArcs() int { return len(g.outAdj) }
+
+// Directed reports whether the graph is directed.
+func (g *Graph) Directed() bool { return g.directed }
+
+// Weighted reports whether the graph carries per-edge weights.
+func (g *Graph) Weighted() bool { return g.weighted }
+
+// OutDegree returns the out-degree of u.
+func (g *Graph) OutDegree(u VertexID) int {
+	return int(g.outOff[u+1] - g.outOff[u])
+}
+
+// InDegree returns the in-degree of u. For directed graphs the reverse
+// adjacency must have been built (see BuildReverse); for undirected graphs
+// it equals OutDegree.
+func (g *Graph) InDegree(u VertexID) int {
+	if g.inOff == nil {
+		panic("graph: InDegree requires reverse adjacency; call BuildReverse")
+	}
+	return int(g.inOff[u+1] - g.inOff[u])
+}
+
+// OutNeighbors returns the out-adjacency list of u as a shared slice; the
+// caller must not modify it.
+func (g *Graph) OutNeighbors(u VertexID) []VertexID {
+	return g.outAdj[g.outOff[u]:g.outOff[u+1]]
+}
+
+// OutWeights returns the weights parallel to OutNeighbors(u), or nil when
+// the graph is unweighted.
+func (g *Graph) OutWeights(u VertexID) []float64 {
+	if g.outW == nil {
+		return nil
+	}
+	return g.outW[g.outOff[u]:g.outOff[u+1]]
+}
+
+// InNeighbors returns the in-adjacency list of u as a shared slice. The
+// reverse adjacency must be available (BuildReverse for directed graphs).
+func (g *Graph) InNeighbors(u VertexID) []VertexID {
+	if g.inOff == nil {
+		panic("graph: InNeighbors requires reverse adjacency; call BuildReverse")
+	}
+	return g.inAdj[g.inOff[u]:g.inOff[u+1]]
+}
+
+// InWeights returns the weights parallel to InNeighbors(u), or nil when the
+// graph is unweighted.
+func (g *Graph) InWeights(u VertexID) []float64 {
+	if g.inW == nil {
+		return nil
+	}
+	return g.inW[g.inOff[u]:g.inOff[u+1]]
+}
+
+// HasReverse reports whether the in-adjacency is available.
+func (g *Graph) HasReverse() bool { return g.inOff != nil }
+
+// OutEdge returns the i-th out-edge of u.
+func (g *Graph) OutEdge(u VertexID, i int) Edge {
+	off := g.outOff[u] + int64(i)
+	w := 1.0
+	if g.outW != nil {
+		w = g.outW[off]
+	}
+	return Edge{To: g.outAdj[off], Weight: w}
+}
+
+// BuildReverse constructs the in-adjacency (reverse CSR) for a directed
+// graph. It is idempotent and a no-op for undirected graphs. It is not safe
+// to call concurrently with itself, but once built the graph is again
+// immutable and safe for concurrent reads.
+func (g *Graph) BuildReverse() {
+	if g.inOff != nil {
+		return
+	}
+	if !g.directed {
+		g.inOff, g.inAdj, g.inW = g.outOff, g.outAdj, g.outW
+		return
+	}
+	inOff := make([]int64, g.n+1)
+	for _, v := range g.outAdj {
+		inOff[v+1]++
+	}
+	for i := 0; i < g.n; i++ {
+		inOff[i+1] += inOff[i]
+	}
+	inAdj := make([]VertexID, len(g.outAdj))
+	var inW []float64
+	if g.outW != nil {
+		inW = make([]float64, len(g.outW))
+	}
+	cursor := make([]int64, g.n)
+	copy(cursor, inOff[:g.n])
+	for u := 0; u < g.n; u++ {
+		lo, hi := g.outOff[u], g.outOff[u+1]
+		for i := lo; i < hi; i++ {
+			v := g.outAdj[i]
+			p := cursor[v]
+			cursor[v]++
+			inAdj[p] = VertexID(u)
+			if inW != nil {
+				inW[p] = g.outW[i]
+			}
+		}
+	}
+	g.inOff, g.inAdj, g.inW = inOff, inAdj, inW
+}
+
+// String returns a short human-readable summary.
+func (g *Graph) String() string {
+	kind := "undirected"
+	if g.directed {
+		kind = "directed"
+	}
+	return fmt.Sprintf("graph{%s |V|=%d |E|=%d weighted=%v}", kind, g.n, g.NumEdges(), g.weighted)
+}
+
+// Builder accumulates edges and produces an immutable Graph.
+//
+// For an undirected builder, AddEdge(u,v) records the single undirected
+// edge {u,v}; the builder mirrors it internally. Self-loops are kept as a
+// single arc in undirected graphs.
+type Builder struct {
+	directed bool
+	weighted bool
+	n        int
+	srcs     []VertexID
+	dsts     []VertexID
+	ws       []float64
+	dedup    bool
+}
+
+// NewBuilder returns a Builder for a graph with n vertices.
+func NewBuilder(n int, directed bool) *Builder {
+	return &Builder{directed: directed, n: n}
+}
+
+// SetDedup makes Finalize remove duplicate arcs (keeping the first weight).
+func (b *Builder) SetDedup(on bool) { b.dedup = on }
+
+// AddEdge records an unweighted edge from u to v.
+func (b *Builder) AddEdge(u, v VertexID) { b.AddWeightedEdge(u, v, 1) }
+
+// AddWeightedEdge records a weighted edge from u to v. Adding any edge with
+// weight != 1 marks the graph weighted.
+func (b *Builder) AddWeightedEdge(u, v VertexID, w float64) {
+	if int(u) >= b.n || int(v) >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range for %d vertices", u, v, b.n))
+	}
+	if w != 1 {
+		b.weighted = true
+	}
+	b.srcs = append(b.srcs, u)
+	b.dsts = append(b.dsts, v)
+	b.ws = append(b.ws, w)
+}
+
+// NumBuffered returns the number of edges recorded so far.
+func (b *Builder) NumBuffered() int { return len(b.srcs) }
+
+// Finalize builds the immutable CSR graph. The Builder must not be used
+// afterwards.
+func (b *Builder) Finalize() *Graph {
+	type arc struct {
+		u, v VertexID
+		w    float64
+	}
+	arcs := make([]arc, 0, len(b.srcs)*2)
+	for i := range b.srcs {
+		arcs = append(arcs, arc{b.srcs[i], b.dsts[i], b.ws[i]})
+		if !b.directed && b.srcs[i] != b.dsts[i] {
+			arcs = append(arcs, arc{b.dsts[i], b.srcs[i], b.ws[i]})
+		}
+	}
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].u != arcs[j].u {
+			return arcs[i].u < arcs[j].u
+		}
+		return arcs[i].v < arcs[j].v
+	})
+	if b.dedup {
+		out := arcs[:0]
+		for i, a := range arcs {
+			if i > 0 && a.u == out[len(out)-1].u && a.v == out[len(out)-1].v {
+				continue
+			}
+			out = append(out, a)
+		}
+		arcs = out
+	}
+	g := &Graph{n: b.n, directed: b.directed, weighted: b.weighted}
+	g.outOff = make([]int64, b.n+1)
+	g.outAdj = make([]VertexID, len(arcs))
+	if b.weighted {
+		g.outW = make([]float64, len(arcs))
+	}
+	for i, a := range arcs {
+		g.outOff[a.u+1]++
+		g.outAdj[i] = a.v
+		if g.outW != nil {
+			g.outW[i] = a.w
+		}
+	}
+	for i := 0; i < b.n; i++ {
+		g.outOff[i+1] += g.outOff[i]
+	}
+	if !b.directed {
+		g.inOff, g.inAdj, g.inW = g.outOff, g.outAdj, g.outW
+	}
+	return g
+}

@@ -1,0 +1,104 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses a whitespace-separated edge list: one "u v" or
+// "u v w" triple per line, with '#' or '%' starting a comment. Vertex IDs
+// may be sparse; they are kept as given and the vertex count is
+// 1 + max(id). Lines mixing 2- and 3-column formats are allowed; missing
+// weights default to 1.
+func ReadEdgeList(r io.Reader, directed bool) (*Graph, error) {
+	type rawEdge struct {
+		u, v uint64
+		w    float64
+	}
+	var edges []rawEdge
+	var maxID uint64
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: expected at least 2 fields, got %q", lineNo, line)
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad source id: %w", lineNo, err)
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad target id: %w", lineNo, err)
+		}
+		w := 1.0
+		if len(fields) >= 3 {
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight: %w", lineNo, err)
+			}
+		}
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+		edges = append(edges, rawEdge{u, v, w})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read: %w", err)
+	}
+	n := 0
+	if len(edges) > 0 {
+		n = int(maxID) + 1
+	}
+	bld := NewBuilder(n, directed)
+	for _, e := range edges {
+		bld.AddWeightedEdge(VertexID(e.u), VertexID(e.v), e.w)
+	}
+	return bld.Finalize(), nil
+}
+
+// WriteEdgeList writes g as a parseable edge list. Undirected edges are
+// written once (u <= v ordering); weights are written only for weighted
+// graphs.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	kind := "undirected"
+	if g.Directed() {
+		kind = "directed"
+	}
+	if _, err := fmt.Fprintf(bw, "# %s |V|=%d |E|=%d\n", kind, g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		adj := g.OutNeighbors(VertexID(u))
+		ws := g.OutWeights(VertexID(u))
+		for i, v := range adj {
+			if !g.Directed() && v < VertexID(u) {
+				continue
+			}
+			var err error
+			if ws != nil {
+				_, err = fmt.Fprintf(bw, "%d %d %g\n", u, v, ws[i])
+			} else {
+				_, err = fmt.Fprintf(bw, "%d %d\n", u, v)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

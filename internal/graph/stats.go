@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stats summarizes a graph's degree structure.
+type Stats struct {
+	Vertices  int
+	Edges     int
+	Directed  bool
+	Weighted  bool
+	MinOutDeg int
+	MaxOutDeg int
+	AvgOutDeg float64
+	Isolated  int // vertices with out-degree 0 (and in-degree 0 if known)
+}
+
+// Summarize computes Stats for g.
+func Summarize(g *Graph) Stats {
+	s := Stats{
+		Vertices: g.NumVertices(),
+		Edges:    g.NumEdges(),
+		Directed: g.Directed(),
+		Weighted: g.Weighted(),
+	}
+	if g.NumVertices() == 0 {
+		return s
+	}
+	s.MinOutDeg = g.OutDegree(0)
+	for u := 0; u < g.NumVertices(); u++ {
+		d := g.OutDegree(VertexID(u))
+		if d < s.MinOutDeg {
+			s.MinOutDeg = d
+		}
+		if d > s.MaxOutDeg {
+			s.MaxOutDeg = d
+		}
+		if d == 0 {
+			iso := true
+			if g.HasReverse() && g.InDegree(VertexID(u)) > 0 {
+				iso = false
+			}
+			if iso {
+				s.Isolated++
+			}
+		}
+	}
+	s.AvgOutDeg = float64(g.NumArcs()) / float64(g.NumVertices())
+	return s
+}
+
+// String renders the stats on one line.
+func (s Stats) String() string {
+	kind := "undirected"
+	if s.Directed {
+		kind = "directed"
+	}
+	return fmt.Sprintf("%s |V|=%d |E|=%d deg[min=%d avg=%.2f max=%d] isolated=%d",
+		kind, s.Vertices, s.Edges, s.MinOutDeg, s.AvgOutDeg, s.MaxOutDeg, s.Isolated)
+}
+
+// DegreeHistogram returns sorted (degree, count) pairs of the out-degree
+// distribution.
+func DegreeHistogram(g *Graph) [][2]int {
+	counts := make(map[int]int)
+	for u := 0; u < g.NumVertices(); u++ {
+		counts[g.OutDegree(VertexID(u))]++
+	}
+	out := make([][2]int, 0, len(counts))
+	for d, c := range counts {
+		out = append(out, [2]int{d, c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// ConnectedComponents labels every vertex with the smallest vertex ID
+// reachable from it treating edges as undirected, and returns the labels
+// plus the number of components. It is used by tests as an oracle for the
+// CC benchmark programs.
+func ConnectedComponents(g *Graph) ([]VertexID, int) {
+	n := g.NumVertices()
+	label := make([]VertexID, n)
+	for i := range label {
+		label[i] = VertexID(n) // sentinel: unvisited
+	}
+	if g.Directed() {
+		g.BuildReverse()
+	}
+	count := 0
+	stack := make([]VertexID, 0, 64)
+	for start := 0; start < n; start++ {
+		if label[start] != VertexID(n) {
+			continue
+		}
+		count++
+		root := VertexID(start)
+		stack = append(stack[:0], root)
+		label[start] = root
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range g.OutNeighbors(u) {
+				if label[v] == VertexID(n) {
+					label[v] = root
+					stack = append(stack, v)
+				}
+			}
+			if g.Directed() {
+				for _, v := range g.InNeighbors(u) {
+					if label[v] == VertexID(n) {
+						label[v] = root
+						stack = append(stack, v)
+					}
+				}
+			}
+		}
+	}
+	return label, count
+}

@@ -1,0 +1,107 @@
+package pregel
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// Engine micro-benchmarks: raw superstep and message-exchange throughput,
+// independent of the ΔV layer.
+
+func benchGraph() *graph.Graph {
+	return graph.RMAT(12, 8, 0.57, 0.19, 0.19, true, 99)
+}
+
+// BenchmarkSuperstepThroughput runs 3 all-active broadcast rounds per
+// iteration and reports edge-traversals per op.
+func BenchmarkSuperstepThroughput(b *testing.B) {
+	g := benchGraph()
+	for _, workers := range []int{1, 4, 16} {
+		workers := workers
+		b.Run(benchWorkersName(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := New[sumVal, float64](g, Options{Workers: workers})
+				if _, err := e.Run(sumAllProgram{rounds: 3}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(4*g.NumArcs()), "msgs/op")
+		})
+	}
+}
+
+func benchWorkersName(w int) string {
+	switch w {
+	case 1:
+		return "workers=1"
+	case 4:
+		return "workers=4"
+	default:
+		return "workers=16"
+	}
+}
+
+// BenchmarkCombinerThroughput measures the sender-side combining path.
+func BenchmarkCombinerThroughput(b *testing.B) {
+	g := benchGraph()
+	for _, combine := range []bool{false, true} {
+		combine := combine
+		name := "off"
+		if combine {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := New[sumVal, float64](g, Options{Workers: 4})
+				if combine {
+					e.SetCombiner(CombinerFunc[float64](func(a, b float64) float64 { return a + b }))
+				}
+				if _, err := e.Run(sumAllProgram{rounds: 3}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSchedulers measures scan-all vs work-queue on a sparse-activity
+// workload (SSSP-like flood where few vertices run per superstep).
+func BenchmarkSchedulers(b *testing.B) {
+	g := graph.Grid(120, 120, 1, 5)
+	for _, sched := range []Scheduler{ScanAll, WorkQueue} {
+		sched := sched
+		name := "scan-all"
+		if sched == WorkQueue {
+			name = "work-queue"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := New[echoVal, float64](g, Options{Workers: 4, Scheduler: sched})
+				if _, err := e.Run(maxPropProgram{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPartitions measures block vs hash placement exchange cost.
+func BenchmarkPartitions(b *testing.B) {
+	g := benchGraph()
+	for _, part := range []Partition{PartitionBlock, PartitionHash} {
+		part := part
+		b.Run(part.String(), func(b *testing.B) {
+			var cross int64
+			for i := 0; i < b.N; i++ {
+				e := New[sumVal, float64](g, Options{Workers: 8, Partition: part})
+				stats, err := e.Run(sumAllProgram{rounds: 3})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cross = stats.CrossWorker
+			}
+			b.ReportMetric(float64(cross), "cross-worker")
+		})
+	}
+}

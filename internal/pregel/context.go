@@ -1,0 +1,159 @@
+package pregel
+
+import "repro/internal/graph"
+
+// Context is the per-vertex view of the computation handed to Program.Init
+// and Program.Compute. A Context is only valid for the duration of the call
+// it is passed to.
+type Context[V, M any] struct {
+	eng *Engine[V, M]
+	w   *worker[V, M]
+	id  VertexID
+
+	votedHalt  bool
+	removeSelf bool
+}
+
+// ID returns the vertex this context belongs to.
+func (c *Context[V, M]) ID() VertexID { return c.id }
+
+// Superstep returns the current superstep number (0 = Init).
+func (c *Context[V, M]) Superstep() int { return c.eng.superstep }
+
+// NumVertices returns |V| of the graph.
+func (c *Context[V, M]) NumVertices() int { return c.eng.g.NumVertices() }
+
+// Value returns a pointer to this vertex's mutable state.
+func (c *Context[V, M]) Value() *V { return &c.eng.values[c.id] }
+
+// ValueOf returns a pointer to vertex u's state. Reading another vertex's
+// state concurrently with its owner mutating it is a race; this accessor
+// exists for single-threaded inspection (tests, master hooks).
+func (c *Context[V, M]) ValueOf(u VertexID) *V { return &c.eng.values[u] }
+
+// Graph returns the underlying immutable graph.
+func (c *Context[V, M]) Graph() *graph.Graph { return c.eng.g }
+
+// OutNeighbors returns this vertex's out-adjacency (neighbour set for
+// undirected graphs). The slice is shared; do not modify.
+func (c *Context[V, M]) OutNeighbors() []VertexID { return c.eng.g.OutNeighbors(c.id) }
+
+// OutWeights returns the weights parallel to OutNeighbors, or nil.
+func (c *Context[V, M]) OutWeights() []float64 { return c.eng.g.OutWeights(c.id) }
+
+// InNeighbors returns this vertex's in-adjacency.
+func (c *Context[V, M]) InNeighbors() []VertexID { return c.eng.g.InNeighbors(c.id) }
+
+// InWeights returns the weights parallel to InNeighbors, or nil.
+func (c *Context[V, M]) InWeights() []float64 { return c.eng.g.InWeights(c.id) }
+
+// OutDegree returns this vertex's out-degree.
+func (c *Context[V, M]) OutDegree() int { return c.eng.g.OutDegree(c.id) }
+
+// Send sends m to vertex `to`, to be received next superstep.
+func (c *Context[V, M]) Send(to VertexID, m M) {
+	w := c.w
+	d := c.eng.ownerOf(to)
+	w.out[d] = append(w.out[d], envelope[M]{to: to, msg: m})
+	w.sent++
+}
+
+// BroadcastOut sends m along every out-edge.
+func (c *Context[V, M]) BroadcastOut(m M) {
+	for _, v := range c.OutNeighbors() {
+		c.Send(v, m)
+	}
+}
+
+// BroadcastIn sends m along every in-edge (to all in-neighbours).
+func (c *Context[V, M]) BroadcastIn(m M) {
+	for _, v := range c.InNeighbors() {
+		c.Send(v, m)
+	}
+}
+
+// VoteToHalt deactivates this vertex until a message arrives for it.
+func (c *Context[V, M]) VoteToHalt() { c.votedHalt = true }
+
+// RemoveSelf removes this vertex from the computation at the end of the
+// current superstep: it will never run again and messages addressed to it
+// are dropped. Messages it sent this superstep are still delivered (this is
+// what lets a vertex broadcast a zero-out patch before disappearing, per
+// the paper's §9 deletion sketch).
+func (c *Context[V, M]) RemoveSelf() { c.removeSelf = true }
+
+// Aggregate contributes v to the named master aggregator; the reduced value
+// becomes visible through AggValue at the next superstep.
+func (c *Context[V, M]) Aggregate(name string, v float64) {
+	w := c.w
+	if w.aggPending == nil {
+		w.aggPending = map[string]float64{}
+	}
+	a, ok := c.eng.aggs[name]
+	if !ok {
+		panic("pregel: Aggregate to unregistered aggregator " + name)
+	}
+	if cur, seen := w.aggPending[name]; seen {
+		if a.persistent {
+			w.aggPending[name] = cur + v
+		} else {
+			w.aggPending[name] = aggReduce(a.op, cur, v)
+		}
+	} else {
+		w.aggPending[name] = v
+	}
+}
+
+// AggValue returns the named aggregator's committed value (reduced over the
+// previous superstep's contributions; running total for persistent
+// aggregators).
+func (c *Context[V, M]) AggValue(name string) float64 {
+	a, ok := c.eng.aggs[name]
+	if !ok {
+		panic("pregel: AggValue of unregistered aggregator " + name)
+	}
+	return a.value
+}
+
+// Globals returns the engine-wide read-only value installed by SetGlobals
+// or the master hook.
+func (c *Context[V, M]) Globals() any { return c.eng.globals }
+
+// MasterContext is handed to the master hook at the end of each superstep.
+type MasterContext struct {
+	step       StepStats
+	nextActive int
+
+	activateAll bool
+	stop        bool
+
+	aggValue   func(string) float64
+	setGlobals func(any)
+	getGlobals func() any
+}
+
+// Step returns the statistics of the superstep that just completed.
+func (m *MasterContext) Step() StepStats { return m.step }
+
+// Superstep returns the superstep that just completed.
+func (m *MasterContext) Superstep() int { return m.step.Superstep }
+
+// NextActive returns how many vertices are scheduled to run next superstep
+// (before any ActivateAll).
+func (m *MasterContext) NextActive() int { return m.nextActive }
+
+// ActivateAll re-activates every non-removed vertex for the next superstep.
+func (m *MasterContext) ActivateAll() { m.activateAll = true }
+
+// Stop terminates the computation after this superstep.
+func (m *MasterContext) Stop() { m.stop = true }
+
+// AggValue returns the committed value of a registered aggregator.
+func (m *MasterContext) AggValue(name string) float64 { return m.aggValue(name) }
+
+// Globals returns the engine-wide globals value.
+func (m *MasterContext) Globals() any { return m.getGlobals() }
+
+// SetGlobals replaces the engine-wide globals value for subsequent
+// supersteps.
+func (m *MasterContext) SetGlobals(g any) { m.setGlobals(g) }

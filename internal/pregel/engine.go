@@ -1,0 +1,542 @@
+package pregel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+	"unsafe"
+
+	"repro/internal/graph"
+)
+
+// Engine executes a Program over a Graph. Create one with New, optionally
+// configure combiner/aggregators/master hook, then call Run. An Engine is
+// single-use: Run may only be called once.
+type Engine[V, M any] struct {
+	g    *graph.Graph
+	opts Options
+
+	values  []V
+	active  []bool
+	removed []bool
+
+	workers []*worker[V, M]
+	block   int // vertices per worker block
+
+	combiner   Combiner[M]
+	msgBytes   int
+	aggs       map[string]*aggregator
+	aggNames   []string
+	masterHook func(*MasterContext)
+	globals    any
+
+	activateAll bool
+	stopped     bool
+	superstep   int
+
+	stats Stats
+	ran   bool
+}
+
+type envelope[M any] struct {
+	to  VertexID
+	msg M
+}
+
+type worker[V, M any] struct {
+	id     int
+	lo, hi int // local vertex range [lo, hi)
+	eng    *Engine[V, M]
+
+	out [][]envelope[M] // per destination worker
+
+	msgOff []int32 // per local vertex +1, offsets into msgBuf
+	msgBuf []M
+
+	// WorkQueue scheduling state.
+	cur, next []VertexID
+	queued    []uint32
+	stamp     uint32
+
+	ctx Context[V, M]
+
+	// Per-superstep partial stats.
+	sent       int
+	ran        int
+	delivered  int
+	cross      int
+	nextActive int
+	aggPending map[string]float64
+}
+
+// New creates an Engine over g with the given options.
+func New[V, M any](g *graph.Graph, opts Options) *Engine[V, M] {
+	n := g.NumVertices()
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Workers > n && n > 0 {
+		opts.Workers = n
+	}
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	if opts.MaxSupersteps <= 0 {
+		opts.MaxSupersteps = 10_000
+	}
+	var zero M
+	e := &Engine[V, M]{
+		g:        g,
+		opts:     opts,
+		values:   make([]V, n),
+		active:   make([]bool, n),
+		removed:  make([]bool, n),
+		aggs:     map[string]*aggregator{},
+		msgBytes: int(unsafe.Sizeof(zero)),
+		block:    (n + opts.Workers - 1) / opts.Workers,
+	}
+	if e.block == 0 {
+		e.block = 1
+	}
+	for w := 0; w < opts.Workers; w++ {
+		lo := w * e.block
+		hi := lo + e.block
+		if opts.Partition == PartitionBlock {
+			// Block slots are vertex IDs; trailing workers may be empty.
+			if lo > n {
+				lo = n
+			}
+			if hi > n {
+				hi = n
+			}
+		}
+		wk := &worker[V, M]{
+			id:  w,
+			lo:  lo,
+			hi:  hi,
+			eng: e,
+			out: make([][]envelope[M], opts.Workers),
+		}
+		wk.msgOff = make([]int32, hi-lo+1)
+		wk.queued = make([]uint32, hi-lo)
+		wk.ctx = Context[V, M]{eng: e, w: wk}
+		e.workers = append(e.workers, wk)
+	}
+	return e
+}
+
+// SetCombiner installs a sender-side message combiner.
+func (e *Engine[V, M]) SetCombiner(c Combiner[M]) { e.combiner = c }
+
+// SetMessageSize overrides the per-message byte accounting (defaults to
+// unsafe.Sizeof(M)).
+func (e *Engine[V, M]) SetMessageSize(bytes int) { e.msgBytes = bytes }
+
+// SetMasterHook installs fn, called at the end of every superstep (after
+// message exchange, before the next superstep's compute phase).
+func (e *Engine[V, M]) SetMasterHook(fn func(*MasterContext)) { e.masterHook = fn }
+
+// SetGlobals installs a value visible read-only to every vertex via
+// Context.Globals. The master hook may replace it between supersteps.
+func (e *Engine[V, M]) SetGlobals(g any) { e.globals = g }
+
+// RegisterAggregator registers a master aggregator. Persistent aggregators
+// must use AggSum; their value carries across supersteps and vertex
+// contributions are treated as adjustments.
+func (e *Engine[V, M]) RegisterAggregator(name string, op AggregatorOp, persistent bool) error {
+	if persistent && op != AggSum {
+		return fmt.Errorf("pregel: persistent aggregator %q must use AggSum", name)
+	}
+	if _, dup := e.aggs[name]; dup {
+		return fmt.Errorf("pregel: duplicate aggregator %q", name)
+	}
+	a := &aggregator{op: op, persistent: persistent}
+	a.value = aggIdentity(op)
+	if persistent {
+		a.value = 0
+	}
+	a.pending = aggIdentity(op)
+	if persistent {
+		a.pending = 0
+	}
+	e.aggs[name] = a
+	e.aggNames = append(e.aggNames, name)
+	return nil
+}
+
+// Values returns the vertex values; valid after Run.
+func (e *Engine[V, M]) Values() []V { return e.values }
+
+// Value returns vertex u's value; valid after Run.
+func (e *Engine[V, M]) Value(u VertexID) V { return e.values[u] }
+
+// Graph returns the underlying graph.
+func (e *Engine[V, M]) Graph() *graph.Graph { return e.g }
+
+// AggregatorValue returns the committed value of a registered aggregator.
+func (e *Engine[V, M]) AggregatorValue(name string) float64 {
+	a, ok := e.aggs[name]
+	if !ok {
+		panic(fmt.Sprintf("pregel: unknown aggregator %q", name))
+	}
+	return a.value
+}
+
+// slotOf maps a vertex to its scheduling slot. With block partitioning
+// slots are vertex IDs; with hash partitioning vertex v lives at slot
+// (v mod W)·block + v/W so that each worker still owns one contiguous
+// slot range.
+func (e *Engine[V, M]) slotOf(v VertexID) int {
+	if e.opts.Partition == PartitionHash {
+		return (int(v)%e.opts.Workers)*e.block + int(v)/e.opts.Workers
+	}
+	return int(v)
+}
+
+// vertexAt inverts slotOf; the result may be >= NumVertices for padding
+// slots in hash mode (callers skip those).
+func (e *Engine[V, M]) vertexAt(slot int) int {
+	if e.opts.Partition == PartitionHash {
+		w := slot / e.block
+		i := slot % e.block
+		return i*e.opts.Workers + w
+	}
+	return slot
+}
+
+func (e *Engine[V, M]) ownerOf(v VertexID) int {
+	w := e.slotOf(v) / e.block
+	if w >= e.opts.Workers {
+		w = e.opts.Workers - 1
+	}
+	return w
+}
+
+type workerCmd int
+
+const (
+	cmdCompute workerCmd = iota
+	cmdExchange
+	cmdStop
+)
+
+// Run executes prog to completion and returns the run statistics.
+func (e *Engine[V, M]) Run(prog Program[V, M]) (*Stats, error) {
+	if e.ran {
+		return nil, errors.New("pregel: Engine.Run called twice")
+	}
+	e.ran = true
+	if e.g.NumVertices() == 0 {
+		return &e.stats, nil
+	}
+	start := time.Now()
+
+	cmds := make([]chan workerCmd, len(e.workers))
+	var wg sync.WaitGroup
+	for i, wk := range e.workers {
+		cmds[i] = make(chan workerCmd)
+		go func(wk *worker[V, M], ch chan workerCmd) {
+			for cmd := range ch {
+				switch cmd {
+				case cmdCompute:
+					wk.compute(prog)
+				case cmdExchange:
+					wk.exchange()
+				case cmdStop:
+					wg.Done()
+					return
+				}
+				wg.Done()
+			}
+		}(wk, cmds[i])
+	}
+	broadcast := func(c workerCmd) {
+		wg.Add(len(cmds))
+		for _, ch := range cmds {
+			ch <- c
+		}
+		wg.Wait()
+	}
+	defer broadcast(cmdStop)
+
+	// Superstep 0 runs Init on every vertex.
+	e.activateAll = true
+	for e.superstep = 0; e.superstep < e.opts.MaxSupersteps; e.superstep++ {
+		stepStart := time.Now()
+		broadcast(cmdCompute)
+		e.mergeAggregators()
+		broadcast(cmdExchange)
+
+		st := StepStats{Superstep: e.superstep}
+		nextActive := 0
+		for _, wk := range e.workers {
+			st.MessagesSent += wk.sent
+			st.ActiveVertices += wk.ran
+			st.CombinedMessages += wk.delivered
+			st.CrossWorker += wk.cross
+			nextActive += wk.nextActive
+		}
+		st.Duration = time.Since(stepStart)
+		e.stats.Steps = append(e.stats.Steps, st)
+		e.stats.MessagesSent += int64(st.MessagesSent)
+		e.stats.CombinedMessages += int64(st.CombinedMessages)
+		e.stats.CrossWorker += int64(st.CrossWorker)
+		e.stats.MessageBytes += int64(st.CombinedMessages) * int64(e.msgBytes)
+		e.stats.TotalActive += int64(st.ActiveVertices)
+		e.stats.Supersteps++
+
+		e.activateAll = false
+		if e.masterHook != nil {
+			mc := &MasterContext{
+				step:       st,
+				nextActive: nextActive,
+				aggValue:   e.AggregatorValue,
+				setGlobals: func(g any) { e.globals = g },
+				getGlobals: func() any { return e.globals },
+			}
+			e.masterHook(mc)
+			if mc.activateAll {
+				e.activateAll = true
+			}
+			if mc.stop {
+				e.stopped = true
+			}
+		}
+		if e.stopped {
+			break
+		}
+		if nextActive == 0 && st.CombinedMessages == 0 && !e.activateAll {
+			break // global quiescence
+		}
+	}
+	e.stats.Duration = time.Since(start)
+	if e.superstep >= e.opts.MaxSupersteps && !e.stopped {
+		return &e.stats, fmt.Errorf("pregel: superstep limit %d reached", e.opts.MaxSupersteps)
+	}
+	return &e.stats, nil
+}
+
+func (e *Engine[V, M]) mergeAggregators() {
+	for _, wk := range e.workers {
+		for name, v := range wk.aggPending {
+			a := e.aggs[name]
+			if a.persistent {
+				a.pending += v
+			} else {
+				a.pending = aggReduce(a.op, a.pending, v)
+				a.touched = true
+			}
+		}
+		clear(wk.aggPending)
+	}
+	for _, name := range e.aggNames {
+		a := e.aggs[name]
+		if a.persistent {
+			a.value += a.pending
+			a.pending = 0
+		} else {
+			a.value = a.pending
+			a.pending = aggIdentity(a.op)
+			a.touched = false
+		}
+	}
+}
+
+// compute runs Init/Compute over this worker's runnable vertices and
+// flushes (and optionally combines) outgoing messages.
+func (w *worker[V, M]) compute(prog Program[V, M]) {
+	e := w.eng
+	w.sent, w.ran = 0, 0
+	for d := range w.out {
+		w.out[d] = w.out[d][:0]
+	}
+	queue := e.opts.Scheduler == WorkQueue
+	if queue {
+		w.stamp++
+		w.next = w.next[:0]
+	}
+	n := e.g.NumVertices()
+	runVertex := func(u, slot int) {
+		w.ran++
+		ctx := &w.ctx
+		ctx.id = VertexID(u)
+		ctx.votedHalt = false
+		ctx.removeSelf = false
+		if e.superstep == 0 {
+			prog.Init(ctx)
+		} else {
+			lo := w.msgOff[slot-w.lo]
+			hi := w.msgOff[slot-w.lo+1]
+			prog.Compute(ctx, w.msgBuf[lo:hi])
+		}
+		e.active[u] = !ctx.votedHalt
+		if ctx.removeSelf {
+			e.removed[u] = true
+			e.active[u] = false
+		}
+		if queue && e.active[u] {
+			w.enqueue(slot)
+		}
+	}
+	switch {
+	case e.activateAll:
+		for slot := w.lo; slot < w.hi; slot++ {
+			u := e.vertexAt(slot)
+			if u >= n || e.removed[u] {
+				continue
+			}
+			e.active[u] = true
+			runVertex(u, slot)
+		}
+	case queue:
+		for _, v := range w.cur {
+			u := int(v)
+			slot := e.slotOf(v)
+			if e.removed[u] || (!e.active[u] && !w.hasMsgs(slot)) {
+				continue
+			}
+			runVertex(u, slot)
+		}
+	default:
+		for slot := w.lo; slot < w.hi; slot++ {
+			u := e.vertexAt(slot)
+			if u >= n || e.removed[u] {
+				continue
+			}
+			if e.active[u] || w.hasMsgs(slot) {
+				runVertex(u, slot)
+			}
+		}
+	}
+	if e.combiner != nil {
+		w.combineOut()
+	}
+}
+
+func (w *worker[V, M]) hasMsgs(slot int) bool {
+	if w.eng.superstep == 0 {
+		return false
+	}
+	return w.msgOff[slot-w.lo+1] > w.msgOff[slot-w.lo]
+}
+
+// combineOut merges messages per destination vertex (and per key, for
+// KeyedCombiners) within each destination-worker bucket, deterministically
+// (insertion order).
+func (w *worker[V, M]) combineOut() {
+	c := w.eng.combiner
+	keyed, _ := c.(KeyedCombiner[M])
+	for d, bucket := range w.out {
+		if len(bucket) <= 1 {
+			continue
+		}
+		idx := make(map[uint64]int, len(bucket))
+		combined := bucket[:0:0] // fresh slice, keep bucket for reading
+		for _, env := range bucket {
+			k := uint64(env.to)
+			if keyed != nil {
+				k |= uint64(keyed.Key(env.msg)) << 32
+			}
+			if j, ok := idx[k]; ok {
+				combined[j].msg = c.Combine(combined[j].msg, env.msg)
+			} else {
+				idx[k] = len(combined)
+				combined = append(combined, env)
+			}
+		}
+		w.out[d] = combined
+	}
+}
+
+// exchange gathers inbound envelopes into a per-vertex CSR inbox, wakes
+// receivers, and counts the vertices runnable next superstep.
+func (w *worker[V, M]) exchange() {
+	e := w.eng
+	w.delivered = 0
+	w.cross = 0
+	off := w.msgOff
+	for i := range off {
+		off[i] = 0
+	}
+	// Count.
+	for _, src := range e.workers {
+		for _, env := range src.out[w.id] {
+			if e.removed[env.to] {
+				continue
+			}
+			off[e.slotOf(env.to)-w.lo+1]++
+			w.delivered++
+			if src.id != w.id {
+				w.cross++
+			}
+		}
+	}
+	for i := 1; i < len(off); i++ {
+		off[i] += off[i-1]
+	}
+	if cap(w.msgBuf) < w.delivered {
+		w.msgBuf = make([]M, w.delivered)
+	} else {
+		w.msgBuf = w.msgBuf[:w.delivered]
+	}
+	cursor := make([]int32, w.hi-w.lo)
+	copy(cursor, off[:w.hi-w.lo])
+	for _, src := range e.workers {
+		for _, env := range src.out[w.id] {
+			if e.removed[env.to] {
+				continue
+			}
+			li := e.slotOf(env.to) - w.lo
+			w.msgBuf[cursor[li]] = env.msg
+			cursor[li]++
+		}
+	}
+	// Wake receivers and count the vertices runnable next superstep. In
+	// WorkQueue mode receivers are appended to the queue built during
+	// compute, so no O(|V|) scan is needed; in ScanAll mode we scan the
+	// local block, which is exactly the per-superstep cost the paper's §9
+	// points out for a non-halt-by-default runtime.
+	if e.opts.Scheduler == WorkQueue {
+		for _, src := range e.workers {
+			for _, env := range src.out[w.id] {
+				u := int(env.to)
+				if e.removed[u] {
+					continue
+				}
+				e.active[u] = true
+				w.enqueue(e.slotOf(env.to))
+			}
+		}
+		w.nextActive = len(w.next)
+	} else {
+		w.nextActive = 0
+		n := e.g.NumVertices()
+		for slot := w.lo; slot < w.hi; slot++ {
+			li := slot - w.lo
+			u := e.vertexAt(slot)
+			if u >= n || e.removed[u] {
+				continue
+			}
+			if off[li+1] > off[li] {
+				e.active[u] = true
+			}
+			if e.active[u] {
+				w.nextActive++
+			}
+		}
+	}
+	w.cur, w.next = w.next, w.cur
+}
+
+// enqueue adds the vertex at the local slot to the next-superstep queue,
+// at most once.
+func (w *worker[V, M]) enqueue(slot int) {
+	li := slot - w.lo
+	if w.queued[li] == w.stamp {
+		return
+	}
+	w.queued[li] = w.stamp
+	w.next = append(w.next, VertexID(w.eng.vertexAt(slot)))
+}

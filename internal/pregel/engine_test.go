@@ -1,0 +1,606 @@
+package pregel
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// echoProgram floods a token outward: superstep 0 vertex 0 sends its ID+1
+// to out-neighbours; each receiver stores max(received) and forwards once.
+type echoVal struct {
+	Best float64
+}
+
+type echoProgram struct{}
+
+func (echoProgram) Init(ctx *Context[echoVal, float64]) {
+	if ctx.ID() == 0 {
+		ctx.Value().Best = 1
+		ctx.BroadcastOut(1)
+	}
+	ctx.VoteToHalt()
+}
+
+func (echoProgram) Compute(ctx *Context[echoVal, float64], msgs []float64) {
+	best := ctx.Value().Best
+	changed := false
+	for _, m := range msgs {
+		if m > best {
+			best = m
+			changed = true
+		}
+	}
+	if changed {
+		ctx.Value().Best = best
+		ctx.BroadcastOut(best + 1)
+	}
+	ctx.VoteToHalt()
+}
+
+func TestFloodOnPath(t *testing.T) {
+	for _, sched := range []Scheduler{ScanAll, WorkQueue} {
+		for _, workers := range []int{1, 3, 8} {
+			g := graph.Path(10, true)
+			e := New[echoVal, float64](g, Options{Workers: workers, Scheduler: sched})
+			stats, err := e.Run(echoProgram{})
+			if err != nil {
+				t.Fatalf("sched=%v workers=%d: %v", sched, workers, err)
+			}
+			for u := 0; u < 10; u++ {
+				want := float64(u)
+				if u == 0 {
+					want = 1
+				}
+				if got := e.Value(graph.VertexID(u)).Best; got != want {
+					t.Fatalf("sched=%v workers=%d: value[%d] = %g, want %g", sched, workers, u, got, want)
+				}
+			}
+			// Path of 10: 9 hops, so 9 messages, one per superstep after init.
+			if stats.MessagesSent != 9 {
+				t.Fatalf("sched=%v workers=%d: messages = %d, want 9", sched, workers, stats.MessagesSent)
+			}
+			if stats.Supersteps != 10 {
+				t.Fatalf("sched=%v workers=%d: supersteps = %d, want 10", sched, workers, stats.Supersteps)
+			}
+		}
+	}
+}
+
+// sumAllProgram: every vertex sends 1.0 to all out-neighbours each of 3
+// supersteps; vertices accumulate. Exercises repeated activity without
+// halting.
+type sumVal struct{ Sum float64 }
+
+type sumAllProgram struct{ rounds int }
+
+func (p sumAllProgram) Init(ctx *Context[sumVal, float64]) {
+	ctx.BroadcastOut(1)
+}
+
+func (p sumAllProgram) Compute(ctx *Context[sumVal, float64], msgs []float64) {
+	for _, m := range msgs {
+		ctx.Value().Sum += m
+	}
+	if ctx.Superstep() < p.rounds {
+		ctx.BroadcastOut(1)
+	} else {
+		ctx.VoteToHalt()
+	}
+}
+
+func TestMessageDeliveryCounts(t *testing.T) {
+	g := graph.Complete(6, true) // 30 arcs
+	e := New[sumVal, float64](g, Options{Workers: 4})
+	stats, err := e.Run(sumAllProgram{rounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sends at supersteps 0,1,2 → 3 rounds × 30 arcs.
+	if stats.MessagesSent != 90 {
+		t.Fatalf("messages = %d, want 90", stats.MessagesSent)
+	}
+	for u := 0; u < 6; u++ {
+		if got := e.Value(graph.VertexID(u)).Sum; got != 15 {
+			t.Fatalf("value[%d] = %g, want 15 (5 in-neighbours × 3 rounds)", u, got)
+		}
+	}
+}
+
+func TestCombinerReducesDeliveredNotSent(t *testing.T) {
+	g := graph.Star(9, true) // hub 0 -> 8 leaves
+	// Reverse: all leaves send to hub. Build in-edges by using a program
+	// where leaves send to vertex 0 directly.
+	e := New[sumVal, float64](g, Options{Workers: 2})
+	e.SetCombiner(CombinerFunc[float64](func(a, b float64) float64 { return a + b }))
+	prog := &directedSendProgram{}
+	stats, err := e.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MessagesSent != 8 {
+		t.Fatalf("sent = %d, want 8", stats.MessagesSent)
+	}
+	// 2 workers → at most 2 combined envelopes reach the hub.
+	if stats.CombinedMessages >= 8 || stats.CombinedMessages < 1 {
+		t.Fatalf("combined = %d, want in [1,7]", stats.CombinedMessages)
+	}
+	if got := e.Value(0).Sum; got != 8 {
+		t.Fatalf("hub sum = %g, want 8", got)
+	}
+}
+
+type directedSendProgram struct{}
+
+func (*directedSendProgram) Init(ctx *Context[sumVal, float64]) {
+	if ctx.ID() != 0 {
+		ctx.Send(0, 1)
+	}
+	ctx.VoteToHalt()
+}
+
+func (*directedSendProgram) Compute(ctx *Context[sumVal, float64], msgs []float64) {
+	for _, m := range msgs {
+		ctx.Value().Sum += m
+	}
+	ctx.VoteToHalt()
+}
+
+func TestAggregators(t *testing.T) {
+	g := graph.Path(8, true)
+	e := New[sumVal, float64](g, Options{Workers: 3})
+	if err := e.RegisterAggregator("sum", AggSum, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterAggregator("min", AggMin, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterAggregator("max", AggMax, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterAggregator("sticky", AggSum, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterAggregator("sum", AggSum, false); err == nil {
+		t.Fatal("duplicate aggregator registration should fail")
+	}
+	if err := e.RegisterAggregator("badpersist", AggMin, true); err == nil {
+		t.Fatal("persistent min aggregator should be rejected")
+	}
+	prog := &aggProgram{}
+	if _, err := e.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	// At superstep 1 each vertex saw the aggregated values from superstep 0:
+	// sum of ids = 28, min = 0, max = 7.
+	if prog.seenSum != 28 || prog.seenMin != 0 || prog.seenMax != 7 {
+		t.Fatalf("aggregates = (%g,%g,%g), want (28,0,7)", prog.seenSum, prog.seenMin, prog.seenMax)
+	}
+	// Persistent aggregator accumulated +1 per vertex at both supersteps.
+	if got := e.AggregatorValue("sticky"); got != 16 {
+		t.Fatalf("sticky = %g, want 16", got)
+	}
+}
+
+type aggProgram struct {
+	seenSum, seenMin, seenMax float64
+}
+
+func (p *aggProgram) Init(ctx *Context[sumVal, float64]) {
+	id := float64(ctx.ID())
+	ctx.Aggregate("sum", id)
+	ctx.Aggregate("min", id)
+	ctx.Aggregate("max", id)
+	ctx.Aggregate("sticky", 1)
+	if ctx.ID() == 0 {
+		ctx.BroadcastOut(0) // keep vertex 1 alive for superstep 1
+	}
+	ctx.VoteToHalt()
+}
+
+func (p *aggProgram) Compute(ctx *Context[sumVal, float64], msgs []float64) {
+	p.seenSum = ctx.AggValue("sum")
+	p.seenMin = ctx.AggValue("min")
+	p.seenMax = ctx.AggValue("max")
+	ctx.Aggregate("sticky", 1)
+	// All 8 vertices contribute to sticky at superstep 1? No — only this
+	// one runs; contribute 8 to compensate for the other 7 plus self.
+	ctx.Aggregate("sticky", 7)
+	ctx.VoteToHalt()
+}
+
+func TestMasterHookGlobalsActivateAllAndStop(t *testing.T) {
+	g := graph.Path(4, true)
+	e := New[sumVal, float64](g, Options{Workers: 2})
+	e.SetGlobals(&testGlobals{})
+	ran := 0
+	e.SetMasterHook(func(mc *MasterContext) {
+		gl := mc.Globals().(*testGlobals)
+		gl.round++
+		mc.SetGlobals(gl)
+		ran++
+		if gl.round < 3 {
+			mc.ActivateAll() // keep everything alive despite votes to halt
+		}
+		if gl.round == 3 {
+			mc.Stop()
+		}
+	})
+	prog := &globalsProgram{}
+	stats, err := e.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Supersteps != 3 {
+		t.Fatalf("supersteps = %d, want 3", stats.Supersteps)
+	}
+	if ran != 3 {
+		t.Fatalf("master hook ran %d times, want 3", ran)
+	}
+	if prog.maxRound != 2 {
+		t.Fatalf("vertices saw round %d, want 2", prog.maxRound)
+	}
+}
+
+type testGlobals struct{ round int }
+
+type globalsProgram struct {
+	mu       sync.Mutex
+	maxRound int
+}
+
+func (p *globalsProgram) Init(ctx *Context[sumVal, float64]) { ctx.VoteToHalt() }
+
+func (p *globalsProgram) Compute(ctx *Context[sumVal, float64], msgs []float64) {
+	r := ctx.Globals().(*testGlobals)
+	p.mu.Lock()
+	if r.round > p.maxRound {
+		p.maxRound = r.round
+	}
+	p.mu.Unlock()
+	ctx.VoteToHalt()
+}
+
+func TestRemoveSelfDropsFutureMessages(t *testing.T) {
+	// 0 -> 1 -> 2; vertex 1 removes itself at superstep 1 after forwarding.
+	g := graph.Path(3, true)
+	e := New[removalVal, float64](g, Options{Workers: 1})
+	if _, err := e.Run(&removalProgram{}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Value(2).Got != 1 {
+		t.Fatal("vertex 2 should have received the forwarded message")
+	}
+	if e.Value(1).Runs != 2 {
+		t.Fatalf("vertex 1 ran %d times, want 2 (init + one compute)", e.Value(1).Runs)
+	}
+}
+
+type removalVal struct {
+	Got  float64
+	Runs int
+}
+
+type removalProgram struct{}
+
+func (*removalProgram) Init(ctx *Context[removalVal, float64]) {
+	ctx.Value().Runs++
+	if ctx.ID() == 0 {
+		ctx.BroadcastOut(1)
+		return // stay active so superstep 1 can send to the removed vertex
+	}
+	ctx.VoteToHalt()
+}
+
+func (*removalProgram) Compute(ctx *Context[removalVal, float64], msgs []float64) {
+	ctx.Value().Runs++
+	for _, m := range msgs {
+		if m != 99 {
+			ctx.Value().Got = m
+		}
+	}
+	switch ctx.ID() {
+	case 0:
+		// Send into the vertex that removes itself this same superstep;
+		// delivery must drop it.
+		ctx.Send(1, 99)
+	case 1:
+		ctx.BroadcastOut(ctx.Value().Got)
+		ctx.RemoveSelf()
+	}
+	ctx.VoteToHalt()
+}
+
+func TestMaxSuperstepsError(t *testing.T) {
+	g := graph.Cycle(4, true)
+	e := New[sumVal, float64](g, Options{Workers: 1, MaxSupersteps: 5})
+	_, err := e.Run(&spinProgram{})
+	if err == nil {
+		t.Fatal("expected superstep-limit error")
+	}
+}
+
+type spinProgram struct{}
+
+func (*spinProgram) Init(ctx *Context[sumVal, float64])                    { ctx.BroadcastOut(1) }
+func (*spinProgram) Compute(ctx *Context[sumVal, float64], msgs []float64) { ctx.BroadcastOut(1) }
+
+func TestRunTwiceFails(t *testing.T) {
+	g := graph.Path(2, true)
+	e := New[sumVal, float64](g, Options{})
+	if _, err := e.Run(&directedSendProgram{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(&directedSendProgram{}); err == nil {
+		t.Fatal("second Run should fail")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(0, true).Finalize()
+	e := New[sumVal, float64](g, Options{})
+	stats, err := e.Run(&directedSendProgram{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Supersteps != 0 {
+		t.Fatalf("supersteps = %d, want 0", stats.Supersteps)
+	}
+}
+
+// Property: on a random directed graph, a program where every vertex sends
+// its ID to each out-neighbour exactly once delivers every message exactly
+// once (receiver-side sums match graph structure) for both schedulers and
+// any worker count.
+func TestExactlyOnceDeliveryProperty(t *testing.T) {
+	f := func(seed int64, workerHint uint8, queueSched bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		m := rng.Intn(5 * n)
+		b := graph.NewBuilder(n, true)
+		for i := 0; i < m; i++ {
+			b.AddEdge(graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)))
+		}
+		g := b.Finalize()
+		g.BuildReverse()
+		sched := ScanAll
+		if queueSched {
+			sched = WorkQueue
+		}
+		e := New[sumVal, float64](g, Options{Workers: 1 + int(workerHint%7), Scheduler: sched})
+		if _, err := e.Run(&idSendProgram{}); err != nil {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			want := 0.0
+			for _, v := range g.InNeighbors(graph.VertexID(u)) {
+				want += float64(v) + 1
+			}
+			if e.Value(graph.VertexID(u)).Sum != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// maxPropProgram propagates the maximum vertex ID: converges on any graph.
+type maxPropProgram struct{}
+
+func (maxPropProgram) Init(ctx *Context[echoVal, float64]) {
+	ctx.Value().Best = float64(ctx.ID())
+	ctx.BroadcastOut(ctx.Value().Best)
+	ctx.VoteToHalt()
+}
+
+func (maxPropProgram) Compute(ctx *Context[echoVal, float64], msgs []float64) {
+	best := ctx.Value().Best
+	changed := false
+	for _, m := range msgs {
+		if m > best {
+			best = m
+			changed = true
+		}
+	}
+	if changed {
+		ctx.Value().Best = best
+		ctx.BroadcastOut(best)
+	}
+	ctx.VoteToHalt()
+}
+
+type idSendProgram struct{}
+
+func (*idSendProgram) Init(ctx *Context[sumVal, float64]) {
+	ctx.BroadcastOut(float64(ctx.ID()) + 1)
+	ctx.VoteToHalt()
+}
+
+func (*idSendProgram) Compute(ctx *Context[sumVal, float64], msgs []float64) {
+	for _, m := range msgs {
+		ctx.Value().Sum += m
+	}
+	ctx.VoteToHalt()
+}
+
+// Property: block and hash partitioning produce identical vertex values
+// and message counts for any worker count; only the cross-worker traffic
+// may differ.
+func TestPartitionEquivalenceProperty(t *testing.T) {
+	f := func(seed int64, workerHint uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		m := rng.Intn(4 * n)
+		b := graph.NewBuilder(n, true)
+		for i := 0; i < m; i++ {
+			b.AddEdge(graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)))
+		}
+		g := b.Finalize()
+		workers := 1 + int(workerHint%7)
+		run := func(p Partition) ([]echoVal, int64) {
+			e := New[echoVal, float64](g, Options{Workers: workers, Partition: p})
+			st, err := e.Run(maxPropProgram{})
+			if err != nil {
+				return nil, -1
+			}
+			return e.Values(), st.MessagesSent
+		}
+		v1, m1 := run(PartitionBlock)
+		v2, m2 := run(PartitionHash)
+		if m1 != m2 || v1 == nil {
+			return false
+		}
+		for i := range v1 {
+			if v1[i] != v2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashPartitionSpreadsVertices(t *testing.T) {
+	g := graph.Path(10, true)
+	e := New[echoVal, float64](g, Options{Workers: 2, Partition: PartitionHash})
+	// Vertex v lives on worker v mod 2.
+	for v := 0; v < 10; v++ {
+		if got := e.ownerOf(graph.VertexID(v)); got != v%2 {
+			t.Fatalf("ownerOf(%d) = %d, want %d", v, got, v%2)
+		}
+	}
+	if _, err := e.Run(echoProgram{}); err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 10; u++ {
+		want := float64(u)
+		if u == 0 {
+			want = 1
+		}
+		if got := e.Value(graph.VertexID(u)).Best; got != want {
+			t.Fatalf("hash-partitioned value[%d] = %g, want %g", u, got, want)
+		}
+	}
+}
+
+func TestCrossWorkerCounting(t *testing.T) {
+	// A path graph: with block partitioning only boundary edges cross;
+	// with hash partitioning every consecutive pair crosses.
+	g := graph.Path(16, true)
+	for _, tc := range []struct {
+		part Partition
+		want int64
+	}{{PartitionBlock, 1}, {PartitionHash, 15}} {
+		e := New[echoVal, float64](g, Options{Workers: 2, Partition: tc.part})
+		stats, err := e.Run(echoProgram{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.CrossWorker != tc.want {
+			t.Fatalf("%v: cross-worker = %d, want %d", tc.part, stats.CrossWorker, tc.want)
+		}
+	}
+}
+
+// Property: ScanAll and WorkQueue produce identical vertex values and
+// identical vertex-level message counts on the flood program.
+func TestSchedulerEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		m := rng.Intn(4 * n)
+		b := graph.NewBuilder(n, true)
+		for i := 0; i < m; i++ {
+			b.AddEdge(graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)))
+		}
+		g := b.Finalize()
+		run := func(s Scheduler) ([]echoVal, int64) {
+			e := New[echoVal, float64](g, Options{Workers: 4, Scheduler: s})
+			st, err := e.Run(maxPropProgram{})
+			if err != nil {
+				return nil, -1
+			}
+			return e.Values(), st.MessagesSent
+		}
+		v1, m1 := run(ScanAll)
+		v2, m2 := run(WorkQueue)
+		if m1 != m2 || v1 == nil {
+			return false
+		}
+		for i := range v1 {
+			if v1[i] != v2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsStringAndSteps(t *testing.T) {
+	g := graph.Path(5, true)
+	e := New[echoVal, float64](g, Options{Workers: 2})
+	stats, err := e.Run(echoProgram{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Steps) != stats.Supersteps {
+		t.Fatalf("steps len %d != supersteps %d", len(stats.Steps), stats.Supersteps)
+	}
+	if stats.String() == "" {
+		t.Fatal("empty stats string")
+	}
+	if stats.MessageBytes != stats.CombinedMessages*8 {
+		t.Fatalf("bytes = %d, want %d (8 per float64)", stats.MessageBytes, stats.CombinedMessages*8)
+	}
+}
+
+func TestContextAccessors(t *testing.T) {
+	g := graph.Grid(3, 3, 5, 1)
+	e := New[probeVal, float64](g, Options{Workers: 2})
+	if _, err := e.Run(&probeProgram{}); err != nil {
+		t.Fatal(err)
+	}
+	// Vertex 4 is the grid centre: degree 4.
+	v := e.Value(4)
+	if v.OutDeg != 4 || v.InDeg != 4 {
+		t.Fatalf("centre degrees = (%d,%d), want (4,4)", v.OutDeg, v.InDeg)
+	}
+	if v.N != 9 {
+		t.Fatalf("NumVertices = %d, want 9", v.N)
+	}
+	if !v.Weighted {
+		t.Fatal("expected weights visible")
+	}
+}
+
+type probeVal struct {
+	OutDeg, InDeg, N int
+	Weighted         bool
+}
+
+type probeProgram struct{}
+
+func (*probeProgram) Init(ctx *Context[probeVal, float64]) {
+	v := ctx.Value()
+	v.OutDeg = len(ctx.OutNeighbors())
+	v.InDeg = len(ctx.InNeighbors())
+	v.N = ctx.NumVertices()
+	v.Weighted = ctx.OutWeights() != nil && ctx.InWeights() != nil && ctx.OutDegree() == v.OutDeg
+	if ctx.Graph() == nil {
+		panic("nil graph")
+	}
+	ctx.VoteToHalt()
+}
+
+func (*probeProgram) Compute(ctx *Context[probeVal, float64], msgs []float64) { ctx.VoteToHalt() }

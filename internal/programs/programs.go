@@ -1,0 +1,47 @@
+// Package programs embeds the ΔV benchmark and example programs used
+// throughout the repository: the four programs of the paper's evaluation
+// (PageRank, SSSP, CC, HITS) plus an extension corpus exercising every
+// aggregation operator and phase structure.
+package programs
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+//go:embed src/*.dv
+var fs embed.FS
+
+// Source returns the ΔV source text of the named program (e.g. "pagerank").
+func Source(name string) (string, error) {
+	b, err := fs.ReadFile("src/" + name + ".dv")
+	if err != nil {
+		return "", fmt.Errorf("programs: unknown program %q (have: %s)", name, strings.Join(Names(), ", "))
+	}
+	return string(b), nil
+}
+
+// MustSource is Source but panics on unknown names; for tests and benches.
+func MustSource(name string) string {
+	s, err := Source(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Names lists the available program names, sorted.
+func Names() []string {
+	entries, err := fs.ReadDir("src")
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range entries {
+		out = append(out, strings.TrimSuffix(e.Name(), ".dv"))
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,45 @@
+package programs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNamesListsWholeCorpus(t *testing.T) {
+	names := Names()
+	want := []string{"allreach", "bfs", "cc", "degreesum", "hits", "maxval",
+		"pagerank", "prod", "reach", "sssp", "twophase", "wcc"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+func TestSourceAndErrors(t *testing.T) {
+	src, err := Source("pagerank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "init {") || !strings.Contains(src, "iter i") {
+		t.Fatalf("pagerank source unexpected:\n%s", src)
+	}
+	if _, err := Source("no-such-program"); err == nil {
+		t.Fatal("unknown program should error")
+	}
+	if got := MustSource("cc"); !strings.Contains(got, "#neighbors") {
+		t.Fatal("cc source unexpected")
+	}
+}
+
+func TestMustSourcePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSource should panic on unknown name")
+		}
+	}()
+	MustSource("nope")
+}

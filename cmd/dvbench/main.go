@@ -1,34 +1,81 @@
 // Command dvbench regenerates the paper's evaluation tables and figures on
-// the synthetic stand-in datasets.
+// the synthetic stand-in datasets, and snapshots the engine's
+// message-plane micro-benchmarks.
 //
 // Usage:
 //
-//	dvbench -exp table1|table2|fig4|fig5|ablations|all [-runs N]
+//	dvbench -exp table1|table2|fig4|fig5|ablations|pregel|all [-runs N]
+//	dvbench -exp pregel -json BENCH_pregel.json -label before|after
+//	dvbench -exp fig4 -cpuprofile cpu.out -memprofile mem.out
 //
 // Output is plain text, one block per table/figure, with the ΔV / ΔV★ /
-// Pregel+ rows of each experiment and a ratio summary for Figure 4.
+// Pregel+ rows of each experiment and a ratio summary for Figure 4. The
+// pregel experiment emits engine micro-benchmark rows (ns/op, B/op,
+// allocs/op) and, with -json, merges them into a labelled snapshot file so
+// before/after engine changes stay diffable in-repo. The -cpuprofile and
+// -memprofile flags write pprof profiles of the paper-table runs for
+// `go tool pprof`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/bench"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, fig4, fig5, ablations, all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig4, fig5, ablations, pregel, all")
 	runs := flag.Int("runs", 3, "runs to average for timing experiments (paper: 3)")
+	jsonPath := flag.String("json", "", "merge pregel micro-benchmark results into this JSON snapshot file")
+	label := flag.String("label", "after", "snapshot label for -json (conventionally before/after)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the experiment run to this file")
 	flag.Parse()
 
-	if err := run(*exp, *runs); err != nil {
+	if err := profiled(*cpuprofile, *memprofile, func() error {
+		return run(*exp, *runs, *jsonPath, *label)
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "dvbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, runs int) error {
+// profiled wraps fn with optional CPU and heap profiling so paper-table
+// runs can be inspected with `go tool pprof`.
+func profiled(cpuPath, memPath string, fn func() error) error {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := fn(); err != nil {
+		return err
+	}
+	if memPath != "" {
+		f, err := os.Create(memPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // materialize a settled heap before snapshotting
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func run(exp string, runs int, jsonPath, label string) error {
 	out := os.Stdout
 	want := func(name string) bool { return exp == "all" || exp == name }
 	any := false
@@ -126,6 +173,24 @@ func run(exp string, runs int) error {
 			return err
 		}
 		fmt.Fprintln(out)
+	}
+	if exp == "pregel" { // excluded from "all": it re-times the engine for ~10s
+		any = true
+		rows := bench.PregelMicro()
+		fmt.Fprintln(out, "== Engine micro-benchmarks: message plane ==")
+		if err := bench.RenderMicro(out, rows); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		if jsonPath != "" {
+			if err := bench.WriteMicroSnapshot(jsonPath, label, rows); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "snapshot %q written to %s\n", label, jsonPath)
+			if err := bench.RenderMicroDelta(out, jsonPath); err != nil {
+				return err
+			}
+		}
 	}
 	if !any {
 		return fmt.Errorf("unknown experiment %q", exp)

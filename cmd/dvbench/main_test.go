@@ -26,7 +26,7 @@ func captureStdout(t *testing.T, fn func() error) string {
 }
 
 func TestRunTable1(t *testing.T) {
-	out := captureStdout(t, func() error { return run("table1", 1) })
+	out := captureStdout(t, func() error { return run("table1", 1, "", "") })
 	for _, want := range []string{"Table 1", "wikipedia-s", "facebook-s", "136.54M"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("table1 output missing %q:\n%s", want, out)
@@ -35,14 +35,36 @@ func TestRunTable1(t *testing.T) {
 }
 
 func TestRunTable2(t *testing.T) {
-	out := captureStdout(t, func() error { return run("table2", 1) })
+	out := captureStdout(t, func() error { return run("table2", 1, "", "") })
 	if !strings.Contains(out, "48B") || !strings.Contains(out, "pagerank") {
 		t.Fatalf("table2 output:\n%s", out)
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("bogus", 1); err == nil {
+	if err := run("bogus", 1, "", ""); err == nil {
 		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestProfiledWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := dir + "/cpu.out"
+	mem := dir + "/mem.out"
+	ran := false
+	if err := profiled(cpu, mem, func() error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("profiled did not invoke fn")
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("missing profile %s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("empty profile %s", p)
+		}
 	}
 }

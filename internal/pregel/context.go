@@ -54,7 +54,8 @@ func (c *Context[V, M]) OutDegree() int { return c.eng.g.OutDegree(c.id) }
 func (c *Context[V, M]) Send(to VertexID, m M) {
 	w := c.w
 	d := c.eng.ownerOf(to)
-	w.out[d] = append(w.out[d], envelope[M]{to: to, msg: m})
+	w.outTo[d] = append(w.outTo[d], to)
+	w.outMsg[d] = append(w.outMsg[d], m)
 	w.sent++
 }
 
@@ -83,24 +84,25 @@ func (c *Context[V, M]) VoteToHalt() { c.votedHalt = true }
 func (c *Context[V, M]) RemoveSelf() { c.removeSelf = true }
 
 // Aggregate contributes v to the named master aggregator; the reduced value
-// becomes visible through AggValue at the next superstep.
+// becomes visible through AggValue at the next superstep. Contributions
+// accumulate into a dense per-worker array indexed by the aggregator's
+// registration order, so the hot path never touches a string-keyed map.
 func (c *Context[V, M]) Aggregate(name string, v float64) {
-	w := c.w
-	if w.aggPending == nil {
-		w.aggPending = map[string]float64{}
-	}
 	a, ok := c.eng.aggs[name]
 	if !ok {
 		panic("pregel: Aggregate to unregistered aggregator " + name)
 	}
-	if cur, seen := w.aggPending[name]; seen {
-		if a.persistent {
-			w.aggPending[name] = cur + v
-		} else {
-			w.aggPending[name] = aggReduce(a.op, cur, v)
-		}
+	w := c.w
+	i := a.index
+	if !w.aggSeen[i] {
+		w.aggSeen[i] = true
+		w.aggPend[i] = v
+		return
+	}
+	if a.persistent {
+		w.aggPend[i] += v
 	} else {
-		w.aggPending[name] = v
+		w.aggPend[i] = aggReduce(a.op, w.aggPend[i], v)
 	}
 }
 

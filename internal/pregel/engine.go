@@ -28,7 +28,7 @@ type Engine[V, M any] struct {
 	combiner   Combiner[M]
 	msgBytes   int
 	aggs       map[string]*aggregator
-	aggNames   []string
+	aggList    []*aggregator // registration order; index == aggregator.index
 	masterHook func(*MasterContext)
 	globals    any
 
@@ -40,17 +40,22 @@ type Engine[V, M any] struct {
 	ran   bool
 }
 
-type envelope[M any] struct {
-	to  VertexID
-	msg M
-}
-
+// worker owns a contiguous slot range and all the scratch its superstep
+// loop needs. Every buffer here is allocated once (in New or at the start
+// of Run) and reused across supersteps, so a warmed-up steady-state
+// superstep performs no heap allocation — see DESIGN.md "Message plane".
 type worker[V, M any] struct {
 	id     int
 	lo, hi int // local vertex range [lo, hi)
 	eng    *Engine[V, M]
 
-	out [][]envelope[M] // per destination worker
+	// Outboxes, one per destination worker, in structure-of-arrays form:
+	// outTo[d][i] is the destination vertex of the i-th envelope to worker
+	// d and outMsg[d][i] its payload. The count/scatter passes of exchange
+	// stream over the compact outTo arrays without dragging payloads
+	// through cache.
+	outTo  [][]VertexID
+	outMsg [][]M
 
 	msgOff []int32 // per local vertex +1, offsets into msgBuf
 	msgBuf []M
@@ -60,6 +65,21 @@ type worker[V, M any] struct {
 	queued    []uint32
 	stamp     uint32
 
+	// Exchange scatter cursor, sized once in New.
+	cursor []int32
+
+	// Dense combining scratch: combSlot[li] is the index (into the
+	// combined prefix of the bucket being processed) of the envelope
+	// addressed to local destination slot li; valid only while
+	// combStamp[li] == combEpoch, so the table is never cleared.
+	combSlot  []int32
+	combStamp []uint32
+	combEpoch uint32
+
+	// Reusable fallback index for KeyedCombiner, where (vertex, key)
+	// pairs are too sparse for a dense table.
+	keyedIdx map[uint64]int32
+
 	ctx Context[V, M]
 
 	// Per-superstep partial stats.
@@ -68,7 +88,10 @@ type worker[V, M any] struct {
 	delivered  int
 	cross      int
 	nextActive int
-	aggPending map[string]float64
+
+	// Pending aggregator contributions, dense over registration order.
+	aggPend []float64
+	aggSeen []bool
 }
 
 // New creates an Engine over g with the given options.
@@ -113,14 +136,16 @@ func New[V, M any](g *graph.Graph, opts Options) *Engine[V, M] {
 			}
 		}
 		wk := &worker[V, M]{
-			id:  w,
-			lo:  lo,
-			hi:  hi,
-			eng: e,
-			out: make([][]envelope[M], opts.Workers),
+			id:     w,
+			lo:     lo,
+			hi:     hi,
+			eng:    e,
+			outTo:  make([][]VertexID, opts.Workers),
+			outMsg: make([][]M, opts.Workers),
 		}
 		wk.msgOff = make([]int32, hi-lo+1)
 		wk.queued = make([]uint32, hi-lo)
+		wk.cursor = make([]int32, hi-lo)
 		wk.ctx = Context[V, M]{eng: e, w: wk}
 		e.workers = append(e.workers, wk)
 	}
@@ -144,7 +169,9 @@ func (e *Engine[V, M]) SetGlobals(g any) { e.globals = g }
 
 // RegisterAggregator registers a master aggregator. Persistent aggregators
 // must use AggSum; their value carries across supersteps and vertex
-// contributions are treated as adjustments.
+// contributions are treated as adjustments. Names are resolved to dense
+// indices here, once, so the per-superstep aggregation path stays free of
+// string-keyed maps.
 func (e *Engine[V, M]) RegisterAggregator(name string, op AggregatorOp, persistent bool) error {
 	if persistent && op != AggSum {
 		return fmt.Errorf("pregel: persistent aggregator %q must use AggSum", name)
@@ -152,7 +179,7 @@ func (e *Engine[V, M]) RegisterAggregator(name string, op AggregatorOp, persiste
 	if _, dup := e.aggs[name]; dup {
 		return fmt.Errorf("pregel: duplicate aggregator %q", name)
 	}
-	a := &aggregator{op: op, persistent: persistent}
+	a := &aggregator{op: op, persistent: persistent, index: len(e.aggList)}
 	a.value = aggIdentity(op)
 	if persistent {
 		a.value = 0
@@ -162,7 +189,7 @@ func (e *Engine[V, M]) RegisterAggregator(name string, op AggregatorOp, persiste
 		a.pending = 0
 	}
 	e.aggs[name] = a
-	e.aggNames = append(e.aggNames, name)
+	e.aggList = append(e.aggList, a)
 	return nil
 }
 
@@ -233,6 +260,27 @@ func (e *Engine[V, M]) Run(prog Program[V, M]) (*Stats, error) {
 	}
 	start := time.Now()
 
+	// Size the remaining per-run scratch now that combiner and aggregators
+	// are known; nothing below allocates per superstep.
+	_, keyed := e.combiner.(KeyedCombiner[M])
+	for _, wk := range e.workers {
+		wk.aggPend = make([]float64, len(e.aggList))
+		wk.aggSeen = make([]bool, len(e.aggList))
+		if e.combiner != nil && !keyed {
+			wk.combSlot = make([]int32, e.block)
+			wk.combStamp = make([]uint32, e.block)
+		}
+	}
+	e.stats.Steps = make([]StepStats, 0, min(e.opts.MaxSupersteps, 4096))
+	var mc *MasterContext
+	if e.masterHook != nil {
+		mc = &MasterContext{
+			aggValue:   e.AggregatorValue,
+			setGlobals: func(g any) { e.globals = g },
+			getGlobals: func() any { return e.globals },
+		}
+	}
+
 	cmds := make([]chan workerCmd, len(e.workers))
 	var wg sync.WaitGroup
 	for i, wk := range e.workers {
@@ -289,13 +337,10 @@ func (e *Engine[V, M]) Run(prog Program[V, M]) (*Stats, error) {
 
 		e.activateAll = false
 		if e.masterHook != nil {
-			mc := &MasterContext{
-				step:       st,
-				nextActive: nextActive,
-				aggValue:   e.AggregatorValue,
-				setGlobals: func(g any) { e.globals = g },
-				getGlobals: func() any { return e.globals },
-			}
+			mc.step = st
+			mc.nextActive = nextActive
+			mc.activateAll = false
+			mc.stop = false
 			e.masterHook(mc)
 			if mc.activateAll {
 				e.activateAll = true
@@ -318,28 +363,31 @@ func (e *Engine[V, M]) Run(prog Program[V, M]) (*Stats, error) {
 	return &e.stats, nil
 }
 
+// mergeAggregators folds every worker's dense pending array into the
+// committed aggregator values. Worker order is fixed, so float reductions
+// are deterministic run to run.
 func (e *Engine[V, M]) mergeAggregators() {
 	for _, wk := range e.workers {
-		for name, v := range wk.aggPending {
-			a := e.aggs[name]
+		for i, seen := range wk.aggSeen {
+			if !seen {
+				continue
+			}
+			wk.aggSeen[i] = false
+			a := e.aggList[i]
 			if a.persistent {
-				a.pending += v
+				a.pending += wk.aggPend[i]
 			} else {
-				a.pending = aggReduce(a.op, a.pending, v)
-				a.touched = true
+				a.pending = aggReduce(a.op, a.pending, wk.aggPend[i])
 			}
 		}
-		clear(wk.aggPending)
 	}
-	for _, name := range e.aggNames {
-		a := e.aggs[name]
+	for _, a := range e.aggList {
 		if a.persistent {
 			a.value += a.pending
 			a.pending = 0
 		} else {
 			a.value = a.pending
 			a.pending = aggIdentity(a.op)
-			a.touched = false
 		}
 	}
 }
@@ -349,8 +397,9 @@ func (e *Engine[V, M]) mergeAggregators() {
 func (w *worker[V, M]) compute(prog Program[V, M]) {
 	e := w.eng
 	w.sent, w.ran = 0, 0
-	for d := range w.out {
-		w.out[d] = w.out[d][:0]
+	for d := range w.outTo {
+		w.outTo[d] = w.outTo[d][:0]
+		w.outMsg[d] = w.outMsg[d][:0]
 	}
 	queue := e.opts.Scheduler == WorkQueue
 	if queue {
@@ -424,34 +473,80 @@ func (w *worker[V, M]) hasMsgs(slot int) bool {
 
 // combineOut merges messages per destination vertex (and per key, for
 // KeyedCombiners) within each destination-worker bucket, deterministically
-// (insertion order).
+// (insertion order). The plain-combiner path indexes envelopes by
+// destination slot through a dense epoch-stamped table and compacts each
+// bucket in place: the combined prefix [0, j) only ever trails the read
+// position, so no fresh buffer and no per-bucket map is needed.
 func (w *worker[V, M]) combineOut() {
+	if keyed, ok := w.eng.combiner.(KeyedCombiner[M]); ok {
+		w.combineKeyed(keyed)
+		return
+	}
 	c := w.eng.combiner
-	keyed, _ := c.(KeyedCombiner[M])
-	for d, bucket := range w.out {
-		if len(bucket) <= 1 {
+	block := w.eng.block
+	for d := range w.outTo {
+		to, msg := w.outTo[d], w.outMsg[d]
+		if len(to) <= 1 {
 			continue
 		}
-		idx := make(map[uint64]int, len(bucket))
-		combined := bucket[:0:0] // fresh slice, keep bucket for reading
-		for _, env := range bucket {
-			k := uint64(env.to)
-			if keyed != nil {
-				k |= uint64(keyed.Key(env.msg)) << 32
-			}
-			if j, ok := idx[k]; ok {
-				combined[j].msg = c.Combine(combined[j].msg, env.msg)
-			} else {
-				idx[k] = len(combined)
-				combined = append(combined, env)
-			}
+		w.combEpoch++
+		if w.combEpoch == 0 { // uint32 wrap: stale stamps would alias
+			clear(w.combStamp)
+			w.combEpoch = 1
 		}
-		w.out[d] = combined
+		base := d * block
+		j := 0
+		for i, t := range to {
+			li := w.eng.slotOf(t) - base
+			if w.combStamp[li] == w.combEpoch {
+				k := w.combSlot[li]
+				msg[k] = c.Combine(msg[k], msg[i])
+				continue
+			}
+			w.combStamp[li] = w.combEpoch
+			w.combSlot[li] = int32(j)
+			to[j] = t
+			msg[j] = msg[i]
+			j++
+		}
+		w.outTo[d] = to[:j]
+		w.outMsg[d] = msg[:j]
+	}
+}
+
+// combineKeyed is the sparse fallback: (destination, key) pairs don't fit
+// a dense table, so a reusable per-worker map indexes the combined prefix.
+func (w *worker[V, M]) combineKeyed(c KeyedCombiner[M]) {
+	if w.keyedIdx == nil {
+		w.keyedIdx = make(map[uint64]int32)
+	}
+	for d := range w.outTo {
+		to, msg := w.outTo[d], w.outMsg[d]
+		if len(to) <= 1 {
+			continue
+		}
+		clear(w.keyedIdx)
+		j := 0
+		for i, t := range to {
+			k := uint64(t) | uint64(c.Key(msg[i]))<<32
+			if p, ok := w.keyedIdx[k]; ok {
+				msg[p] = c.Combine(msg[p], msg[i])
+				continue
+			}
+			w.keyedIdx[k] = int32(j)
+			to[j] = t
+			msg[j] = msg[i]
+			j++
+		}
+		w.outTo[d] = to[:j]
+		w.outMsg[d] = msg[:j]
 	}
 }
 
 // exchange gathers inbound envelopes into a per-vertex CSR inbox, wakes
-// receivers, and counts the vertices runnable next superstep.
+// receivers, and counts the vertices runnable next superstep. The count
+// and scatter passes read only the senders' outTo arrays; payloads are
+// touched once, during the scatter copy.
 func (w *worker[V, M]) exchange() {
 	e := w.eng
 	w.delivered = 0
@@ -462,11 +557,11 @@ func (w *worker[V, M]) exchange() {
 	}
 	// Count.
 	for _, src := range e.workers {
-		for _, env := range src.out[w.id] {
-			if e.removed[env.to] {
+		for _, to := range src.outTo[w.id] {
+			if e.removed[to] {
 				continue
 			}
-			off[e.slotOf(env.to)-w.lo+1]++
+			off[e.slotOf(to)-w.lo+1]++
 			w.delivered++
 			if src.id != w.id {
 				w.cross++
@@ -481,15 +576,16 @@ func (w *worker[V, M]) exchange() {
 	} else {
 		w.msgBuf = w.msgBuf[:w.delivered]
 	}
-	cursor := make([]int32, w.hi-w.lo)
+	cursor := w.cursor
 	copy(cursor, off[:w.hi-w.lo])
 	for _, src := range e.workers {
-		for _, env := range src.out[w.id] {
-			if e.removed[env.to] {
+		msgs := src.outMsg[w.id]
+		for i, to := range src.outTo[w.id] {
+			if e.removed[to] {
 				continue
 			}
-			li := e.slotOf(env.to) - w.lo
-			w.msgBuf[cursor[li]] = env.msg
+			li := e.slotOf(to) - w.lo
+			w.msgBuf[cursor[li]] = msgs[i]
 			cursor[li]++
 		}
 	}
@@ -500,13 +596,12 @@ func (w *worker[V, M]) exchange() {
 	// points out for a non-halt-by-default runtime.
 	if e.opts.Scheduler == WorkQueue {
 		for _, src := range e.workers {
-			for _, env := range src.out[w.id] {
-				u := int(env.to)
-				if e.removed[u] {
+			for _, to := range src.outTo[w.id] {
+				if e.removed[to] {
 					continue
 				}
-				e.active[u] = true
-				w.enqueue(e.slotOf(env.to))
+				e.active[to] = true
+				w.enqueue(e.slotOf(to))
 			}
 		}
 		w.nextActive = len(w.next)

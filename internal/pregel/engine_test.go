@@ -547,6 +547,60 @@ func TestSchedulerEquivalenceProperty(t *testing.T) {
 	}
 }
 
+// constKeyCombiner wraps a plain sum combiner in the KeyedCombiner
+// interface with a constant key, which forces the engine down the sparse
+// map-indexed combining fallback while describing the exact same
+// per-destination merge as the dense slot-table path.
+type constKeyCombiner struct{}
+
+func (constKeyCombiner) Combine(a, b float64) float64 { return a + b }
+func (constKeyCombiner) Key(float64) uint32           { return 0 }
+
+// Property: the dense slot-indexed combiner and the map-based keyed
+// fallback produce identical message statistics and identical vertex
+// values on random graphs — the dense rework must be observationally
+// equivalent to the original map scheme.
+func TestDenseCombinerMatchesKeyedFallbackProperty(t *testing.T) {
+	f := func(seed int64, workerHint uint8, hashPart bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		m := rng.Intn(6 * n)
+		b := graph.NewBuilder(n, true)
+		for i := 0; i < m; i++ {
+			b.AddEdge(graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n)))
+		}
+		g := b.Finalize()
+		part := PartitionBlock
+		if hashPart {
+			part = PartitionHash
+		}
+		workers := 1 + int(workerHint%7)
+		run := func(c Combiner[float64]) ([]sumVal, int64, int64) {
+			e := New[sumVal, float64](g, Options{Workers: workers, Partition: part})
+			e.SetCombiner(c)
+			st, err := e.Run(sumAllProgram{rounds: 3})
+			if err != nil {
+				return nil, -1, -1
+			}
+			return e.Values(), st.MessagesSent, st.CombinedMessages
+		}
+		v1, sent1, comb1 := run(CombinerFunc[float64](func(a, b float64) float64 { return a + b }))
+		v2, sent2, comb2 := run(constKeyCombiner{})
+		if v1 == nil || sent1 != sent2 || comb1 != comb2 {
+			return false
+		}
+		for i := range v1 {
+			if v1[i] != v2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestStatsStringAndSteps(t *testing.T) {
 	g := graph.Path(5, true)
 	e := New[echoVal, float64](g, Options{Workers: 2})

@@ -153,9 +153,9 @@ const (
 type aggregator struct {
 	op         AggregatorOp
 	persistent bool
+	index      int     // registration order; position in worker pending arrays
 	value      float64 // committed value visible to vertices
 	pending    float64 // being accumulated this superstep
-	touched    bool
 }
 
 func aggIdentity(op AggregatorOp) float64 {

@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bench"
@@ -71,7 +72,7 @@ func benchVariant(b *testing.B, program, dataset, variant string) {
 	var row bench.PerfRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		row, err = bench.Measure(program, dataset, variant, 1)
+		row, err = bench.Measure(context.Background(), program, dataset, variant, 1)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -7,6 +7,13 @@
 //	dvbench -exp table1|table2|fig4|fig5|ablations|pregel|all [-runs N]
 //	dvbench -exp pregel -json BENCH_pregel.json -label before|after
 //	dvbench -exp fig4 -cpuprofile cpu.out -memprofile mem.out
+//	dvbench -exp fig4 -timeout 30s
+//
+// A -timeout bounds the whole invocation; SIGINT (Ctrl-C) cancels it. In
+// both cases the current run aborts at its next superstep barrier and
+// dvbench exits 1 with the abort reason; pregel micro-benchmark rows
+// measured before the abort keep their numbers and the remainder carry an
+// abort_reason marker in the JSON snapshot.
 //
 // Output is plain text, one block per table/figure, with the ΔV / ΔV★ /
 // Pregel+ rows of each experiment and a ratio summary for Figure 4. The
@@ -18,9 +25,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 
@@ -34,10 +43,19 @@ func main() {
 	label := flag.String("label", "after", "snapshot label for -json (conventionally before/after)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the experiment run to this file")
+	timeout := flag.Duration("timeout", 0, "abort the whole invocation after this duration (0 = no limit)")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	if err := profiled(*cpuprofile, *memprofile, func() error {
-		return run(*exp, *runs, *jsonPath, *label)
+		return run(ctx, *exp, *runs, *jsonPath, *label)
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "dvbench:", err)
 		os.Exit(1)
@@ -75,7 +93,7 @@ func profiled(cpuPath, memPath string, fn func() error) error {
 	return nil
 }
 
-func run(exp string, runs int, jsonPath, label string) error {
+func run(ctx context.Context, exp string, runs int, jsonPath, label string) error {
 	out := os.Stdout
 	want := func(name string) bool { return exp == "all" || exp == name }
 	any := false
@@ -106,7 +124,7 @@ func run(exp string, runs int, jsonPath, label string) error {
 	}
 	if want("fig4") {
 		any = true
-		rows, err := bench.Figure4(runs)
+		rows, err := bench.Figure4(ctx, runs)
 		if err != nil {
 			return err
 		}
@@ -121,7 +139,7 @@ func run(exp string, runs int, jsonPath, label string) error {
 	}
 	if want("fig5") {
 		any = true
-		rows, err := bench.Figure5(runs)
+		rows, err := bench.Figure5(ctx, runs)
 		if err != nil {
 			return err
 		}
@@ -133,7 +151,7 @@ func run(exp string, runs int, jsonPath, label string) error {
 	if want("ablations") {
 		any = true
 		const ds = "livejournal-dg-s"
-		mt, err := bench.AblationMemoTable(ds, runs)
+		mt, err := bench.AblationMemoTable(ctx, ds, runs)
 		if err != nil {
 			return err
 		}
@@ -141,7 +159,7 @@ func run(exp string, runs int, jsonPath, label string) error {
 			return err
 		}
 		fmt.Fprintln(out)
-		eps, err := bench.AblationEpsilon(ds, []float64{0, 1e-9, 1e-6, 1e-4, 1e-3})
+		eps, err := bench.AblationEpsilon(ctx, ds, []float64{0, 1e-9, 1e-6, 1e-4, 1e-3})
 		if err != nil {
 			return err
 		}
@@ -149,7 +167,7 @@ func run(exp string, runs int, jsonPath, label string) error {
 			return err
 		}
 		fmt.Fprintln(out)
-		sched, err := bench.AblationScheduler(ds, runs)
+		sched, err := bench.AblationScheduler(ctx, ds, runs)
 		if err != nil {
 			return err
 		}
@@ -157,7 +175,7 @@ func run(exp string, runs int, jsonPath, label string) error {
 			return err
 		}
 		fmt.Fprintln(out)
-		comb, err := bench.AblationCombiner(ds, runs)
+		comb, err := bench.AblationCombiner(ctx, ds, runs)
 		if err != nil {
 			return err
 		}
@@ -165,7 +183,7 @@ func run(exp string, runs int, jsonPath, label string) error {
 			return err
 		}
 		fmt.Fprintln(out)
-		part, err := bench.AblationPartition("wikipedia-s", runs)
+		part, err := bench.AblationPartition(ctx, "wikipedia-s", runs)
 		if err != nil {
 			return err
 		}
@@ -176,7 +194,7 @@ func run(exp string, runs int, jsonPath, label string) error {
 	}
 	if exp == "pregel" { // excluded from "all": it re-times the engine for ~10s
 		any = true
-		rows := bench.PregelMicro()
+		rows := bench.PregelMicro(ctx)
 		fmt.Fprintln(out, "== Engine micro-benchmarks: message plane ==")
 		if err := bench.RenderMicro(out, rows); err != nil {
 			return err

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"strings"
 	"testing"
@@ -26,7 +27,7 @@ func captureStdout(t *testing.T, fn func() error) string {
 }
 
 func TestRunTable1(t *testing.T) {
-	out := captureStdout(t, func() error { return run("table1", 1, "", "") })
+	out := captureStdout(t, func() error { return run(context.Background(), "table1", 1, "", "") })
 	for _, want := range []string{"Table 1", "wikipedia-s", "facebook-s", "136.54M"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("table1 output missing %q:\n%s", want, out)
@@ -35,14 +36,14 @@ func TestRunTable1(t *testing.T) {
 }
 
 func TestRunTable2(t *testing.T) {
-	out := captureStdout(t, func() error { return run("table2", 1, "", "") })
+	out := captureStdout(t, func() error { return run(context.Background(), "table2", 1, "", "") })
 	if !strings.Contains(out, "48B") || !strings.Contains(out, "pagerank") {
 		t.Fatalf("table2 output:\n%s", out)
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("bogus", 1, "", ""); err == nil {
+	if err := run(context.Background(), "bogus", 1, "", ""); err == nil {
 		t.Fatal("unknown experiment should error")
 	}
 }

@@ -4,25 +4,36 @@
 // Usage:
 //
 //	dvrun [-mode dv|dvstar|memotable] (-program name | -file prog.dv)
-//	      (-dataset name | -edges file.el [-directed] | -gen spec)
-//	      [-param k=v]... [-workers N] [-queue] [-combine] [-epsilon e]
-//	      [-show field] [-top N]
+//	      (-dataset name | -edges file.el [-directed] | -gen spec [-seed n])
+//	      [-param k=v]... [-workers N] [-queue] [-hash] [-combine] [-epsilon e]
+//	      [-show field] [-top N] [-trace] [-timeout d]
 //
-// Generator specs: rmat:scale:edgefactor, ba:n:k, er:n:m, grid:rows:cols,
-// ws:n:k:beta (Watts–Strogatz small world).
+// Exactly one graph source (-dataset, -edges or -gen) must be given;
+// conflicting sources are an error. Generator specs: rmat:scale:edgefactor,
+// ba:n:k, er:n:m, grid:rows:cols, ws:n:k:beta (Watts–Strogatz small world).
+//
+// A -timeout bounds the whole run; SIGINT (Ctrl-C) cancels it. In both
+// cases the run aborts at its next superstep barrier, dvrun prints the
+// statistics accumulated so far with an "aborted:" line (and, with -trace,
+// the completed per-superstep rows), and exits 1.
+//
 // Examples:
 //
 //	dvrun -program pagerank -dataset wikipedia-s
 //	dvrun -program sssp -gen grid:50:50 -param src=0 -show dist -top 5
+//	dvrun -program pagerank -gen rmat:20:16 -timeout 10s -trace
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/deltav/vm"
@@ -48,36 +59,65 @@ func (p paramFlags) Set(s string) error {
 	return nil
 }
 
+// flagVals holds the parsed flag values; registerFlags binds them onto a
+// FlagSet so tests can enumerate the registered flags and check them
+// against the doc comment above.
+type flagVals struct {
+	mode, progName, file string
+	dataset, edges, gen  string
+	directed             bool
+	seed                 int64
+	workers              int
+	queue, hash, combine bool
+	trace                bool
+	epsilon              float64
+	show                 string
+	top                  int
+	timeout              time.Duration
+	params               paramFlags
+}
+
+func registerFlags(fs *flag.FlagSet) *flagVals {
+	v := &flagVals{params: paramFlags{}}
+	fs.StringVar(&v.mode, "mode", "dv", "compile mode: dv, dvstar, memotable")
+	fs.StringVar(&v.progName, "program", "", "embedded program name")
+	fs.StringVar(&v.file, "file", "", "ΔV source file")
+	fs.StringVar(&v.dataset, "dataset", "", "stand-in dataset name")
+	fs.StringVar(&v.edges, "edges", "", "edge-list file")
+	fs.BoolVar(&v.directed, "directed", true, "treat -edges input as directed")
+	fs.StringVar(&v.gen, "gen", "", "generator spec (rmat:scale:ef, ba:n:k, er:n:m, grid:r:c, ws:n:k:beta)")
+	fs.Int64Var(&v.seed, "seed", 1, "generator seed")
+	fs.IntVar(&v.workers, "workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	fs.BoolVar(&v.queue, "queue", false, "use the work-queue (halt-by-default) scheduler")
+	fs.BoolVar(&v.hash, "hash", false, "use hash (v mod W) vertex placement instead of blocks")
+	fs.BoolVar(&v.combine, "combine", true, "enable message combiners")
+	fs.BoolVar(&v.trace, "trace", false, "print per-superstep statistics")
+	fs.Float64Var(&v.epsilon, "epsilon", 0, "allowable-slop ε (§9)")
+	fs.StringVar(&v.show, "show", "", "print this field's values")
+	fs.IntVar(&v.top, "top", 10, "how many values to print with -show")
+	fs.DurationVar(&v.timeout, "timeout", 0, "abort the run after this duration (0 = no limit)")
+	fs.Var(v.params, "param", "program parameter override, name=value (repeatable)")
+	return v
+}
+
+func (v *flagVals) config() runConfig {
+	return runConfig{
+		mode: v.mode, progName: v.progName, file: v.file,
+		dataset: v.dataset, edges: v.edges, directed: v.directed, gen: v.gen, seed: v.seed,
+		workers: v.workers, queue: v.queue, hash: v.hash, combine: v.combine,
+		epsilon: v.epsilon, show: v.show, top: v.top, trace: v.trace,
+		timeout: v.timeout, params: v.params,
+	}
+}
+
 func main() {
-	var (
-		mode     = flag.String("mode", "dv", "compile mode: dv, dvstar, memotable")
-		progName = flag.String("program", "", "embedded program name")
-		file     = flag.String("file", "", "ΔV source file")
-		dataset  = flag.String("dataset", "", "stand-in dataset name")
-		edges    = flag.String("edges", "", "edge-list file")
-		directed = flag.Bool("directed", true, "treat -edges input as directed")
-		gen      = flag.String("gen", "", "generator spec (rmat:scale:ef, ba:n:k, er:n:m, grid:r:c)")
-		seed     = flag.Int64("seed", 1, "generator seed")
-		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-		queue    = flag.Bool("queue", false, "use the work-queue (halt-by-default) scheduler")
-		hash     = flag.Bool("hash", false, "use hash (v mod W) vertex placement instead of blocks")
-		combine  = flag.Bool("combine", true, "enable message combiners")
-		trace    = flag.Bool("trace", false, "print per-superstep statistics")
-		epsilon  = flag.Float64("epsilon", 0, "allowable-slop ε (§9)")
-		show     = flag.String("show", "", "print this field's values")
-		top      = flag.Int("top", 10, "how many values to print with -show")
-		params   = paramFlags{}
-	)
-	flag.Var(params, "param", "program parameter override, name=value (repeatable)")
+	vals := registerFlags(flag.CommandLine)
 	flag.Parse()
 
-	cfg := runConfig{
-		mode: *mode, progName: *progName, file: *file,
-		dataset: *dataset, edges: *edges, directed: *directed, gen: *gen, seed: *seed,
-		workers: *workers, queue: *queue, hash: *hash, combine: *combine,
-		epsilon: *epsilon, show: *show, top: *top, trace: *trace, params: params,
-	}
-	if err := run(cfg); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if err := run(ctx, vals.config()); err != nil {
 		fmt.Fprintln(os.Stderr, "dvrun:", err)
 		os.Exit(1)
 	}
@@ -94,10 +134,29 @@ type runConfig struct {
 	show                 string
 	top                  int
 	trace                bool
+	timeout              time.Duration
 	params               paramFlags
 }
 
 func loadGraph(dataset, edges string, directed bool, gen string, seed int64) (*graph.Graph, error) {
+	var sources []string
+	if dataset != "" {
+		sources = append(sources, "-dataset")
+	}
+	if edges != "" {
+		sources = append(sources, "-edges")
+	}
+	if gen != "" {
+		sources = append(sources, "-gen")
+	}
+	switch len(sources) {
+	case 0:
+		return nil, fmt.Errorf("need one of -dataset, -edges, -gen")
+	case 1:
+		// fall through to the single selected source below
+	default:
+		return nil, fmt.Errorf("conflicting graph sources: %s — pick exactly one", strings.Join(sources, " and "))
+	}
 	switch {
 	case dataset != "":
 		d, err := graph.DatasetByName(dataset)
@@ -112,10 +171,9 @@ func loadGraph(dataset, edges string, directed bool, gen string, seed int64) (*g
 		}
 		defer f.Close()
 		return graph.ReadEdgeList(f, directed)
-	case gen != "":
+	default:
 		return generate(gen, directed, seed)
 	}
-	return nil, fmt.Errorf("need one of -dataset, -edges, -gen")
 }
 
 func generate(spec string, directed bool, seed int64) (*graph.Graph, error) {
@@ -148,7 +206,16 @@ func generate(spec string, directed bool, seed int64) (*graph.Graph, error) {
 	return nil, fmt.Errorf("unknown generator %q", parts[0])
 }
 
-func run(cfg runConfig) error {
+func run(ctx context.Context, cfg runConfig) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+
 	var src string
 	switch {
 	case cfg.progName != "":
@@ -196,15 +263,15 @@ func run(cfg runConfig) error {
 	if cfg.hash {
 		part = pregel.PartitionHash
 	}
-	res, err := vm.Run(prog, g, vm.RunOptions{
+	res, runErr := vm.RunContext(ctx, prog, g, vm.RunOptions{
 		Params:    cfg.params,
 		Workers:   cfg.workers,
 		Scheduler: sched,
 		Partition: part,
 		Combine:   cfg.combine,
 	})
-	if err != nil {
-		return err
+	if res == nil {
+		return runErr
 	}
 
 	fmt.Printf("graph:        %s\n", g)
@@ -216,6 +283,9 @@ func run(cfg runConfig) error {
 	fmt.Printf("bytes:        %d\n", res.Stats.MessageBytes)
 	fmt.Printf("active total: %d vertex executions\n", res.Stats.TotalActive)
 	fmt.Printf("wall time:    %v\n", res.Stats.Duration)
+	if res.Stats.Aborted {
+		fmt.Printf("aborted:      %s\n", res.Stats.AbortReason)
+	}
 	if res.NonMonotoneSends > 0 {
 		fmt.Printf("WARNING: %d non-monotone Δ-messages (min/max accumulators may be stale)\n", res.NonMonotoneSends)
 	}
@@ -226,10 +296,16 @@ func run(cfg runConfig) error {
 				st.Superstep, st.ActiveVertices, st.MessagesSent, st.CombinedMessages, st.CrossWorker, st.Duration)
 		}
 	}
+	if runErr != nil {
+		return runErr
+	}
 
 	if cfg.show != "" {
 		show, top := cfg.show, cfg.top
-		vals := res.FieldVector(show)
+		vals, err := res.FieldVector(show)
+		if err != nil {
+			return err
+		}
 		type pair struct {
 			u uint32
 			v float64

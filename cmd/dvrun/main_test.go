@@ -1,12 +1,17 @@
 package main
 
 import (
+	"context"
+	"errors"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/graph"
+	"repro/internal/pregel"
 )
 
 func capture(t *testing.T, fn func() error) string {
@@ -30,7 +35,7 @@ func capture(t *testing.T, fn func() error) string {
 
 func TestRunSSSPOnGrid(t *testing.T) {
 	out := capture(t, func() error {
-		return run(runConfig{
+		return run(context.Background(), runConfig{
 			mode: "dv", progName: "sssp", gen: "grid:10:10", seed: 1,
 			workers: 2, combine: true, show: "dist", top: 3, trace: true,
 			params: paramFlags{"src": 0},
@@ -46,7 +51,7 @@ func TestRunSSSPOnGrid(t *testing.T) {
 func TestRunModesAndPlacement(t *testing.T) {
 	for _, mode := range []string{"dv", "dvstar", "memotable"} {
 		out := capture(t, func() error {
-			return run(runConfig{
+			return run(context.Background(), runConfig{
 				mode: mode, progName: "pagerank", gen: "rmat:7:4", seed: 2,
 				workers: 3, hash: true, queue: true, combine: true,
 				params: paramFlags{},
@@ -70,7 +75,7 @@ func TestRunFromEdgeListFile(t *testing.T) {
 	}
 	fh.Close()
 	out := capture(t, func() error {
-		return run(runConfig{
+		return run(context.Background(), runConfig{
 			mode: "dv", progName: "bfs", edges: f, directed: true,
 			combine: true, params: paramFlags{"src": 0}, show: "hop", top: 6,
 		})
@@ -87,7 +92,7 @@ func TestRunProgramFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := capture(t, func() error {
-		return run(runConfig{mode: "dv", file: f, gen: "er:50:150", seed: 3, combine: true, params: paramFlags{}})
+		return run(context.Background(), runConfig{mode: "dv", file: f, gen: "er:50:150", seed: 3, combine: true, params: paramFlags{}})
 	})
 	if !strings.Contains(out, "wall time:") {
 		t.Fatalf("program file run output:\n%s", out)
@@ -107,7 +112,7 @@ func TestRunErrorPaths(t *testing.T) {
 		{mode: "dv", file: "/nonexistent.dv", gen: "grid:3:3", params: paramFlags{}},
 	}
 	for i, cfg := range bad {
-		if err := run(cfg); err == nil {
+		if err := run(context.Background(), cfg); err == nil {
 			t.Fatalf("case %d: run succeeded, want error", i)
 		}
 	}
@@ -126,5 +131,171 @@ func TestParamFlagParsing(t *testing.T) {
 	}
 	if p.String() == "" {
 		t.Fatal("String empty")
+	}
+}
+
+// captureErr is capture for runs expected to fail: it returns both the
+// stdout produced before the failure and the error.
+func captureErr(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	return string(buf[:n]), errRun
+}
+
+func TestLoadGraphConflictingSources(t *testing.T) {
+	cases := []struct {
+		dataset, edges, gen string
+		wantNames           []string
+	}{
+		{"wikipedia-s", "g.el", "", []string{"-dataset", "-edges"}},
+		{"wikipedia-s", "", "grid:3:3", []string{"-dataset", "-gen"}},
+		{"", "g.el", "grid:3:3", []string{"-edges", "-gen"}},
+		{"wikipedia-s", "g.el", "grid:3:3", []string{"-dataset", "-edges", "-gen"}},
+	}
+	for _, c := range cases {
+		_, err := loadGraph(c.dataset, c.edges, true, c.gen, 1)
+		if err == nil {
+			t.Fatalf("loadGraph(%q, %q, %q) succeeded, want conflict error", c.dataset, c.edges, c.gen)
+		}
+		for _, name := range c.wantNames {
+			if !strings.Contains(err.Error(), name) {
+				t.Fatalf("conflict error %q does not name %s", err, name)
+			}
+		}
+	}
+	// A single source must still work (and none must still say so).
+	if _, err := loadGraph("", "", true, "grid:3:3", 1); err != nil {
+		t.Fatalf("single -gen source: %v", err)
+	}
+	if _, err := loadGraph("", "", true, "", 1); err == nil || !strings.Contains(err.Error(), "need one of") {
+		t.Fatalf("no source error = %v", err)
+	}
+}
+
+// TestDocCommentListsAllFlags guards against doc drift: every flag
+// registered by registerFlags must be mentioned as "-name" in this file's
+// package doc comment (the Usage block), and vice versa nothing forces the
+// doc to shrink — new flags must be documented as they are added.
+func TestDocCommentListsAllFlags(t *testing.T) {
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The doc comment is everything before the package clause.
+	doc, _, ok := strings.Cut(string(src), "\npackage main")
+	if !ok {
+		t.Fatal("cannot locate package clause in main.go")
+	}
+	fs := flag.NewFlagSet("dvrun", flag.ContinueOnError)
+	registerFlags(fs)
+	fs.VisitAll(func(f *flag.Flag) {
+		if !strings.Contains(doc, "-"+f.Name) {
+			t.Errorf("flag -%s is registered but missing from the doc comment Usage block", f.Name)
+		}
+	})
+}
+
+// TestGenHelpMentionsWattsStrogatz pins the -gen usage string to the full
+// generator set, ws:n:k:beta included.
+func TestGenHelpMentionsWattsStrogatz(t *testing.T) {
+	fs := flag.NewFlagSet("dvrun", flag.ContinueOnError)
+	registerFlags(fs)
+	f := fs.Lookup("gen")
+	if f == nil {
+		t.Fatal("no -gen flag registered")
+	}
+	for _, spec := range []string{"rmat:", "ba:", "er:", "grid:", "ws:n:k:beta"} {
+		if !strings.Contains(f.Usage, spec) {
+			t.Errorf("-gen help %q missing generator %q", f.Usage, spec)
+		}
+	}
+}
+
+func TestRegisterFlagsConfigRoundTrip(t *testing.T) {
+	fs := flag.NewFlagSet("dvrun", flag.ContinueOnError)
+	vals := registerFlags(fs)
+	if err := fs.Parse([]string{
+		"-mode", "dvstar", "-program", "pagerank", "-gen", "rmat:5:4",
+		"-timeout", "250ms", "-param", "src=3", "-queue", "-trace",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := vals.config()
+	if cfg.mode != "dvstar" || cfg.progName != "pagerank" || cfg.gen != "rmat:5:4" {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if cfg.timeout != 250*time.Millisecond || !cfg.queue || !cfg.trace {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if cfg.params["src"] != 3 {
+		t.Fatalf("params = %v", cfg.params)
+	}
+}
+
+// TestRunTimeoutPartialStats exercises the CLI abort path: a tiny -timeout
+// on a large generated graph must fail with a deadline error yet still
+// print the per-run statistics accumulated so far, marked aborted.
+func TestRunTimeoutPartialStats(t *testing.T) {
+	out, err := captureErr(t, func() error {
+		return run(context.Background(), runConfig{
+			mode: "dv", progName: "pagerank", gen: "rmat:15:16", seed: 4,
+			workers: 2, combine: true, trace: true, timeout: time.Millisecond,
+			params: paramFlags{},
+		})
+	})
+	if err == nil {
+		t.Fatal("run with 1ms timeout succeeded, want abort")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded in chain", err)
+	}
+	for _, want := range []string{"supersteps:", "wall time:", "aborted:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("partial stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunCancelledContext checks that an already-cancelled context aborts
+// promptly and surfaces context.Canceled.
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := captureErr(t, func() error {
+		return run(ctx, runConfig{
+			mode: "dv", progName: "pagerank", gen: "grid:10:10", seed: 1,
+			combine: true, params: paramFlags{},
+		})
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in chain", err)
+	}
+}
+
+// TestRunPanicSurfacesRunError ensures a panic inside the engine comes
+// back to the CLI as a structured *pregel.RunError rather than crashing.
+func TestRunPanicSurfacesRunError(t *testing.T) {
+	// FieldVector with an unknown field errors cleanly (API-boundary check
+	// that panics were converted to errors).
+	err := run(context.Background(), runConfig{
+		mode: "dv", progName: "pagerank", gen: "grid:5:5", seed: 1,
+		combine: true, show: "nosuchfield", params: paramFlags{},
+	})
+	if err == nil || !strings.Contains(err.Error(), "unknown field") {
+		t.Fatalf("err = %v, want unknown-field error", err)
+	}
+	var re *pregel.RunError
+	if errors.As(err, &re) {
+		t.Fatalf("unknown-field error should not be a RunError: %v", err)
 	}
 }

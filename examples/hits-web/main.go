@@ -36,7 +36,10 @@ func main() {
 		res.Stats.Supersteps, res.Stats.MessagesSent, res.Stats.Duration)
 
 	printTop := func(field string) {
-		vals := res.FieldVector(field)
+		vals, err := res.FieldVector(field)
+		if err != nil {
+			log.Fatal(err)
+		}
 		idx := make([]int, len(vals))
 		for i := range idx {
 			idx[i] = i

@@ -7,6 +7,7 @@
 package algorithms
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/graph"
@@ -18,6 +19,18 @@ type RunOptions struct {
 	Workers   int
 	Scheduler pregel.Scheduler
 	Combine   bool
+	// Ctx, when non-nil, bounds the run: cancellation or a deadline
+	// aborts at the next superstep barrier with partial stats (see
+	// pregel.Engine.RunContext). Nil means context.Background().
+	Ctx context.Context
+}
+
+// ctx returns the run context, defaulting to Background.
+func (o RunOptions) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // ---------------------------------------------------------------------------
@@ -71,7 +84,7 @@ func RunPageRank(g *graph.Graph, iterations int, opts RunOptions) (*pregel.Engin
 	if opts.Combine {
 		e.SetCombiner(pregel.CombinerFunc[float64](func(a, b float64) float64 { return a + b }))
 	}
-	stats, err := e.Run(&PageRank{Iterations: iterations})
+	stats, err := e.RunContext(opts.ctx(), &PageRank{Iterations: iterations})
 	return e, stats, err
 }
 
@@ -138,7 +151,7 @@ func RunSSSP(g *graph.Graph, source graph.VertexID, opts RunOptions) (*pregel.En
 	if opts.Combine {
 		e.SetCombiner(pregel.CombinerFunc[float64](math.Min))
 	}
-	stats, err := e.Run(&SSSP{Source: source})
+	stats, err := e.RunContext(opts.ctx(), &SSSP{Source: source})
 	return e, stats, err
 }
 
@@ -182,7 +195,7 @@ func RunCC(g *graph.Graph, opts RunOptions) (*pregel.Engine[CCState, float64], *
 	if opts.Combine {
 		e.SetCombiner(pregel.CombinerFunc[float64](math.Min))
 	}
-	stats, err := e.Run(CC{})
+	stats, err := e.RunContext(opts.ctx(), CC{})
 	return e, stats, err
 }
 
@@ -267,7 +280,7 @@ func RunHITS(g *graph.Graph, iterations int, opts RunOptions) (*pregel.Engine[HI
 	if opts.Combine {
 		e.SetCombiner(hitsCombiner{})
 	}
-	stats, err := e.Run(&HITS{Iterations: iterations})
+	stats, err := e.RunContext(opts.ctx(), &HITS{Iterations: iterations})
 	return e, stats, err
 }
 

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -29,7 +30,7 @@ type MemoTableRow struct {
 
 // AblationMemoTable runs PageRank and HITS under ΔV and the lookup-table
 // strawman.
-func AblationMemoTable(dataset string, runs int) ([]MemoTableRow, error) {
+func AblationMemoTable(ctx context.Context, dataset string, runs int) ([]MemoTableRow, error) {
 	g, err := LoadDataset(dataset)
 	if err != nil {
 		return nil, err
@@ -47,7 +48,7 @@ func AblationMemoTable(dataset string, runs int) ([]MemoTableRow, error) {
 				if err != nil {
 					return nil, err
 				}
-				res, err := m.Run(vm.RunOptions{Combine: mode != core.MemoTable, Workers: BenchWorkers})
+				res, err := m.RunContext(ctx, vm.RunOptions{Combine: mode != core.MemoTable, Workers: BenchWorkers})
 				if err != nil {
 					return nil, err
 				}
@@ -92,7 +93,7 @@ type EpsilonRow struct {
 }
 
 // AblationEpsilon sweeps ε for PageRank on a dataset.
-func AblationEpsilon(dataset string, epsilons []float64) ([]EpsilonRow, error) {
+func AblationEpsilon(ctx context.Context, dataset string, epsilons []float64) ([]EpsilonRow, error) {
 	g, err := LoadDataset(dataset)
 	if err != nil {
 		return nil, err
@@ -105,7 +106,7 @@ func AblationEpsilon(dataset string, epsilons []float64) ([]EpsilonRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := vm.Run(prog, g, vm.RunOptions{Combine: true, Workers: BenchWorkers})
+		res, err := vm.RunContext(ctx, prog, g, vm.RunOptions{Combine: true, Workers: BenchWorkers})
 		if err != nil {
 			return nil, err
 		}
@@ -148,7 +149,7 @@ type SchedulerRow struct {
 
 // AblationScheduler times the two schedulers on incremental PageRank and
 // SSSP.
-func AblationScheduler(dataset string, runs int) ([]SchedulerRow, error) {
+func AblationScheduler(ctx context.Context, dataset string, runs int) ([]SchedulerRow, error) {
 	g, err := LoadDataset(dataset)
 	if err != nil {
 		return nil, err
@@ -170,7 +171,7 @@ func AblationScheduler(dataset string, runs int) ([]SchedulerRow, error) {
 				if progName == "sssp" {
 					opts.Params = map[string]float64{"src": float64(sourceVertex(g))}
 				}
-				res, err := vm.Run(prog, g, opts)
+				res, err := vm.RunContext(ctx, prog, g, opts)
 				if err != nil {
 					return nil, err
 				}
@@ -209,7 +210,7 @@ type PartitionRow struct {
 
 // AblationPartition measures block vs hash placement on incremental
 // PageRank.
-func AblationPartition(dataset string, runs int) ([]PartitionRow, error) {
+func AblationPartition(ctx context.Context, dataset string, runs int) ([]PartitionRow, error) {
 	g, err := LoadDataset(dataset)
 	if err != nil {
 		return nil, err
@@ -222,7 +223,7 @@ func AblationPartition(dataset string, runs int) ([]PartitionRow, error) {
 	for _, part := range []pregel.Partition{pregel.PartitionBlock, pregel.PartitionHash} {
 		row := PartitionRow{Program: "pagerank", Dataset: dataset, Partition: part.String()}
 		for i := 0; i < maxInt(1, runs); i++ {
-			res, err := vm.Run(prog, g, vm.RunOptions{Partition: part, Combine: true, Workers: BenchWorkers})
+			res, err := vm.RunContext(ctx, prog, g, vm.RunOptions{Partition: part, Combine: true, Workers: BenchWorkers})
 			if err != nil {
 				return nil, err
 			}
@@ -265,7 +266,7 @@ type CombinerRow struct {
 
 // AblationCombiner measures combiner effectiveness on PageRank (ΔV★,
 // where per-superstep fan-in is maximal).
-func AblationCombiner(dataset string, runs int) ([]CombinerRow, error) {
+func AblationCombiner(ctx context.Context, dataset string, runs int) ([]CombinerRow, error) {
 	g, err := LoadDataset(dataset)
 	if err != nil {
 		return nil, err
@@ -278,7 +279,7 @@ func AblationCombiner(dataset string, runs int) ([]CombinerRow, error) {
 	for _, combine := range []bool{false, true} {
 		row := CombinerRow{Program: "pagerank", Dataset: dataset, Combine: combine}
 		for i := 0; i < maxInt(1, runs); i++ {
-			res, err := vm.Run(prog, g, vm.RunOptions{Combine: combine, Workers: BenchWorkers})
+			res, err := vm.RunContext(ctx, prog, g, vm.RunOptions{Combine: combine, Workers: BenchWorkers})
 			if err != nil {
 				return nil, err
 			}

@@ -13,6 +13,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -86,8 +87,9 @@ type PerfRow struct {
 
 // Measure runs one benchmark variant. Program names: pagerank, sssp, cc,
 // hits. Variants: VariantDV, VariantDVStar, VariantMemoTable (compiled) or
-// VariantPregel (handwritten reference).
-func Measure(program, dataset, variant string, runs int) (PerfRow, error) {
+// VariantPregel (handwritten reference). Cancelling ctx aborts the current
+// run at its next superstep barrier and Measure returns the abort error.
+func Measure(ctx context.Context, program, dataset, variant string, runs int) (PerfRow, error) {
 	g, err := LoadDataset(dataset)
 	if err != nil {
 		return PerfRow{}, err
@@ -100,9 +102,9 @@ func Measure(program, dataset, variant string, runs int) (PerfRow, error) {
 	for i := 0; i < runs; i++ {
 		var stats *pregel.Stats
 		if variant == VariantPregel {
-			stats, err = runHandwritten(program, g)
+			stats, err = runHandwritten(ctx, program, g)
 		} else {
-			stats, err = runCompiled(program, variant, g)
+			stats, err = runCompiled(ctx, program, variant, g)
 		}
 		if err != nil {
 			return PerfRow{}, fmt.Errorf("bench: %s/%s/%s: %w", program, dataset, variant, err)
@@ -141,7 +143,7 @@ func sourceVertex(g *graph.Graph) graph.VertexID {
 	return best
 }
 
-func runCompiled(program, variant string, g *graph.Graph) (*pregel.Stats, error) {
+func runCompiled(ctx context.Context, program, variant string, g *graph.Graph) (*pregel.Stats, error) {
 	mode, err := modeOf(variant)
 	if err != nil {
 		return nil, err
@@ -154,15 +156,15 @@ func runCompiled(program, variant string, g *graph.Graph) (*pregel.Stats, error)
 	if program == "sssp" {
 		opts.Params = map[string]float64{"src": float64(sourceVertex(g))}
 	}
-	res, err := vm.Run(prog, g, opts)
+	res, err := vm.RunContext(ctx, prog, g, opts)
 	if err != nil {
 		return nil, err
 	}
 	return res.Stats, nil
 }
 
-func runHandwritten(program string, g *graph.Graph) (*pregel.Stats, error) {
-	opts := algorithms.RunOptions{Combine: true, Workers: BenchWorkers}
+func runHandwritten(ctx context.Context, program string, g *graph.Graph) (*pregel.Stats, error) {
+	opts := algorithms.RunOptions{Combine: true, Workers: BenchWorkers, Ctx: ctx}
 	switch program {
 	case "pagerank":
 		_, stats, err := algorithms.RunPageRank(g, PageRankIterations, opts)
@@ -322,12 +324,12 @@ var Variants = []string{VariantDV, VariantDVStar, VariantPregel}
 
 // Figure4 measures runtime and messages for SSSP, HITS and PageRank on the
 // directed stand-ins across the three variants.
-func Figure4(runs int) ([]PerfRow, error) {
+func Figure4(ctx context.Context, runs int) ([]PerfRow, error) {
 	var rows []PerfRow
 	for _, ds := range Figure4Datasets {
 		for _, prog := range Figure4Programs {
 			for _, variant := range Variants {
-				r, err := Measure(prog, ds, variant, runs)
+				r, err := Measure(ctx, prog, ds, variant, runs)
 				if err != nil {
 					return nil, err
 				}
@@ -339,11 +341,11 @@ func Figure4(runs int) ([]PerfRow, error) {
 }
 
 // Figure5 measures Connected Components on the undirected stand-ins.
-func Figure5(runs int) ([]PerfRow, error) {
+func Figure5(ctx context.Context, runs int) ([]PerfRow, error) {
 	var rows []PerfRow
 	for _, ds := range Figure5Datasets {
 		for _, variant := range Variants {
-			r, err := Measure("cc", ds, variant, runs)
+			r, err := Measure(ctx, "cc", ds, variant, runs)
 			if err != nil {
 				return nil, err
 			}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"strings"
 	"testing"
@@ -71,7 +72,7 @@ func TestTable2(t *testing.T) {
 func TestMeasureShapesOnSmallDataset(t *testing.T) {
 	byVariant := map[string]PerfRow{}
 	for _, variant := range []string{VariantDV, VariantDVStar, VariantPregel} {
-		r, err := Measure("cc", testDS, variant, 1)
+		r, err := Measure(context.Background(), "cc", testDS, variant, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -91,11 +92,11 @@ func TestMeasureShapesOnSmallDataset(t *testing.T) {
 }
 
 func TestPageRankReductionShape(t *testing.T) {
-	dv, err := Measure("pagerank", testDS, VariantDV, 1)
+	dv, err := Measure(context.Background(), "pagerank", testDS, VariantDV, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	star, err := Measure("pagerank", testDS, VariantDVStar, 1)
+	star, err := Measure(context.Background(), "pagerank", testDS, VariantDVStar, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,20 +117,20 @@ func TestPageRankReductionShape(t *testing.T) {
 }
 
 func TestMeasureErrors(t *testing.T) {
-	if _, err := Measure("pagerank", "nope", VariantDV, 1); err == nil {
+	if _, err := Measure(context.Background(), "pagerank", "nope", VariantDV, 1); err == nil {
 		t.Fatal("unknown dataset should fail")
 	}
-	if _, err := Measure("pagerank", testDS, "nope", 1); err == nil {
+	if _, err := Measure(context.Background(), "pagerank", testDS, "nope", 1); err == nil {
 		t.Fatal("unknown variant should fail")
 	}
-	if _, err := Measure("nope", testDS, VariantPregel, 1); err == nil {
+	if _, err := Measure(context.Background(), "nope", testDS, VariantPregel, 1); err == nil {
 		t.Fatal("unknown handwritten program should fail")
 	}
 }
 
 func TestAblations(t *testing.T) {
 	t.Run("memotable", func(t *testing.T) {
-		rows, err := AblationMemoTable(testDS, 1)
+		rows, err := AblationMemoTable(context.Background(), testDS, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -160,7 +161,7 @@ func TestAblations(t *testing.T) {
 		}
 	})
 	t.Run("epsilon", func(t *testing.T) {
-		rows, err := AblationEpsilon(testDS, []float64{0, 1e-9, 1e-6})
+		rows, err := AblationEpsilon(context.Background(), testDS, []float64{0, 1e-9, 1e-6})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -176,7 +177,7 @@ func TestAblations(t *testing.T) {
 		}
 	})
 	t.Run("scheduler", func(t *testing.T) {
-		rows, err := AblationScheduler(testDS, 1)
+		rows, err := AblationScheduler(context.Background(), testDS, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -189,7 +190,7 @@ func TestAblations(t *testing.T) {
 		}
 	})
 	t.Run("combiner", func(t *testing.T) {
-		rows, err := AblationCombiner(testDS, 1)
+		rows, err := AblationCombiner(context.Background(), testDS, 1)
 		if err != nil {
 			t.Fatal(err)
 		}

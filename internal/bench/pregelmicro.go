@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -19,13 +20,16 @@ import (
 // `go test` so cmd/dvbench can snapshot ns/op, B/op and allocs/op into
 // BENCH_pregel.json before and after an engine change.
 
-// MicroRow is one engine micro-benchmark measurement.
+// MicroRow is one engine micro-benchmark measurement. AbortReason is
+// non-empty when the configuration was cancelled or aborted before a clean
+// measurement completed; its numbers are then partial and not comparable.
 type MicroRow struct {
 	Name        string  `json:"name"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	MsgsPerOp   int64   `json:"msgs_per_op"`
+	AbortReason string  `json:"abort_reason,omitempty"`
 }
 
 // MicroSnapshot is one labelled run of the whole micro-benchmark suite.
@@ -75,8 +79,13 @@ func (p microProgram) Compute(ctx *pregel.Context[microVal, float64], msgs []flo
 // PregelMicro runs the engine micro-benchmark suite (combined PageRank
 // message plane on R-MAT and grid graphs, both schedulers, both
 // partitionings) via testing.Benchmark and returns one row per
-// configuration.
-func PregelMicro() []MicroRow {
+// configuration. When ctx is cancelled, remaining configurations are
+// emitted as rows with AbortReason set instead of measurements, so the
+// snapshot records how far the suite got.
+func PregelMicro(ctx context.Context) []MicroRow {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	const rounds = 5
 	graphs := []struct {
 		name string
@@ -97,7 +106,13 @@ func PregelMicro() []MicroRow {
 		for _, sc := range scheds {
 			for _, part := range []pregel.Partition{pregel.PartitionBlock, pregel.PartitionHash} {
 				gs, sc, part := gs, sc, part
+				name := "message-plane/" + gs.name + "/" + sc.name + "/" + part.String()
+				if err := ctx.Err(); err != nil {
+					rows = append(rows, MicroRow{Name: name, AbortReason: err.Error()})
+					continue
+				}
 				msgs := int64(rounds+1) * int64(gs.g.NumArcs())
+				var runErr error
 				r := testing.Benchmark(func(b *testing.B) {
 					b.ReportAllocs()
 					for i := 0; i < b.N; i++ {
@@ -107,18 +122,23 @@ func PregelMicro() []MicroRow {
 							Partition: part,
 						})
 						e.SetCombiner(pregel.CombinerFunc[float64](func(a, b float64) float64 { return a + b }))
-						if _, err := e.Run(microProgram{rounds: rounds}); err != nil {
-							b.Fatal(err)
+						if _, err := e.RunContext(ctx, microProgram{rounds: rounds}); err != nil {
+							runErr = err
+							return
 						}
 					}
 				})
-				rows = append(rows, MicroRow{
-					Name:        "message-plane/" + gs.name + "/" + sc.name + "/" + part.String(),
+				row := MicroRow{
+					Name:        name,
 					NsPerOp:     float64(r.NsPerOp()),
 					BytesPerOp:  r.AllocedBytesPerOp(),
 					AllocsPerOp: r.AllocsPerOp(),
 					MsgsPerOp:   msgs,
-				})
+				}
+				if runErr != nil {
+					row.AbortReason = runErr.Error()
+				}
+				rows = append(rows, row)
 			}
 		}
 	}

@@ -167,7 +167,11 @@ func TestDifferentialModesAgree(t *testing.T) {
 			}
 			out := outcome{fields: map[string][]float64{}, nonMon: res.NonMonotoneSends}
 			for _, f := range prog.Layout.Fields[:prog.Layout.UserFields] {
-				out.fields[f.Name] = res.FieldVector(f.Name)
+				vec, err := res.FieldVector(f.Name)
+				if err != nil {
+					t.Fatalf("trial %d: FieldVector(%q): %v", trial, f.Name, err)
+				}
+				out.fields[f.Name] = vec
 			}
 			results[mode] = out
 			if res.NonMonotoneSends > 0 {

@@ -53,8 +53,14 @@ func (m *Machine) masterHook(mc *pregel.MasterContext) {
 			// No vertex can change any more, so every future body
 			// superstep is a no-op; fast-forward the iteration counter to
 			// the first satisfying value (with fixpoint = true) instead
-			// of spinning.
+			// of spinning. The loop is master-side and can be long (up to
+			// MaxIterations evaluations), so it honors the run's context
+			// at a coarse stride.
 			for k := gl.Iter + 1; k <= m.prog.Opts.MaxIterations; k++ {
+				if k%4096 == 0 && m.runCtx != nil && m.runCtx.Err() != nil {
+					m.failf(mc, "phase %d: until{} fast-forward aborted: %v", gl.Phase, m.runCtx.Err())
+					return
+				}
 				if m.untilSatisfied(ph, k, true) {
 					m.advance(mc, gl.Phase)
 					return

@@ -8,6 +8,8 @@
 package vm
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync/atomic"
 
@@ -68,7 +70,14 @@ type RunOptions struct {
 	MaxSupersteps int
 }
 
-// Result is a finished execution.
+// ErrUnknownField is wrapped by the error returned when a field name does
+// not exist in the program's layout.
+var ErrUnknownField = errors.New("vm: unknown field")
+
+// Result is a finished execution. When a run aborts (cancellation,
+// deadline, or a contained panic), RunContext returns a non-nil Result
+// holding the partial statistics and field state alongside the error;
+// Stats.Aborted records the cause.
 type Result struct {
 	Stats *pregel.Stats
 	// Supersteps per phase body (iterations executed per iter phase).
@@ -82,19 +91,24 @@ type Result struct {
 }
 
 // Field returns vertex u's final value of the named user field, decoded
-// per its declared type (bools: 0/1).
+// per its declared type (bools: 0/1). It panics on an unknown field name;
+// use FieldVector when the name comes from untrusted input.
 func (r *Result) Field(name string, u graph.VertexID) float64 {
 	return r.machine.FieldValue(name, u)
 }
 
-// FieldVector returns the named field for all vertices.
-func (r *Result) FieldVector(name string) []float64 {
+// FieldVector returns the named field for all vertices, or an error
+// wrapping ErrUnknownField when the layout has no such field.
+func (r *Result) FieldVector(name string) ([]float64, error) {
+	if r.machine.prog.Layout.Slot(name) < 0 {
+		return nil, fmt.Errorf("%w %q", ErrUnknownField, name)
+	}
 	n := r.machine.g.NumVertices()
 	out := make([]float64, n)
 	for u := 0; u < n; u++ {
 		out[u] = r.machine.FieldValue(name, graph.VertexID(u))
 	}
-	return out
+	return out, nil
 }
 
 // Machine executes one compiled program over one graph.
@@ -117,6 +131,7 @@ type Machine struct {
 	iterations  []int
 	nonMonotone atomic.Int64
 	masterErr   error
+	runCtx      context.Context // run's context, visible to the master hook
 	ran         bool
 
 	msgBytes int
@@ -209,17 +224,36 @@ func maxInt(a, b int) int {
 	return b
 }
 
-// Run executes the program to completion.
+// Run executes the program to completion. It is RunContext with a
+// background context.
 func Run(prog *core.Program, g *graph.Graph, opts RunOptions) (*Result, error) {
+	return RunContext(context.Background(), prog, g, opts)
+}
+
+// RunContext executes the program until completion or until ctx aborts the
+// run. On an abort (cancellation, deadline, or a panic contained by the
+// engine) the returned Result is non-nil and carries the partial run
+// statistics and whatever field state had been computed.
+func RunContext(ctx context.Context, prog *core.Program, g *graph.Graph, opts RunOptions) (*Result, error) {
 	m, err := NewMachine(prog, g, opts)
 	if err != nil {
 		return nil, err
 	}
-	return m.Run(opts)
+	return m.RunContext(ctx, opts)
 }
 
 // Run executes the machine. It may only be called once.
 func (m *Machine) Run(opts RunOptions) (*Result, error) {
+	return m.RunContext(context.Background(), opts)
+}
+
+// RunContext executes the machine under ctx. It may only be called once.
+// Like the engine's RunContext, an aborted run returns partial results: the
+// Result is non-nil whenever the engine produced statistics, and the error
+// reports the abort cause (a *pregel.RunError for contained panics —
+// including panics raised by the ΔV evaluator's own error paths, which this
+// converts into errors callers can test for instead of process crashes).
+func (m *Machine) RunContext(ctx context.Context, opts RunOptions) (*Result, error) {
 	if m.ran {
 		return nil, fmt.Errorf("vm: Machine.Run called twice")
 	}
@@ -227,6 +261,10 @@ func (m *Machine) Run(opts RunOptions) (*Result, error) {
 	if opts.MaxSupersteps <= 0 {
 		opts.MaxSupersteps = 100_000
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	m.runCtx = ctx
 	eng := pregel.New[VState, Msg](m.g, pregel.Options{
 		Workers:       opts.Workers,
 		Scheduler:     opts.Scheduler,
@@ -244,18 +282,21 @@ func (m *Machine) Run(opts RunOptions) (*Result, error) {
 	}
 	eng.SetGlobals(&globals{Phase: 0, Mode: modePrime})
 	eng.SetMasterHook(m.masterHook)
-	stats, err := eng.Run(m)
-	if err != nil {
+	stats, err := eng.RunContext(ctx, m)
+	if stats == nil {
 		return nil, err
-	}
-	if m.masterErr != nil {
-		return nil, m.masterErr
 	}
 	res := &Result{
 		Stats:            stats,
 		Iterations:       m.iterations,
 		NonMonotoneSends: m.nonMonotone.Load(),
 		machine:          m,
+	}
+	if err != nil {
+		return res, err
+	}
+	if m.masterErr != nil {
+		return res, m.masterErr
 	}
 	return res, nil
 }

@@ -319,7 +319,10 @@ func TestTwoPhaseProgram(t *testing.T) {
 	var ref []float64
 	for _, mode := range allModes {
 		res := runT(t, "twophase", mode, g, RunOptions{Workers: 3})
-		got := res.FieldVector("t")
+		got, err := res.FieldVector("t")
+		if err != nil {
+			t.Fatal(err)
+		}
 		if ref == nil {
 			ref = got
 			continue

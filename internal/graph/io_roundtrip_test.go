@@ -1,0 +1,207 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// arcKey is one (target, weight) out-arc used for multiset comparison;
+// weight defaults to 1 for unweighted graphs so a graph whose weights all
+// happen to equal 1 compares equal to its unweighted round-trip image.
+type arcKey struct {
+	v VertexID
+	w float64
+}
+
+func outArcs(g *Graph, u VertexID) []arcKey {
+	adj := g.OutNeighbors(u)
+	ws := g.OutWeights(u)
+	arcs := make([]arcKey, len(adj))
+	for i, v := range adj {
+		w := 1.0
+		if ws != nil {
+			w = ws[i]
+		}
+		arcs[i] = arcKey{v, w}
+	}
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].v != arcs[j].v {
+			return arcs[i].v < arcs[j].v
+		}
+		return arcs[i].w < arcs[j].w
+	})
+	return arcs
+}
+
+func sameGraph(t *testing.T, label string, a, b *Graph) {
+	t.Helper()
+	if a.NumVertices() != b.NumVertices() {
+		t.Fatalf("%s: |V| %d != %d", label, a.NumVertices(), b.NumVertices())
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("%s: |E| %d != %d", label, a.NumEdges(), b.NumEdges())
+	}
+	if a.Directed() != b.Directed() {
+		t.Fatalf("%s: directedness %v != %v", label, a.Directed(), b.Directed())
+	}
+	for u := 0; u < a.NumVertices(); u++ {
+		ga, gb := outArcs(a, VertexID(u)), outArcs(b, VertexID(u))
+		if len(ga) != len(gb) {
+			t.Fatalf("%s: vertex %d out-degree %d != %d", label, u, len(ga), len(gb))
+		}
+		for i := range ga {
+			if ga[i] != gb[i] {
+				t.Fatalf("%s: vertex %d arc %d: %+v != %+v", label, u, i, ga[i], gb[i])
+			}
+		}
+	}
+}
+
+// TestEdgeListRoundTripProperty generates random graphs across the full
+// cross product of {weighted, unweighted} × {directed, undirected}, with
+// self-loops and sparse vertex IDs, and checks WriteEdgeList → ReadEdgeList
+// reproduces the graph exactly (and is idempotent across a second trip).
+func TestEdgeListRoundTripProperty(t *testing.T) {
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) * 6151))
+		directed := rng.Intn(2) == 0
+		weighted := rng.Intn(2) == 0
+		sparse := rng.Intn(2) == 0
+
+		// Pick the ID universe: dense 0..n-1 or a sparse subset of a much
+		// larger range (ReadEdgeList keeps IDs as given, n = 1 + max id).
+		nIDs := 2 + rng.Intn(20)
+		ids := make([]VertexID, nIDs)
+		if sparse {
+			seen := map[int]bool{}
+			for i := range ids {
+				id := rng.Intn(10 * nIDs)
+				for seen[id] {
+					id = rng.Intn(10 * nIDs)
+				}
+				seen[id] = true
+				ids[i] = VertexID(id)
+			}
+		} else {
+			for i := range ids {
+				ids[i] = VertexID(i)
+			}
+		}
+
+		type edge struct {
+			u, v VertexID
+			w    float64
+		}
+		nEdges := 1 + rng.Intn(4*nIDs)
+		edges := make([]edge, 0, nEdges)
+		maxID := VertexID(0)
+		for i := 0; i < nEdges; i++ {
+			u := ids[rng.Intn(nIDs)]
+			v := ids[rng.Intn(nIDs)]
+			if i == 0 || rng.Intn(8) == 0 {
+				v = u // guarantee self-loops appear
+			}
+			w := 1.0
+			if weighted {
+				w = []float64{0.5, 1.5, 2, 3.25}[rng.Intn(4)]
+			}
+			if u > maxID {
+				maxID = u
+			}
+			if v > maxID {
+				maxID = v
+			}
+			edges = append(edges, edge{u, v, w})
+		}
+
+		bld := NewBuilder(int(maxID)+1, directed)
+		for _, e := range edges {
+			bld.AddWeightedEdge(e.u, e.v, e.w)
+		}
+		orig := bld.Finalize()
+
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, orig); err != nil {
+			t.Fatalf("trial %d: write: %v", trial, err)
+		}
+		got, err := ReadEdgeList(bytes.NewReader(buf.Bytes()), directed)
+		if err != nil {
+			t.Fatalf("trial %d: read: %v", trial, err)
+		}
+		label := fmt.Sprintf("trial %d (directed=%v weighted=%v sparse=%v)", trial, directed, weighted, sparse)
+		sameGraph(t, label, orig, got)
+
+		// Second trip: writing the re-read graph must reproduce it again.
+		var buf2 bytes.Buffer
+		if err := WriteEdgeList(&buf2, got); err != nil {
+			t.Fatalf("%s: rewrite: %v", label, err)
+		}
+		got2, err := ReadEdgeList(bytes.NewReader(buf2.Bytes()), directed)
+		if err != nil {
+			t.Fatalf("%s: reread: %v", label, err)
+		}
+		sameGraph(t, label+" second trip", got, got2)
+	}
+}
+
+// TestReadEdgeListCommentsAndBlanks checks '#' and '%' comment styles,
+// blank lines, mixed 2/3-column rows and leading whitespace all parse.
+func TestReadEdgeListCommentsAndBlanks(t *testing.T) {
+	in := strings.Join([]string{
+		"# hash comment",
+		"% percent comment",
+		"",
+		"   ",
+		"0 1",
+		"  1 2 2.5",
+		"2 2", // self-loop
+		"# trailing comment",
+	}, "\n")
+	g, err := ReadEdgeList(strings.NewReader(in), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("got |V|=%d |E|=%d, want 3 and 3", g.NumVertices(), g.NumEdges())
+	}
+	// The mixed-width rows default missing weights to 1.
+	arcs := outArcs(g, 1)
+	if len(arcs) != 1 || arcs[0] != (arcKey{2, 2.5}) {
+		t.Fatalf("vertex 1 arcs = %+v", arcs)
+	}
+	if a := outArcs(g, 0); len(a) != 1 || a[0] != (arcKey{1, 1}) {
+		t.Fatalf("vertex 0 arcs = %+v", a)
+	}
+}
+
+// TestEdgeListZeroEdges pins the empty-input contract: no edges means an
+// empty graph (not an error), and writing it back yields a header-only
+// file that round-trips.
+func TestEdgeListZeroEdges(t *testing.T) {
+	for _, directed := range []bool{true, false} {
+		g, err := ReadEdgeList(strings.NewReader("# nothing here\n\n"), directed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumVertices() != 0 || g.NumEdges() != 0 {
+			t.Fatalf("empty input: |V|=%d |E|=%d", g.NumVertices(), g.NumEdges())
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(buf.String(), "#") || strings.Count(buf.String(), "\n") != 1 {
+			t.Fatalf("empty graph wrote:\n%q", buf.String())
+		}
+		again, err := ReadEdgeList(bytes.NewReader(buf.Bytes()), directed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameGraph(t, "zero-edge round trip", g, again)
+	}
+}

@@ -1,9 +1,11 @@
 package pregel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 	"unsafe"
@@ -81,6 +83,14 @@ type worker[V, M any] struct {
 	keyedIdx map[uint64]int32
 
 	ctx Context[V, M]
+
+	// Panic containment: step() recovers panics raised in compute or
+	// exchange into panicErr, which the master reads after the barrier
+	// (the WaitGroup wait orders the accesses). inVertex is true exactly
+	// while a vertex's Init/Compute is on the stack, so a recovered
+	// compute-phase panic can be attributed to ctx.id.
+	panicErr *RunError
+	inVertex bool
 
 	// Per-superstep partial stats.
 	sent       int
@@ -249,16 +259,73 @@ const (
 	cmdStop
 )
 
-// Run executes prog to completion and returns the run statistics.
+// Run executes prog to completion and returns the run statistics. It is
+// RunContext with a background context.
 func (e *Engine[V, M]) Run(prog Program[V, M]) (*Stats, error) {
+	return e.RunContext(context.Background(), prog)
+}
+
+// RunContext executes prog to completion, or until ctx is cancelled, a
+// deadline (Options.Deadline, a ctx deadline, or Options.StepTimeout)
+// fires, or user code panics. Lifecycle conditions are checked at the
+// superstep barriers: before each superstep's compute phase and again
+// between compute and exchange — a Compute call that never returns cannot
+// be preempted. Panics raised by Program.Init/Compute, a Combiner, or the
+// master hook are recovered into a *RunError (which the returned error
+// wraps or is) instead of crashing the process; the worker pool shuts down
+// cleanly in every case.
+//
+// On any abort the returned *Stats is non-nil and holds the statistics
+// accumulated so far, with Aborted set and AbortReason describing the
+// cause. An empty graph completes immediately with the same Stats shape as
+// a zero-superstep run — non-nil Steps, a measured Duration — and, when a
+// master hook is installed, fires it once with zero-valued step statistics
+// so master-side finalization still happens.
+func (e *Engine[V, M]) RunContext(ctx context.Context, prog Program[V, M]) (*Stats, error) {
 	if e.ran {
 		return nil, errors.New("pregel: Engine.Run called twice")
 	}
 	e.ran = true
+	start := time.Now()
+
+	// The effective run deadline is the earlier of Options.Deadline and
+	// the context's own deadline; either alone also applies.
+	deadline := e.opts.Deadline
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
+	// abort finalizes partial statistics and wraps the cause. A *RunError
+	// cause is returned as-is (it already carries superstep and worker
+	// attribution); everything else is wrapped with the abort superstep.
+	abort := func(cause error) (*Stats, error) {
+		e.stats.Duration = time.Since(start)
+		e.stats.Aborted = true
+		e.stats.AbortReason = cause.Error()
+		if re, ok := cause.(*RunError); ok {
+			return &e.stats, re
+		}
+		return &e.stats, fmt.Errorf("pregel: run aborted at superstep %d: %w", e.superstep, cause)
+	}
+
+	var mc *MasterContext
+	if e.masterHook != nil {
+		mc = &MasterContext{
+			aggValue:   e.AggregatorValue,
+			setGlobals: func(g any) { e.globals = g },
+			getGlobals: func() any { return e.globals },
+		}
+	}
+
 	if e.g.NumVertices() == 0 {
+		e.stats.Steps = make([]StepStats, 0)
+		if e.masterHook != nil {
+			if err := e.fireMasterHook(mc, StepStats{}, 0); err != nil {
+				return abort(err)
+			}
+		}
+		e.stats.Duration = time.Since(start)
 		return &e.stats, nil
 	}
-	start := time.Now()
 
 	// Size the remaining per-run scratch now that combiner and aggregators
 	// are known; nothing below allocates per superstep.
@@ -272,14 +339,6 @@ func (e *Engine[V, M]) Run(prog Program[V, M]) (*Stats, error) {
 		}
 	}
 	e.stats.Steps = make([]StepStats, 0, min(e.opts.MaxSupersteps, 4096))
-	var mc *MasterContext
-	if e.masterHook != nil {
-		mc = &MasterContext{
-			aggValue:   e.AggregatorValue,
-			setGlobals: func(g any) { e.globals = g },
-			getGlobals: func() any { return e.globals },
-		}
-	}
 
 	cmds := make([]chan workerCmd, len(e.workers))
 	var wg sync.WaitGroup
@@ -287,15 +346,11 @@ func (e *Engine[V, M]) Run(prog Program[V, M]) (*Stats, error) {
 		cmds[i] = make(chan workerCmd)
 		go func(wk *worker[V, M], ch chan workerCmd) {
 			for cmd := range ch {
-				switch cmd {
-				case cmdCompute:
-					wk.compute(prog)
-				case cmdExchange:
-					wk.exchange()
-				case cmdStop:
+				if cmd == cmdStop {
 					wg.Done()
 					return
 				}
+				wk.step(cmd, prog)
 				wg.Done()
 			}
 		}(wk, cmds[i])
@@ -307,15 +362,29 @@ func (e *Engine[V, M]) Run(prog Program[V, M]) (*Stats, error) {
 		}
 		wg.Wait()
 	}
+	// Workers recover their own panics, so they always reach the barrier
+	// and this shutdown broadcast can never deadlock, abort or not.
 	defer broadcast(cmdStop)
 
 	// Superstep 0 runs Init on every vertex.
 	e.activateAll = true
 	for e.superstep = 0; e.superstep < e.opts.MaxSupersteps; e.superstep++ {
 		stepStart := time.Now()
+		if err := e.checkAbort(ctx, deadline, stepStart); err != nil {
+			return abort(err)
+		}
 		broadcast(cmdCompute)
+		if re := e.workerPanic(); re != nil {
+			return abort(re)
+		}
 		e.mergeAggregators()
+		if err := e.checkAbort(ctx, deadline, stepStart); err != nil {
+			return abort(err)
+		}
 		broadcast(cmdExchange)
+		if re := e.workerPanic(); re != nil {
+			return abort(re)
+		}
 
 		st := StepStats{Superstep: e.superstep}
 		nextActive := 0
@@ -337,16 +406,8 @@ func (e *Engine[V, M]) Run(prog Program[V, M]) (*Stats, error) {
 
 		e.activateAll = false
 		if e.masterHook != nil {
-			mc.step = st
-			mc.nextActive = nextActive
-			mc.activateAll = false
-			mc.stop = false
-			e.masterHook(mc)
-			if mc.activateAll {
-				e.activateAll = true
-			}
-			if mc.stop {
-				e.stopped = true
+			if err := e.fireMasterHook(mc, st, nextActive); err != nil {
+				return abort(err)
 			}
 		}
 		if e.stopped {
@@ -361,6 +422,99 @@ func (e *Engine[V, M]) Run(prog Program[V, M]) (*Stats, error) {
 		return &e.stats, fmt.Errorf("pregel: superstep limit %d reached", e.opts.MaxSupersteps)
 	}
 	return &e.stats, nil
+}
+
+// checkAbort evaluates the run-lifecycle conditions at a barrier. The
+// no-abort path performs no allocation: ctx.Err is an atomic load and the
+// clock is only read when a deadline or step timeout is armed.
+func (e *Engine[V, M]) checkAbort(ctx context.Context, deadline time.Time, stepStart time.Time) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		return context.DeadlineExceeded
+	}
+	if st := e.opts.StepTimeout; st > 0 && time.Since(stepStart) > st {
+		return fmt.Errorf("%w (superstep %d ran > %v)", ErrStepTimeout, e.superstep, st)
+	}
+	return nil
+}
+
+// workerPanic returns the first (lowest worker id) panic recovered during
+// the barrier phase that just completed, or nil. Safe to call only after
+// the barrier's WaitGroup wait.
+func (e *Engine[V, M]) workerPanic() *RunError {
+	for _, wk := range e.workers {
+		if wk.panicErr != nil {
+			return wk.panicErr
+		}
+	}
+	return nil
+}
+
+// fireMasterHook invokes the master hook for a completed superstep and
+// applies its decisions, recovering a hook panic into a *RunError so a
+// buggy hook cannot crash the process.
+func (e *Engine[V, M]) fireMasterHook(mc *MasterContext, st StepStats, nextActive int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &RunError{
+				Worker:    MasterWorker,
+				Superstep: e.superstep,
+				Phase:     "master",
+				Value:     r,
+				Stack:     debug.Stack(),
+			}
+		}
+	}()
+	mc.step = st
+	mc.nextActive = nextActive
+	mc.activateAll = false
+	mc.stop = false
+	e.masterHook(mc)
+	if mc.activateAll {
+		e.activateAll = true
+	}
+	if mc.stop {
+		e.stopped = true
+	}
+	return nil
+}
+
+// step dispatches one barrier phase on the worker goroutine, converting a
+// panic from user code into a structured RunError instead of letting it
+// kill the process. Recovering here (rather than not at all) is what keeps
+// the barrier protocol deadlock-free: the worker always returns to its
+// command loop and acknowledges the WaitGroup, so the master can observe
+// the panic after the barrier and drain the pool with a normal stop
+// broadcast.
+func (w *worker[V, M]) step(cmd workerCmd, prog Program[V, M]) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		re := &RunError{
+			Worker:    w.id,
+			Superstep: w.eng.superstep,
+			Phase:     "exchange",
+			Value:     r,
+			Stack:     debug.Stack(),
+		}
+		if cmd == cmdCompute {
+			re.Phase = "compute"
+			if w.inVertex {
+				re.Vertex, re.HasVertex = w.ctx.id, true
+				w.inVertex = false
+			}
+		}
+		w.panicErr = re
+	}()
+	if cmd == cmdCompute {
+		w.compute(prog)
+	} else {
+		w.exchange()
+	}
 }
 
 // mergeAggregators folds every worker's dense pending array into the
@@ -413,6 +567,7 @@ func (w *worker[V, M]) compute(prog Program[V, M]) {
 		ctx.id = VertexID(u)
 		ctx.votedHalt = false
 		ctx.removeSelf = false
+		w.inVertex = true
 		if e.superstep == 0 {
 			prog.Init(ctx)
 		} else {
@@ -420,6 +575,7 @@ func (w *worker[V, M]) compute(prog Program[V, M]) {
 			hi := w.msgOff[slot-w.lo+1]
 			prog.Compute(ctx, w.msgBuf[lo:hi])
 		}
+		w.inVertex = false
 		e.active[u] = !ctx.votedHalt
 		if ctx.removeSelf {
 			e.removed[u] = true

@@ -342,12 +342,36 @@ func TestRunTwiceFails(t *testing.T) {
 func TestEmptyGraph(t *testing.T) {
 	g := graph.NewBuilder(0, true).Finalize()
 	e := New[sumVal, float64](g, Options{})
+	hookFired := 0
+	e.SetMasterHook(func(mc *MasterContext) {
+		hookFired++
+		if mc.Step() != (StepStats{}) {
+			t.Errorf("empty-graph hook step = %+v, want zero", mc.Step())
+		}
+	})
 	stats, err := e.Run(&directedSendProgram{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if stats.Supersteps != 0 {
 		t.Fatalf("supersteps = %d, want 0", stats.Supersteps)
+	}
+	// The empty-graph path must have the same shape as a zero-superstep
+	// run: non-nil (empty) Steps, a measured Duration, one hook firing.
+	if stats.Steps == nil {
+		t.Fatal("empty-graph Steps is nil, want non-nil empty slice")
+	}
+	if len(stats.Steps) != 0 {
+		t.Fatalf("empty-graph Steps has %d entries, want 0", len(stats.Steps))
+	}
+	if stats.Duration <= 0 {
+		t.Fatalf("empty-graph Duration = %v, want > 0", stats.Duration)
+	}
+	if hookFired != 1 {
+		t.Fatalf("master hook fired %d times on empty graph, want 1", hookFired)
+	}
+	if stats.Aborted {
+		t.Fatalf("empty-graph run marked aborted: %q", stats.AbortReason)
 	}
 }
 

@@ -19,6 +19,7 @@
 package pregel
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -108,7 +109,22 @@ type Options struct {
 	Scheduler Scheduler
 	// Partition selects the vertex-to-worker placement.
 	Partition Partition
+	// StepTimeout, when positive, bounds each superstep's wall-clock
+	// time. Like all run-lifecycle conditions it is checked at the
+	// superstep barriers (a hung Compute cannot be preempted mid-call);
+	// exceeding it aborts the run with an error wrapping ErrStepTimeout
+	// and partial Stats.
+	StepTimeout time.Duration
+	// Deadline, when non-zero, aborts the run once the wall clock passes
+	// it, returning an error wrapping context.DeadlineExceeded and
+	// partial Stats. A context deadline passed to RunContext combines
+	// with this; the earlier of the two wins.
+	Deadline time.Time
 }
+
+// ErrStepTimeout is wrapped by the run error when a superstep exceeds
+// Options.StepTimeout.
+var ErrStepTimeout = errors.New("pregel: superstep exceeded StepTimeout")
 
 // StepStats records one superstep.
 type StepStats struct {
@@ -120,7 +136,10 @@ type StepStats struct {
 	Duration         time.Duration
 }
 
-// Stats aggregates a whole run.
+// Stats aggregates a whole run. On an aborted run (cancellation, deadline,
+// step timeout, or a recovered panic) Stats holds everything accumulated up
+// to the abort point — Steps has one entry per completed superstep — and
+// Aborted/AbortReason record why the run stopped early.
 type Stats struct {
 	Supersteps       int
 	MessagesSent     int64
@@ -130,12 +149,22 @@ type Stats struct {
 	TotalActive      int64 // sum over supersteps of vertices run
 	Duration         time.Duration
 	Steps            []StepStats
+	// Aborted is true when the run stopped before reaching quiescence,
+	// a master Stop, or the superstep limit: the context was cancelled, a
+	// deadline or step timeout fired, or user code panicked.
+	Aborted bool
+	// AbortReason is a human-readable cause, set iff Aborted.
+	AbortReason string
 }
 
 // String summarizes the run statistics.
 func (s Stats) String() string {
-	return fmt.Sprintf("supersteps=%d msgs=%d combined=%d bytes=%d active=%d time=%v",
+	base := fmt.Sprintf("supersteps=%d msgs=%d combined=%d bytes=%d active=%d time=%v",
 		s.Supersteps, s.MessagesSent, s.CombinedMessages, s.MessageBytes, s.TotalActive, s.Duration)
+	if s.Aborted {
+		base += fmt.Sprintf(" aborted=%q", s.AbortReason)
+	}
+	return base
 }
 
 // AggregatorOp is the reduction used by a master aggregator.

@@ -3,42 +3,102 @@
 //
 // Usage:
 //
-//	dvc [-mode dv|dvstar|memotable] [-emit source|compiled|layout|go] (-program name | file.dv)
+//	dvc [-mode dv|dvstar|memotable] [-emit source|compiled|layout|go]
+//	    [-epsilon ε] [-vet=false] (-program name | file.dv)
+//	dvc vet [-mode m] [-epsilon ε] [-json] [-severity warn|error]
+//	    [-analyzers a,b,...] (-program name | file.dv)
+//	dvc -list
 //
 // With -emit compiled (the default) it prints the fully transformed
 // program in the paper's pseudo-syntax: receive loops, change checks,
 // Δ-message sends and halts. -emit go prints generated Go source for the
 // vertex program. -program selects one of the embedded benchmark programs
 // (see `dvc -list`).
+//
+// The vet subcommand runs the static-analysis suite of
+// internal/deltav/analysis and prints every finding (syntax and type
+// errors included) as position-anchored diagnostics, human-readable by
+// default or as a JSON report with -json. -severity warn|error sets the
+// minimum severity shown; -analyzers selects a comma-separated subset of
+// passes. The exit status is 1 when any error-severity finding exists, 0
+// otherwise (warnings do not fail the run), 2 on usage or I/O problems.
+//
+// Compiling with -emit compiled or -emit go vets the program first:
+// error findings abort the compile (bypass with -vet=false), warnings go
+// to standard error.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/deltav/analysis"
 	"repro/internal/deltav/ast"
 	"repro/internal/deltav/codegen"
+	"repro/internal/deltav/diag"
 	"repro/internal/deltav/parser"
 	"repro/internal/deltav/vm"
 	"repro/internal/programs"
 )
 
+// mainFlags are the compile driver's options.
+type mainFlags struct {
+	mode     *string
+	emit     *string
+	progName *string
+	epsilon  *float64
+	list     *bool
+	vet      *bool
+}
+
+func registerMainFlags(fs *flag.FlagSet) *mainFlags {
+	return &mainFlags{
+		mode:     fs.String("mode", "dv", "compile mode: dv (incremental), dvstar (baseline), memotable"),
+		emit:     fs.String("emit", "compiled", "stage to print: source, compiled, layout, go"),
+		progName: fs.String("program", "", "embedded benchmark program name (instead of a file)"),
+		epsilon:  fs.Float64("epsilon", 0, "allowable-slop ε for change checks (§9)"),
+		list:     fs.Bool("list", false, "list embedded programs and exit"),
+		vet:      fs.Bool("vet", true, "run the static-analysis suite before compiling"),
+	}
+}
+
+// vetFlags are the vet subcommand's options.
+type vetFlags struct {
+	mode      *string
+	epsilon   *float64
+	progName  *string
+	jsonOut   *bool
+	severity  *string
+	analyzers *string
+}
+
+func registerVetFlags(fs *flag.FlagSet) *vetFlags {
+	return &vetFlags{
+		mode:      fs.String("mode", "dv", "target compile mode the findings apply to: dv, dvstar, memotable"),
+		epsilon:   fs.Float64("epsilon", 0, "allowable-slop ε the program will run with (§9)"),
+		progName:  fs.String("program", "", "embedded benchmark program name (instead of a file)"),
+		jsonOut:   fs.Bool("json", false, "emit the findings as a JSON report"),
+		severity:  fs.String("severity", "warn", "minimum severity to show: warn, error"),
+		analyzers: fs.String("analyzers", "", "comma-separated analyzer subset (default: all)"),
+	}
+}
+
 func main() {
-	mode := flag.String("mode", "dv", "compile mode: dv (incremental), dvstar (baseline), memotable")
-	emit := flag.String("emit", "compiled", "stage to print: source, compiled, layout, go")
-	progName := flag.String("program", "", "embedded benchmark program name (instead of a file)")
-	epsilon := flag.Float64("epsilon", 0, "allowable-slop ε for change checks (§9)")
-	list := flag.Bool("list", false, "list embedded programs and exit")
+	if len(os.Args) > 1 && os.Args[1] == "vet" {
+		os.Exit(vetMain(os.Args[2:]))
+	}
+	f := registerMainFlags(flag.CommandLine)
 	flag.Parse()
 
-	if *list {
+	if *f.list {
 		fmt.Println(strings.Join(programs.Names(), "\n"))
 		return
 	}
-	if err := run(*mode, *emit, *progName, *epsilon, flag.Args()); err != nil {
+	if err := run(f, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "dvc:", err)
 		os.Exit(1)
 	}
@@ -56,30 +116,87 @@ func parseMode(s string) (core.Mode, error) {
 	return 0, fmt.Errorf("unknown mode %q (want dv, dvstar, memotable)", s)
 }
 
-func run(modeStr, emit, progName string, epsilon float64, args []string) error {
-	var src string
+// loadSource resolves the single program input: -program name or a file.
+func loadSource(progName string, args []string) (string, error) {
 	switch {
 	case progName != "":
-		var err error
-		src, err = programs.Source(progName)
-		if err != nil {
-			return err
-		}
+		return programs.Source(progName)
 	case len(args) == 1:
 		b, err := os.ReadFile(args[0])
 		if err != nil {
-			return err
+			return "", err
 		}
-		src = string(b)
-	default:
-		return fmt.Errorf("need exactly one input file or -program name")
+		return string(b), nil
+	}
+	return "", fmt.Errorf("need exactly one input file or -program name")
+}
+
+// vetMain implements `dvc vet` and returns the process exit code: 0 for
+// clean or warnings-only, 1 when error findings exist, 2 on usage or I/O
+// problems.
+func vetMain(args []string) int {
+	fs := flag.NewFlagSet("dvc vet", flag.ExitOnError)
+	f := registerVetFlags(fs)
+	fs.Parse(args)
+
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "dvc vet:", err)
+		return 2
+	}
+	src, err := loadSource(*f.progName, fs.Args())
+	if err != nil {
+		return fail(err)
+	}
+	mode, err := parseMode(*f.mode)
+	if err != nil {
+		return fail(err)
+	}
+	minSev, err := diag.ParseSeverity(*f.severity)
+	if err != nil {
+		return fail(err)
+	}
+	var passes []*analysis.Analyzer
+	if *f.analyzers != "" {
+		passes, err = analysis.ByName(strings.Split(*f.analyzers, ","))
+		if err != nil {
+			return fail(err)
+		}
 	}
 
-	mode, err := parseMode(modeStr)
+	diags, err := analysis.VetSource(src, analysis.Config{Mode: mode, Epsilon: *f.epsilon}, passes)
+	if err != nil {
+		// Syntax and type errors are diagnostics too: render them through
+		// the same pipeline instead of aborting with a bare message.
+		var front diag.List
+		if !errors.As(err, &front) {
+			return fail(err)
+		}
+		diags = front
+	}
+	shown := diags.Filter(minSev)
+	if *f.jsonOut {
+		fmt.Println(shown.JSON())
+	} else {
+		for _, d := range shown {
+			fmt.Println(d.String())
+		}
+	}
+	if diags.HasErrors() {
+		return 1
+	}
+	return 0
+}
+
+func run(f *mainFlags, args []string) error {
+	src, err := loadSource(*f.progName, args)
 	if err != nil {
 		return err
 	}
-	if emit == "source" {
+	mode, err := parseMode(*f.mode)
+	if err != nil {
+		return err
+	}
+	if *f.emit == "source" {
 		prog, err := parser.Parse(src)
 		if err != nil {
 			return err
@@ -87,17 +204,29 @@ func run(modeStr, emit, progName string, epsilon float64, args []string) error {
 		fmt.Print(ast.Print(prog))
 		return nil
 	}
-	compiled, err := core.Compile(src, core.Options{Mode: mode, Epsilon: epsilon})
+	if *f.vet && (*f.emit == "compiled" || *f.emit == "go") {
+		diags, err := analysis.VetSource(src, analysis.Config{Mode: mode, Epsilon: *f.epsilon}, nil)
+		if err != nil {
+			return err
+		}
+		if diags.HasErrors() {
+			return fmt.Errorf("vet rejected the program (bypass with -vet=false):\n%s", diags.Error())
+		}
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, "dvc vet:", d.String())
+		}
+	}
+	compiled, err := core.Compile(src, core.Options{Mode: mode, Epsilon: *f.epsilon})
 	if err != nil {
 		return err
 	}
-	switch emit {
+	switch *f.emit {
 	case "compiled":
 		fmt.Print(compiled.String())
 	case "layout":
 		fmt.Printf("vertex state: %d bytes\n", compiled.Layout.ByteSize())
-		for i, f := range compiled.Layout.Fields {
-			fmt.Printf("  [%d] %-16s %-5s %s\n", i, f.Name, f.Type, f.Kind)
+		for i, fld := range compiled.Layout.Fields {
+			fmt.Printf("  [%d] %-16s %-5s %s\n", i, fld.Name, fld.Type, fld.Kind)
 		}
 		fmt.Printf("message: %d bytes, %d slot(s)\n", vm.MessageBytes(compiled), compiled.MaxSlotsPerGroup)
 	case "go":
@@ -107,7 +236,7 @@ func run(modeStr, emit, progName string, epsilon float64, args []string) error {
 		}
 		fmt.Print(gosrc)
 	default:
-		return fmt.Errorf("unknown -emit %q (want source, compiled, layout, go)", emit)
+		return fmt.Errorf("unknown -emit %q (want source, compiled, layout, go)", *f.emit)
 	}
 	return nil
 }

@@ -32,6 +32,15 @@ import (
 // superstep's value while a re-execution would see the new one — the
 // divergence the differential fuzzer caught. The iteration counter is an
 // unstable input (it changes every superstep regardless of messages).
+// ReExecutionStable reports whether an iter body is re-execution stable
+// (F(F(x)) = F(x) for the state update F), the property P6's
+// halt-by-default relies on. The compiler uses it to decide whether a
+// compiled phase may vote to halt; the vet suite's initonly analyzer uses
+// it to warn when a body disables halting.
+func ReExecutionStable(body ast.Expr, iterVar string) bool {
+	return bodyStable(body, iterVar)
+}
+
 func bodyStable(body ast.Expr, iterVar string) bool {
 	a := &stabilityAnalysis{
 		iterVar:     iterVar,

@@ -238,7 +238,7 @@ step { w = * [ u.w | u <- #in ] }`,
 		{
 			name:    "parse-error-propagates",
 			src:     `init { local w : float = };step { w = 1.0 }`,
-			wantSub: "parse",
+			wantSub: "syntax",
 			mode:    Incremental,
 		},
 	}

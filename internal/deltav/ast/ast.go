@@ -12,9 +12,13 @@ import (
 	"repro/internal/deltav/types"
 )
 
-// Node is any AST node.
+// Node is any AST node. Pos is the start of the node's source range; End
+// is one past its last character. Nodes synthesized by the compiler (and
+// older construction sites that never learned about end positions) may
+// leave the end unset, in which case End falls back to Pos.
 type Node interface {
 	Pos() token.Pos
+	End() token.Pos
 }
 
 // Expr is an expression node. Every expression carries the type assigned by
@@ -28,12 +32,22 @@ type Expr interface {
 
 // Base supplies position and type storage for expression nodes.
 type Base struct {
-	P  token.Pos
-	Ty types.Type
+	P    token.Pos
+	EndP token.Pos // end of the source range; zero when unknown
+	Ty   types.Type
 }
 
 // Pos returns the node's source position.
 func (b *Base) Pos() token.Pos { return b.P }
+
+// End returns the end of the node's source range, falling back to the
+// start position when no end was recorded.
+func (b *Base) End() token.Pos {
+	if b.EndP.IsValid() {
+		return b.EndP
+	}
+	return b.P
+}
 
 // Type returns the node's checked type.
 func (b *Base) Type() types.Type { return b.Ty }
@@ -361,17 +375,27 @@ type Stmt interface {
 // Step runs its body for a single superstep.
 type Step struct {
 	P    token.Pos
+	EndP token.Pos
 	Body Expr
 }
 
 // Pos returns the statement position.
 func (s *Step) Pos() token.Pos { return s.P }
-func (*Step) isStmt()          {}
+
+// End returns the end of the statement's source range.
+func (s *Step) End() token.Pos {
+	if s.EndP.IsValid() {
+		return s.EndP
+	}
+	return s.P
+}
+func (*Step) isStmt() {}
 
 // Iter runs its body repeatedly until the condition holds. Var is the
 // iteration counter, starting at 1 on the first execution of the body.
 type Iter struct {
 	P     token.Pos
+	EndP  token.Pos
 	Var   string
 	Body  Expr
 	Until Expr
@@ -379,7 +403,15 @@ type Iter struct {
 
 // Pos returns the statement position.
 func (s *Iter) Pos() token.Pos { return s.P }
-func (*Iter) isStmt()          {}
+
+// End returns the end of the statement's source range.
+func (s *Iter) End() token.Pos {
+	if s.EndP.IsValid() {
+		return s.EndP
+	}
+	return s.P
+}
+func (*Iter) isStmt() {}
 
 // Program is a complete ΔV program: parameters, the init expression, and
 // the statement list.

@@ -207,9 +207,9 @@ func CloneProgram(p *Program) *Program {
 	for _, s := range p.Stmts {
 		switch st := s.(type) {
 		case *Step:
-			out.Stmts = append(out.Stmts, &Step{P: st.P, Body: Clone(st.Body)})
+			out.Stmts = append(out.Stmts, &Step{P: st.P, EndP: st.EndP, Body: Clone(st.Body)})
 		case *Iter:
-			out.Stmts = append(out.Stmts, &Iter{P: st.P, Var: st.Var, Body: Clone(st.Body), Until: Clone(st.Until)})
+			out.Stmts = append(out.Stmts, &Iter{P: st.P, EndP: st.EndP, Var: st.Var, Body: Clone(st.Body), Until: Clone(st.Until)})
 		}
 	}
 	return out

@@ -4,6 +4,11 @@
 // documented in DESIGN.md §5. The parser never produces compiler-internal
 // nodes (send, halt, message loops); those are introduced by the passes in
 // internal/core.
+//
+// Errors (lexical and syntactic) are reported as diag.List values, the
+// structured diagnostic path shared with the type checker and the vet
+// suite. Every node the parser produces carries both a start and an end
+// position, so downstream diagnostics can anchor precise source ranges.
 package parser
 
 import (
@@ -11,16 +16,18 @@ import (
 	"strconv"
 
 	"repro/internal/deltav/ast"
+	"repro/internal/deltav/diag"
 	"repro/internal/deltav/lexer"
 	"repro/internal/deltav/token"
 	"repro/internal/deltav/types"
 )
 
-// Parse parses a complete ΔV program.
+// Parse parses a complete ΔV program. On failure the returned error is a
+// diag.List with code "syntax".
 func Parse(src string) (*ast.Program, error) {
 	toks, errs := lexer.Tokenize(src)
 	if len(errs) > 0 {
-		return nil, fmt.Errorf("deltav: lex: %w", errs[0])
+		return nil, lexDiags(errs)
 	}
 	p := &parser{toks: toks}
 	var prog *ast.Program
@@ -35,7 +42,7 @@ func Parse(src string) (*ast.Program, error) {
 func ParseExpr(src string) (ast.Expr, error) {
 	toks, errs := lexer.Tokenize(src)
 	if len(errs) > 0 {
-		return nil, fmt.Errorf("deltav: lex: %w", errs[0])
+		return nil, lexDiags(errs)
 	}
 	p := &parser{toks: toks}
 	var e ast.Expr
@@ -49,18 +56,28 @@ func ParseExpr(src string) (ast.Expr, error) {
 	return e, nil
 }
 
+// lexDiags wraps lexical errors (already position-prefixed strings) into
+// the structured diagnostic path.
+func lexDiags(errs []error) error {
+	var l diag.List
+	for _, e := range errs {
+		l.Add(diag.Diagnostic{Severity: diag.Error, Code: "syntax", Message: e.Error()})
+	}
+	return l.ErrOrNil()
+}
+
 type parser struct {
 	toks []token.Token
 	pos  int
 }
 
-type parseError struct{ err error }
+type parseError struct{ list diag.List }
 
 func (p *parser) catch(fn func()) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if pe, ok := r.(parseError); ok {
-				err = pe.err
+				err = pe.list.ErrOrNil()
 				return
 			}
 			panic(r)
@@ -73,7 +90,19 @@ func (p *parser) catch(fn func()) (err error) {
 func (p *parser) fail(format string, args ...any) {
 	t := p.peek()
 	msg := fmt.Sprintf(format, args...)
-	panic(parseError{fmt.Errorf("deltav: parse: %s: %s (at %s)", t.Pos, msg, t)})
+	panic(parseError{diag.List{{
+		Pos: t.Pos, End: endOf(t), Severity: diag.Error, Code: "syntax",
+		Message: fmt.Sprintf("%s (at %s)", msg, t),
+	}}})
+}
+
+// endOf returns the position one past a token's last character.
+func endOf(t token.Token) token.Pos {
+	n := len(t.Lit)
+	if n == 0 {
+		n = len(t.Kind.String())
+	}
+	return token.Pos{Line: t.Pos.Line, Col: t.Pos.Col + n}
 }
 
 func (p *parser) peek() token.Token { return p.toks[p.pos] }
@@ -145,6 +174,7 @@ func (p *parser) parseParam() ast.Param {
 
 func (p *parser) parseLiteral() ast.Expr {
 	t := p.peek()
+	start := t.Pos
 	neg := false
 	if t.Kind == token.MINUS {
 		neg = true
@@ -161,7 +191,7 @@ func (p *parser) parseLiteral() ast.Expr {
 		if neg {
 			v = -v
 		}
-		return &ast.IntLit{Base: ast.Base{P: t.Pos}, Val: v}
+		return &ast.IntLit{Base: ast.Base{P: start, EndP: endOf(t)}, Val: v}
 	case token.FLOAT:
 		p.next()
 		v, err := strconv.ParseFloat(t.Lit, 64)
@@ -171,13 +201,13 @@ func (p *parser) parseLiteral() ast.Expr {
 		if neg {
 			v = -v
 		}
-		return &ast.FloatLit{Base: ast.Base{P: t.Pos}, Val: v}
+		return &ast.FloatLit{Base: ast.Base{P: start, EndP: endOf(t)}, Val: v}
 	case token.TRUE, token.FALSE:
 		if neg {
 			p.fail("cannot negate a bool literal")
 		}
 		p.next()
-		return &ast.BoolLit{Base: ast.Base{P: t.Pos}, Val: t.Kind == token.TRUE}
+		return &ast.BoolLit{Base: ast.Base{P: t.Pos, EndP: endOf(t)}, Val: t.Kind == token.TRUE}
 	}
 	p.fail("expected literal")
 	return nil
@@ -203,8 +233,8 @@ func (p *parser) parseStmt() ast.Stmt {
 		p.next()
 		p.expect(token.LBRACE)
 		body := p.parseSeq(token.RBRACE)
-		p.expect(token.RBRACE)
-		return &ast.Step{P: t.Pos, Body: body}
+		rb := p.expect(token.RBRACE)
+		return &ast.Step{P: t.Pos, EndP: endOf(rb), Body: body}
 	case token.ITER:
 		p.next()
 		v := p.expect(token.IDENT).Lit
@@ -214,8 +244,8 @@ func (p *parser) parseStmt() ast.Stmt {
 		p.expect(token.UNTIL)
 		p.expect(token.LBRACE)
 		cond := p.parseExpr()
-		p.expect(token.RBRACE)
-		return &ast.Iter{P: t.Pos, Var: v, Body: body, Until: cond}
+		rb := p.expect(token.RBRACE)
+		return &ast.Iter{P: t.Pos, EndP: endOf(rb), Var: v, Body: body, Until: cond}
 	default:
 		p.fail("expected step or iter")
 		return nil
@@ -248,7 +278,7 @@ func (p *parser) parseSeq(term token.Kind) ast.Expr {
 	case 1:
 		return items[0]
 	default:
-		return &ast.Seq{Base: ast.Base{P: pos}, Items: items}
+		return &ast.Seq{Base: ast.Base{P: pos, EndP: items[len(items)-1].End()}, Items: items}
 	}
 }
 
@@ -261,7 +291,7 @@ func (p *parser) parseSeqElement(term token.Kind) ast.Expr {
 		ty := p.parseType()
 		p.expect(token.ASSIGN)
 		init := p.parseExpr()
-		return &ast.Local{Base: ast.Base{P: t.Pos}, Name: name, DeclType: ty, Init: init}
+		return &ast.Local{Base: ast.Base{P: t.Pos, EndP: init.End()}, Name: name, DeclType: ty, Init: init}
 	case token.LET:
 		return p.parseLet(term)
 	case token.IDENT:
@@ -269,7 +299,7 @@ func (p *parser) parseSeqElement(term token.Kind) ast.Expr {
 			p.next()
 			p.expect(token.ASSIGN)
 			val := p.parseExpr()
-			return &ast.Assign{Base: ast.Base{P: t.Pos}, Name: t.Lit, Value: val}
+			return &ast.Assign{Base: ast.Base{P: t.Pos, EndP: val.End()}, Name: t.Lit, Value: val}
 		}
 	}
 	return p.parseExpr()
@@ -285,7 +315,7 @@ func (p *parser) parseLet(term token.Kind) ast.Expr {
 	init := p.parseExpr()
 	p.expect(token.IN)
 	body := p.parseSeq(term)
-	return &ast.Let{Base: ast.Base{P: t.Pos}, Name: name, DeclType: ty, Init: init, Body: body}
+	return &ast.Let{Base: ast.Base{P: t.Pos, EndP: body.End()}, Name: name, DeclType: ty, Init: init, Body: body}
 }
 
 func (p *parser) parseExpr() ast.Expr { return p.parseBinary(1) }
@@ -329,7 +359,7 @@ func (p *parser) parseBinary(minPrec int) ast.Expr {
 		}
 		t := p.next()
 		right := p.parseBinary(prec + 1)
-		left = &ast.Binary{Base: ast.Base{P: t.Pos}, Op: op, L: left, R: right}
+		left = &ast.Binary{Base: ast.Base{P: t.Pos, EndP: right.End()}, Op: op, L: left, R: right}
 	}
 }
 
@@ -338,11 +368,11 @@ func (p *parser) parseUnary() ast.Expr {
 	case token.MINUS:
 		p.next()
 		x := p.parseUnary()
-		return &ast.Unary{Base: ast.Base{P: t.Pos}, Op: "-", X: x}
+		return &ast.Unary{Base: ast.Base{P: t.Pos, EndP: x.End()}, Op: "-", X: x}
 	case token.NOT:
 		p.next()
 		x := p.parseUnary()
-		return &ast.Unary{Base: ast.Base{P: t.Pos}, Op: "not", X: x}
+		return &ast.Unary{Base: ast.Base{P: t.Pos, EndP: x.End()}, Op: "not", X: x}
 	}
 	return p.parsePostfix()
 }
@@ -356,7 +386,7 @@ func (p *parser) parsePostfix() ast.Expr {
 		}
 		p.next()
 		f := p.expect(token.IDENT)
-		return &ast.NeighborField{Base: ast.Base{P: v.P}, Var: v.Name, Name: f.Lit}
+		return &ast.NeighborField{Base: ast.Base{P: v.P, EndP: endOf(f)}, Var: v.Name, Name: f.Lit}
 	}
 	return e
 }
@@ -383,8 +413,8 @@ func (p *parser) parseAgg(op ast.AggOp, pos token.Pos) ast.Expr {
 	v := p.expect(token.IDENT).Lit
 	p.expect(token.LARROW)
 	g := p.parseGraphDir()
-	p.expect(token.RBRACKET)
-	return &ast.Agg{Base: ast.Base{P: pos}, Op: op, BindVar: v, G: g, Body: body, Site: -1}
+	rb := p.expect(token.RBRACKET)
+	return &ast.Agg{Base: ast.Base{P: pos, EndP: endOf(rb)}, Op: op, BindVar: v, G: g, Body: body, Site: -1}
 }
 
 // parseBranch parses either a braced sequence, a bare assignment, or a
@@ -399,7 +429,7 @@ func (p *parser) parseBranch() ast.Expr {
 		p.next()
 		p.expect(token.ASSIGN)
 		val := p.parseExpr()
-		return &ast.Assign{Base: ast.Base{P: t.Pos}, Name: t.Lit, Value: val}
+		return &ast.Assign{Base: ast.Base{P: t.Pos, EndP: val.End()}, Name: t.Lit, Value: val}
 	}
 	return p.parseExpr()
 }
@@ -411,22 +441,22 @@ func (p *parser) parsePrimary() ast.Expr {
 		return p.parseLiteral()
 	case token.INFTY:
 		p.next()
-		return &ast.Infty{Base: ast.Base{P: t.Pos}}
+		return &ast.Infty{Base: ast.Base{P: t.Pos, EndP: endOf(t)}}
 	case token.GSIZE:
 		p.next()
-		return &ast.GraphSize{Base: ast.Base{P: t.Pos}}
+		return &ast.GraphSize{Base: ast.Base{P: t.Pos, EndP: endOf(t)}}
 	case token.IDKW:
 		p.next()
-		return &ast.VertexID{Base: ast.Base{P: t.Pos}}
+		return &ast.VertexID{Base: ast.Base{P: t.Pos, EndP: endOf(t)}}
 	case token.FIXPOINT:
 		p.next()
-		return &ast.FixpointRef{Base: ast.Base{P: t.Pos}}
+		return &ast.FixpointRef{Base: ast.Base{P: t.Pos, EndP: endOf(t)}}
 	case token.EW:
 		p.next()
-		return &ast.EdgeWeight{Base: ast.Base{P: t.Pos}}
+		return &ast.EdgeWeight{Base: ast.Base{P: t.Pos, EndP: endOf(t)}}
 	case token.IDENT:
 		p.next()
-		return &ast.Var{Base: ast.Base{P: t.Pos}, Name: t.Lit, Slot: -1}
+		return &ast.Var{Base: ast.Base{P: t.Pos, EndP: endOf(t)}, Name: t.Lit, Slot: -1}
 	case token.LPAREN:
 		p.next()
 		e := p.parseExpr()
@@ -435,18 +465,20 @@ func (p *parser) parsePrimary() ast.Expr {
 	case token.PIPE:
 		p.next()
 		g := p.parseGraphDir()
-		p.expect(token.PIPE)
-		return &ast.Cardinality{Base: ast.Base{P: t.Pos}, G: g}
+		rp := p.expect(token.PIPE)
+		return &ast.Cardinality{Base: ast.Base{P: t.Pos, EndP: endOf(rp)}, G: g}
 	case token.IF:
 		p.next()
 		cond := p.parseExpr()
 		p.expect(token.THEN)
 		then := p.parseBranch()
 		var els ast.Expr
+		end := then.End()
 		if p.accept(token.ELSE) {
 			els = p.parseBranch()
+			end = els.End()
 		}
-		return &ast.If{Base: ast.Base{P: t.Pos}, Cond: cond, Then: then, Else: els}
+		return &ast.If{Base: ast.Base{P: t.Pos, EndP: end}, Cond: cond, Then: then, Else: els}
 	case token.PLUS:
 		p.next()
 		return p.parseAgg(ast.AggSum, t.Pos)
@@ -470,7 +502,7 @@ func (p *parser) parsePrimary() ast.Expr {
 		}
 		a := p.parseUnary()
 		b := p.parseUnary()
-		return &ast.MinMax{Base: ast.Base{P: t.Pos}, IsMax: isMax, A: a, B: b}
+		return &ast.MinMax{Base: ast.Base{P: t.Pos, EndP: b.End()}, IsMax: isMax, A: a, B: b}
 	}
 	p.fail("expected expression")
 	return nil

@@ -1,0 +1,87 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/deltav/ast"
+	"repro/internal/programs"
+)
+
+// TestPrintParseRoundTripCorpus checks the pretty-printer/parser fixpoint
+// property on every embedded program: printing a parsed program yields
+// source that parses back and prints identically. One re-print is allowed
+// to normalize formatting; after that the representation must be stable.
+func TestPrintParseRoundTripCorpus(t *testing.T) {
+	for _, name := range programs.Names() {
+		t.Run(name, func(t *testing.T) {
+			prog, err := Parse(programs.MustSource(name))
+			if err != nil {
+				t.Fatalf("parse %s: %v", name, err)
+			}
+			checkRoundTrip(t, ast.Print(prog))
+		})
+	}
+}
+
+// TestPrintParseRoundTripSynthetic probes printer corner cases that the
+// corpus does not exercise: nested prefix min/max, unary over binary,
+// if-expressions in operand position, sequenced branches, let chains,
+// float exponent notation, and cardinalities of every graph direction.
+func TestPrintParseRoundTripSynthetic(t *testing.T) {
+	exprs := []string{
+		`min (max 1 2) (min 3 4)`,
+		`-(1 + 2) * -x`,
+		`not (a || b) && not c`,
+		`(if x > 0 then { 1 } else { 2 }) + 3`,
+		`max (+ [ u.f * ew | u <- #in ]) (|#out| + |#neighbors| + |#in|)`,
+		`1e+09 + 2.5e-07 + 0.125 + infty`,
+		`1 < 2 == (3 >= 4) != (5 <= 6)`,
+		`a / b / c - d - e`,
+		`min a -b`,
+	}
+	for _, src := range exprs {
+		t.Run(src, func(t *testing.T) {
+			e, err := ParseExpr(src)
+			if err != nil {
+				t.Fatalf("parse %q: %v", src, err)
+			}
+			printed := ast.ExprString(e)
+			e2, err := ParseExpr(printed)
+			if err != nil {
+				t.Fatalf("re-parse %q (printed from %q): %v", printed, src, err)
+			}
+			if again := ast.ExprString(e2); again != printed {
+				t.Fatalf("expression print not a fixpoint:\nfirst:  %s\nsecond: %s", printed, again)
+			}
+		})
+	}
+
+	fullPrograms := []string{
+		"param eps : float = 0.001;\n" +
+			"init { local v : float = 1.0 / graphSize };\n" +
+			"iter k { v = if id == 0 then { let s : float = + [ u.v | u <- #in ] in v = s } else { v * 0.5 } } until { fixpoint || k > 10 }\n",
+		"init { local best : int = id; local seen : bool = false };\n" +
+			"step { seen = true };\n" +
+			"iter i { best = max [ u.best | u <- #neighbors ] } until { fixpoint }\n",
+	}
+	for i, src := range fullPrograms {
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatalf("program %d: parse: %v", i, err)
+		}
+		checkRoundTrip(t, ast.Print(prog))
+	}
+}
+
+// checkRoundTrip asserts that printed source re-parses and re-prints to
+// itself (print∘parse is a fixpoint on printer output).
+func checkRoundTrip(t *testing.T, printed string) {
+	t.Helper()
+	prog, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("printed program does not re-parse: %v\nsource:\n%s", err, printed)
+	}
+	if again := ast.Print(prog); again != printed {
+		t.Fatalf("print not a fixpoint:\n--- first print ---\n%s\n--- second print ---\n%s", printed, again)
+	}
+}

@@ -14,12 +14,16 @@
 //     fixpoint, literals, graphSize and params may appear;
 //   - vertex-state fields (local declarations) may only be introduced in
 //     init{}.
+//
+// The checker does not stop at the first problem: it records every finding
+// in a diag.List (code "typecheck") and keeps going, suppressing cascade
+// errors by propagating types.Invalid silently. Check returns the full
+// list as its error.
 package typer
 
 import (
-	"fmt"
-
 	"repro/internal/deltav/ast"
+	"repro/internal/deltav/diag"
 	"repro/internal/deltav/token"
 	"repro/internal/deltav/types"
 )
@@ -48,15 +52,17 @@ func (in *Info) FieldType(name string) types.Type {
 	return types.Invalid
 }
 
-// Check type-checks prog in place and returns its symbol information.
+// Check type-checks prog in place and returns its symbol information. On
+// failure the returned error is a diag.List carrying every type error
+// found (not just the first), each anchored to its source range.
 func Check(prog *ast.Program) (*Info, error) {
 	c := &checker{
 		info:   &Info{Params: map[string]types.Type{}},
 		fields: map[string]types.Type{},
 		lets:   map[string][]types.Type{},
 	}
-	err := c.catch(func() { c.program(prog) })
-	if err != nil {
+	c.program(prog)
+	if err := c.diags.ErrOrNil(); err != nil {
 		return nil, err
 	}
 	return c.info, nil
@@ -64,6 +70,7 @@ func Check(prog *ast.Program) (*Info, error) {
 
 type checker struct {
 	info    *Info
+	diags   diag.List
 	fields  map[string]types.Type
 	lets    map[string][]types.Type // scope stacks per name
 	iterVar string
@@ -73,33 +80,24 @@ type checker struct {
 	aggVar  string // non-empty while inside an aggregation body
 }
 
-type checkError struct{ err error }
-
-func (c *checker) catch(fn func()) (err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			if ce, ok := r.(checkError); ok {
-				err = ce.err
-				return
-			}
-			panic(r)
-		}
-	}()
-	fn()
-	return nil
+// errf records a type error at an explicit position and keeps checking.
+func (c *checker) errf(pos token.Pos, format string, args ...any) {
+	c.diags.Errorf(pos, token.Pos{}, "typecheck", format, args...)
 }
 
-func (c *checker) errf(pos token.Pos, format string, args ...any) {
-	panic(checkError{fmt.Errorf("deltav: type: %s: %s", pos, fmt.Sprintf(format, args...))})
+// errNode records a type error anchored to a node's source range.
+func (c *checker) errNode(n ast.Node, format string, args ...any) {
+	c.diags.Errorf(n.Pos(), n.End(), "typecheck", format, args...)
 }
 
 func (c *checker) program(prog *ast.Program) {
 	for _, p := range prog.Params {
 		if _, dup := c.info.Params[p.Name]; dup {
 			c.errf(p.P, "duplicate param %q", p.Name)
+			continue
 		}
 		dt := c.expr(p.Default)
-		if !assignable(p.DeclType, dt) {
+		if dt != types.Invalid && !assignable(p.DeclType, dt) {
 			c.errf(p.P, "param %q default has type %s, want %s", p.Name, dt, p.DeclType)
 		}
 		c.info.Params[p.Name] = p.DeclType
@@ -124,8 +122,8 @@ func (c *checker) program(prog *ast.Program) {
 			c.inUntil = true
 			ut := c.expr(st.Until)
 			c.inUntil = false
-			if ut != types.Bool {
-				c.errf(st.Until.Pos(), "until condition has type %s, want bool", ut)
+			if ut != types.Bool && ut != types.Invalid {
+				c.errNode(st.Until, "until condition has type %s, want bool", ut)
 			}
 			c.iterVar = saved
 		}
@@ -157,6 +155,11 @@ func (c *checker) set(e ast.Expr, t types.Type) types.Type {
 	return t
 }
 
+// expr checks one expression. It reports problems into c.diags and returns
+// the expression's type; types.Invalid marks a subtree whose type could
+// not be determined. Checks involving an Invalid operand are skipped
+// silently — the operand already carries a diagnostic, and repeating the
+// complaint at every enclosing node would drown the real finding.
 func (c *checker) expr(e ast.Expr) types.Type {
 	switch n := e.(type) {
 	case *ast.IntLit:
@@ -171,104 +174,121 @@ func (c *checker) expr(e ast.Expr) types.Type {
 		return c.set(e, types.Int)
 	case *ast.Cardinality:
 		if c.inUntil {
-			c.errf(n.P, "|%s| not allowed in until{}", n.G)
+			c.errNode(n, "|%s| not allowed in until{}", n.G)
 		}
 		return c.set(e, types.Int)
 	case *ast.VertexID:
 		if c.inUntil {
-			c.errf(n.P, "id not allowed in until{} (condition must be master-evaluable)")
+			c.errNode(n, "id not allowed in until{} (condition must be master-evaluable)")
 		}
 		return c.set(e, types.Int)
 	case *ast.FixpointRef:
 		if !c.inUntil {
-			c.errf(n.P, "fixpoint is only legal inside until{}")
+			c.errNode(n, "fixpoint is only legal inside until{}")
 		}
 		return c.set(e, types.Bool)
 	case *ast.EdgeWeight:
 		if c.aggVar == "" {
-			c.errf(n.P, "ew is only legal inside an aggregation body")
+			c.errNode(n, "ew is only legal inside an aggregation body")
 		}
 		return c.set(e, types.Float)
 	case *ast.Var:
-		if c.aggVar != "" && n.Name == c.aggVar {
-			c.errf(n.P, "aggregation variable %q must be used as %s.field", n.Name, n.Name)
-		}
 		if c.aggVar != "" {
+			if n.Name == c.aggVar {
+				c.errNode(n, "aggregation variable %q must be used as %s.field", n.Name, n.Name)
+				return c.set(e, types.Invalid)
+			}
 			// Only params are allowed inside an aggregation body.
 			if t, ok := c.info.Params[n.Name]; ok {
 				return c.set(e, t)
 			}
-			c.errf(n.P, "%q not usable inside an aggregation body (only %s.field, ew, literals, graphSize, params)", n.Name, c.aggVar)
+			c.errNode(n, "%q not usable inside an aggregation body (only %s.field, ew, literals, graphSize, params)", n.Name, c.aggVar)
+			return c.set(e, types.Invalid)
 		}
 		if t, ok := c.lookupVar(n.Name); ok {
 			if c.inUntil && n.Name != c.iterVar {
 				if _, isParam := c.info.Params[n.Name]; !isParam {
-					c.errf(n.P, "until{} may only reference the iteration counter, fixpoint, params and constants")
+					c.errNode(n, "until{} may only reference the iteration counter, fixpoint, params and constants")
 				}
 			}
 			return c.set(e, t)
 		}
 		if t, ok := c.fields[n.Name]; ok {
 			if c.inUntil {
-				c.errf(n.P, "until{} may not reference vertex state (%q)", n.Name)
+				c.errNode(n, "until{} may not reference vertex state (%q)", n.Name)
 			}
-			// The parser cannot distinguish fields from variables; retype
+			// The parser cannot distinguish fields from variables; retyping
 			// the node as a field reference is done by the resolver in
 			// internal/core. Here we only record the type.
 			return c.set(e, t)
 		}
-		c.errf(n.P, "undefined variable %q", n.Name)
+		c.errNode(n, "undefined variable %q", n.Name)
+		return c.set(e, types.Invalid)
 	case *ast.Unary:
 		xt := c.expr(n.X)
 		if n.Op == "not" {
-			if xt != types.Bool {
-				c.errf(n.P, "not applied to %s", xt)
+			if xt != types.Bool && xt != types.Invalid {
+				c.errNode(n, "not applied to %s", xt)
 			}
 			return c.set(e, types.Bool)
 		}
+		if xt == types.Invalid {
+			return c.set(e, types.Invalid)
+		}
 		if !xt.Numeric() {
-			c.errf(n.P, "unary - applied to %s", xt)
+			c.errNode(n, "unary - applied to %s", xt)
+			return c.set(e, types.Invalid)
 		}
 		return c.set(e, xt)
 	case *ast.Binary:
 		lt, rt := c.expr(n.L), c.expr(n.R)
+		bad := lt == types.Invalid || rt == types.Invalid
 		switch n.Op {
 		case "+", "-", "*":
-			if !lt.Numeric() || !rt.Numeric() {
-				c.errf(n.P, "%s applied to %s and %s", n.Op, lt, rt)
+			if !bad && (!lt.Numeric() || !rt.Numeric()) {
+				c.errNode(n, "%s applied to %s and %s", n.Op, lt, rt)
+				bad = true
 			}
 			if lt == types.Float || rt == types.Float {
 				return c.set(e, types.Float)
 			}
+			if bad {
+				return c.set(e, types.Invalid)
+			}
 			return c.set(e, types.Int)
 		case "/":
-			if !lt.Numeric() || !rt.Numeric() {
-				c.errf(n.P, "/ applied to %s and %s", lt, rt)
+			if !bad && (!lt.Numeric() || !rt.Numeric()) {
+				c.errNode(n, "/ applied to %s and %s", lt, rt)
 			}
 			// Division is always real-valued in ΔV: 1 / graphSize is a
 			// fraction, as the paper's PageRank uses it.
 			return c.set(e, types.Float)
 		case "&&", "||":
-			if lt != types.Bool || rt != types.Bool {
-				c.errf(n.P, "%s applied to %s and %s", n.Op, lt, rt)
+			if !bad && (lt != types.Bool || rt != types.Bool) {
+				c.errNode(n, "%s applied to %s and %s", n.Op, lt, rt)
 			}
 			return c.set(e, types.Bool)
 		case "<", ">", "<=", ">=":
-			if !lt.Numeric() || !rt.Numeric() {
-				c.errf(n.P, "%s applied to %s and %s", n.Op, lt, rt)
+			if !bad && (!lt.Numeric() || !rt.Numeric()) {
+				c.errNode(n, "%s applied to %s and %s", n.Op, lt, rt)
 			}
 			return c.set(e, types.Bool)
 		case "==", "!=":
-			if lt != rt && !(lt.Numeric() && rt.Numeric()) {
-				c.errf(n.P, "%s compares %s and %s", n.Op, lt, rt)
+			if !bad && lt != rt && !(lt.Numeric() && rt.Numeric()) {
+				c.errNode(n, "%s compares %s and %s", n.Op, lt, rt)
 			}
 			return c.set(e, types.Bool)
 		}
-		c.errf(n.P, "unknown operator %q", n.Op)
+		c.errNode(n, "unknown operator %q", n.Op)
+		return c.set(e, types.Invalid)
 	case *ast.MinMax:
 		at, bt := c.expr(n.A), c.expr(n.B)
+		if at == types.Invalid || bt == types.Invalid {
+			return c.set(e, types.Invalid)
+		}
 		if !at.Numeric() || !bt.Numeric() {
-			c.errf(n.P, "min/max applied to %s and %s", at, bt)
+			c.errNode(n, "min/max applied to %s and %s", at, bt)
+			return c.set(e, types.Invalid)
 		}
 		if at == types.Float || bt == types.Float {
 			return c.set(e, types.Float)
@@ -276,8 +296,8 @@ func (c *checker) expr(e ast.Expr) types.Type {
 		return c.set(e, types.Int)
 	case *ast.If:
 		ct := c.expr(n.Cond)
-		if ct != types.Bool {
-			c.errf(n.P, "if condition has type %s", ct)
+		if ct != types.Bool && ct != types.Invalid {
+			c.errNode(n.Cond, "if condition has type %s", ct)
 		}
 		tt := c.expr(n.Then)
 		if n.Else == nil {
@@ -285,6 +305,8 @@ func (c *checker) expr(e ast.Expr) types.Type {
 		}
 		et := c.expr(n.Else)
 		switch {
+		case tt == types.Invalid || et == types.Invalid:
+			return c.set(e, types.Invalid)
 		case tt == et:
 			return c.set(e, tt)
 		case tt.Numeric() && et.Numeric():
@@ -294,8 +316,8 @@ func (c *checker) expr(e ast.Expr) types.Type {
 		}
 	case *ast.Let:
 		it := c.expr(n.Init)
-		if !assignable(n.DeclType, it) {
-			c.errf(n.P, "let %s : %s initialized with %s", n.Name, n.DeclType, it)
+		if it != types.Invalid && !assignable(n.DeclType, it) {
+			c.errNode(n, "let %s : %s initialized with %s", n.Name, n.DeclType, it)
 		}
 		c.lets[n.Name] = append(c.lets[n.Name], n.DeclType)
 		bt := c.expr(n.Body)
@@ -303,17 +325,19 @@ func (c *checker) expr(e ast.Expr) types.Type {
 		return c.set(e, bt)
 	case *ast.Local:
 		if !c.inInit {
-			c.errf(n.P, "local declarations are only legal in init{}")
+			c.errNode(n, "local declarations are only legal in init{}")
 		}
 		if _, dup := c.fields[n.Name]; dup {
-			c.errf(n.P, "duplicate field %q", n.Name)
+			c.errNode(n, "duplicate field %q", n.Name)
+			c.expr(n.Init)
+			return c.set(e, types.Unit)
 		}
 		if _, isParam := c.info.Params[n.Name]; isParam {
-			c.errf(n.P, "field %q shadows a param", n.Name)
+			c.errNode(n, "field %q shadows a param", n.Name)
 		}
 		it := c.expr(n.Init)
-		if !assignable(n.DeclType, it) {
-			c.errf(n.P, "local %s : %s initialized with %s", n.Name, n.DeclType, it)
+		if it != types.Invalid && !assignable(n.DeclType, it) {
+			c.errNode(n, "local %s : %s initialized with %s", n.Name, n.DeclType, it)
 		}
 		c.fields[n.Name] = n.DeclType
 		c.info.Fields = append(c.info.Fields, FieldInfo{Name: n.Name, Type: n.DeclType})
@@ -321,26 +345,30 @@ func (c *checker) expr(e ast.Expr) types.Type {
 	case *ast.Assign:
 		vt := c.expr(n.Value)
 		if t := c.lets[n.Name]; len(t) > 0 {
-			if !assignable(t[len(t)-1], vt) {
-				c.errf(n.P, "assigning %s to %s %q", vt, t[len(t)-1], n.Name)
+			if vt != types.Invalid && !assignable(t[len(t)-1], vt) {
+				c.errNode(n, "assigning %s to %s %q", vt, t[len(t)-1], n.Name)
 			}
 			n.IsField = false
 			return c.set(e, types.Unit)
 		}
 		if t, ok := c.fields[n.Name]; ok {
-			if !assignable(t, vt) {
-				c.errf(n.P, "assigning %s to %s field %q", vt, t, n.Name)
+			if vt != types.Invalid && !assignable(t, vt) {
+				c.errNode(n, "assigning %s to %s field %q", vt, t, n.Name)
 			}
 			n.IsField = true
 			return c.set(e, types.Unit)
 		}
-		if n.Name == c.iterVar {
-			c.errf(n.P, "cannot assign to iteration counter %q", n.Name)
+		switch {
+		case n.Name == c.iterVar && c.iterVar != "":
+			c.errNode(n, "cannot assign to iteration counter %q", n.Name)
+		default:
+			if _, isParam := c.info.Params[n.Name]; isParam {
+				c.errNode(n, "cannot assign to param %q", n.Name)
+			} else {
+				c.errNode(n, "assignment to undefined name %q", n.Name)
+			}
 		}
-		if _, isParam := c.info.Params[n.Name]; isParam {
-			c.errf(n.P, "cannot assign to param %q", n.Name)
-		}
-		c.errf(n.P, "assignment to undefined name %q", n.Name)
+		return c.set(e, types.Unit)
 	case *ast.Seq:
 		var t types.Type = types.Unit
 		for _, it := range n.Items {
@@ -349,43 +377,51 @@ func (c *checker) expr(e ast.Expr) types.Type {
 		return c.set(e, t)
 	case *ast.Agg:
 		if c.inInit {
-			c.errf(n.P, "aggregations are not allowed in init{} (no prior superstep exists)")
+			c.errNode(n, "aggregations are not allowed in init{} (no prior superstep exists)")
 		}
 		if c.inUntil {
-			c.errf(n.P, "aggregations are not allowed in until{}")
+			c.errNode(n, "aggregations are not allowed in until{}")
 		}
 		if c.aggVar != "" {
-			c.errf(n.P, "nested aggregations are not supported")
+			c.errNode(n, "nested aggregations are not supported")
+			return c.set(e, types.Invalid)
 		}
 		c.aggVar = n.BindVar
 		bt := c.expr(n.Body)
 		c.aggVar = ""
 		switch n.Op {
 		case ast.AggSum, ast.AggProd, ast.AggMin, ast.AggMax:
+			if bt == types.Invalid {
+				return c.set(e, types.Invalid)
+			}
 			if !bt.Numeric() {
-				c.errf(n.P, "%s aggregation over %s body", n.Op, bt)
+				c.errNode(n, "%s aggregation over %s body", n.Op, bt)
+				return c.set(e, types.Invalid)
 			}
 			return c.set(e, bt)
 		case ast.AggOr, ast.AggAnd:
-			if bt != types.Bool {
-				c.errf(n.P, "%s aggregation over %s body", n.Op, bt)
+			if bt != types.Bool && bt != types.Invalid {
+				c.errNode(n, "%s aggregation over %s body", n.Op, bt)
 			}
 			return c.set(e, types.Bool)
 		}
+		return c.set(e, types.Invalid)
 	case *ast.NeighborField:
 		if c.aggVar == "" {
-			c.errf(n.P, "%s.%s outside an aggregation", n.Var, n.Name)
-		}
-		if n.Var != c.aggVar {
-			c.errf(n.P, "unknown aggregation variable %q (bound: %q)", n.Var, c.aggVar)
+			c.errNode(n, "%s.%s outside an aggregation", n.Var, n.Name)
+		} else if n.Var != c.aggVar {
+			c.errNode(n, "unknown aggregation variable %q (bound: %q)", n.Var, c.aggVar)
 		}
 		t, ok := c.fields[n.Name]
 		if !ok {
-			c.errf(n.P, "unknown field %q", n.Name)
+			if c.aggVar != "" {
+				c.errNode(n, "unknown field %q", n.Name)
+			}
+			return c.set(e, types.Invalid)
 		}
 		return c.set(e, t)
 	default:
-		c.errf(e.Pos(), "internal form %T cannot appear in source", e)
+		c.errNode(e, "internal form %T cannot appear in source", e)
+		return c.set(e, types.Invalid)
 	}
-	return types.Invalid
 }

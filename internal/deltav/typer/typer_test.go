@@ -1,10 +1,12 @@
 package typer
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
 	"repro/internal/deltav/ast"
+	"repro/internal/deltav/diag"
 	"repro/internal/deltav/parser"
 	"repro/internal/deltav/types"
 	"repro/internal/programs"
@@ -170,6 +172,64 @@ func TestErrors(t *testing.T) {
 				t.Fatalf("error %q does not contain %q", err, tc.wantSub)
 			}
 		})
+	}
+}
+
+// TestMultipleErrors pins the accumulating behaviour: a program with
+// several independent type errors reports all of them, each anchored to
+// its own line, instead of stopping at the first.
+func TestMultipleErrors(t *testing.T) {
+	src := `init { local x : int = 1.5;
+local y : bool = not 3;
+local z : int = 1 };
+step { w = 2;
+z = true }`
+	_, _, err := check(t, src)
+	if err == nil {
+		t.Fatal("Check succeeded, want multiple errors")
+	}
+	var diags diag.List
+	if !errors.As(err, &diags) {
+		t.Fatalf("error is %T, want diag.List", err)
+	}
+	wantLines := map[int]string{
+		1: "initialized with",  // local x : int = 1.5
+		2: "not applied",       // not 3
+		4: "undefined name",    // w = 2
+		5: "assigning bool to", // z = true
+	}
+	if len(diags) != len(wantLines) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(diags), len(wantLines), diags)
+	}
+	for _, d := range diags {
+		sub, ok := wantLines[d.Pos.Line]
+		if !ok {
+			t.Errorf("unexpected diagnostic at line %d: %v", d.Pos.Line, d)
+			continue
+		}
+		if !strings.Contains(d.Message, sub) {
+			t.Errorf("line %d: message %q missing %q", d.Pos.Line, d.Message, sub)
+		}
+		if d.Severity != diag.Error || d.Code != "typecheck" || d.Pos.Col == 0 {
+			t.Errorf("line %d: diagnostic not a positioned typecheck error: %+v", d.Pos.Line, d)
+		}
+		delete(wantLines, d.Pos.Line)
+	}
+	if len(wantLines) != 0 {
+		t.Errorf("missing diagnostics for lines %v:\n%v", wantLines, diags)
+	}
+}
+
+// TestCascadeSuppression pins that one broken subexpression produces one
+// diagnostic, not a complaint at every enclosing node.
+func TestCascadeSuppression(t *testing.T) {
+	_, _, err := check(t, `init { local x : float = (nope + 1) * 2.0 };step { x = 1.0 }`)
+	var diags diag.List
+	if !errors.As(err, &diags) {
+		t.Fatalf("error is %T, want diag.List", err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "undefined") {
+		t.Fatalf("diagnostics = %v, want exactly the undefined-variable error", diags)
 	}
 }
 

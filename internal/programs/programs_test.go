@@ -1,9 +1,31 @@
 package programs
 
 import (
+	"sort"
 	"strings"
 	"testing"
 )
+
+// TestNamesDeterministic pins that Names() is sorted and stable across
+// calls: `dvc -list`, the vet corpus gate and every corpus-driven test
+// iterate it and must see the same order every run.
+func TestNamesDeterministic(t *testing.T) {
+	first := Names()
+	if !sort.StringsAreSorted(first) {
+		t.Fatalf("Names() not sorted: %v", first)
+	}
+	for i := 0; i < 5; i++ {
+		again := Names()
+		if len(again) != len(first) {
+			t.Fatalf("Names() length changed: %v vs %v", again, first)
+		}
+		for j := range first {
+			if again[j] != first[j] {
+				t.Fatalf("Names() order changed at %d: %v vs %v", j, again, first)
+			}
+		}
+	}
+}
 
 func TestNamesListsWholeCorpus(t *testing.T) {
 	names := Names()

@@ -11,9 +11,13 @@
 //
 // A -timeout bounds the whole invocation; SIGINT (Ctrl-C) cancels it. In
 // both cases the current run aborts at its next superstep barrier and
-// dvbench exits 1 with the abort reason; pregel micro-benchmark rows
-// measured before the abort keep their numbers and the remainder carry an
-// abort_reason marker in the JSON snapshot.
+// dvbench exits 1 with the abort reason. An abort in the middle of the
+// suite no longer discards finished work: every experiment renders the
+// rows it completed before the abort, followed by an "ABORTED:" marker,
+// and the remaining experiments are still attempted (each marking its own
+// abort). Likewise pregel micro-benchmark rows measured before the abort
+// keep their numbers and the remainder carry an abort_reason marker in the
+// JSON snapshot.
 //
 // Output is plain text, one block per table/figure, with the ΔV / ΔV★ /
 // Pregel+ rows of each experiment and a ratio summary for Figure 4. The
@@ -98,6 +102,18 @@ func run(ctx context.Context, exp string, runs int, jsonPath, label string) erro
 	want := func(name string) bool { return exp == "all" || exp == name }
 	any := false
 
+	// An abort inside one experiment must not discard the others: the rows
+	// completed before the abort are rendered with a marker, the remaining
+	// experiments still run (and typically mark their own abort immediately,
+	// since they share ctx), and the first abort error decides the exit code.
+	var firstErr error
+	aborted := func(err error) {
+		fmt.Fprintf(out, "ABORTED: %v — rows above are the measurements completed before the abort\n\n", err)
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+
 	if want("table1") {
 		any = true
 		rows, err := bench.Table1()
@@ -125,72 +141,69 @@ func run(ctx context.Context, exp string, runs int, jsonPath, label string) erro
 	if want("fig4") {
 		any = true
 		rows, err := bench.Figure4(ctx, runs)
+		if rerr := bench.RenderPerf(out, "Figure 4: runtime and messages (directed datasets)", rows); rerr != nil {
+			return rerr
+		}
+		fmt.Fprintln(out)
 		if err != nil {
-			return err
+			aborted(err)
+		} else {
+			if err := bench.RenderSummary(out, bench.Summarize(rows)); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
 		}
-		if err := bench.RenderPerf(out, "Figure 4: runtime and messages (directed datasets)", rows); err != nil {
-			return err
-		}
-		fmt.Fprintln(out)
-		if err := bench.RenderSummary(out, bench.Summarize(rows)); err != nil {
-			return err
-		}
-		fmt.Fprintln(out)
 	}
 	if want("fig5") {
 		any = true
 		rows, err := bench.Figure5(ctx, runs)
-		if err != nil {
-			return err
-		}
-		if err := bench.RenderPerf(out, "Figure 5: Connected Components (undirected datasets)", rows); err != nil {
-			return err
+		if rerr := bench.RenderPerf(out, "Figure 5: Connected Components (undirected datasets)", rows); rerr != nil {
+			return rerr
 		}
 		fmt.Fprintln(out)
+		if err != nil {
+			aborted(err)
+		}
 	}
 	if want("ablations") {
 		any = true
 		const ds = "livejournal-dg-s"
-		mt, err := bench.AblationMemoTable(ctx, ds, runs)
-		if err != nil {
-			return err
+		// Each step returns (abort error, render error); the first abort
+		// marks the block and skips the remaining ablations, which share the
+		// cancelled ctx and could only add empty tables.
+		steps := []func() (error, error){
+			func() (error, error) {
+				mt, err := bench.AblationMemoTable(ctx, ds, runs)
+				return err, bench.RenderMemoTable(out, mt)
+			},
+			func() (error, error) {
+				eps, err := bench.AblationEpsilon(ctx, ds, []float64{0, 1e-9, 1e-6, 1e-4, 1e-3})
+				return err, bench.RenderEpsilon(out, ds, eps)
+			},
+			func() (error, error) {
+				sched, err := bench.AblationScheduler(ctx, ds, runs)
+				return err, bench.RenderScheduler(out, sched)
+			},
+			func() (error, error) {
+				comb, err := bench.AblationCombiner(ctx, ds, runs)
+				return err, bench.RenderCombiner(out, comb)
+			},
+			func() (error, error) {
+				part, err := bench.AblationPartition(ctx, "wikipedia-s", runs)
+				return err, bench.RenderPartition(out, part)
+			},
 		}
-		if err := bench.RenderMemoTable(out, mt); err != nil {
-			return err
+		for _, step := range steps {
+			abortErr, renderErr := step()
+			if renderErr != nil {
+				return renderErr
+			}
+			fmt.Fprintln(out)
+			if abortErr != nil {
+				aborted(abortErr)
+				break
+			}
 		}
-		fmt.Fprintln(out)
-		eps, err := bench.AblationEpsilon(ctx, ds, []float64{0, 1e-9, 1e-6, 1e-4, 1e-3})
-		if err != nil {
-			return err
-		}
-		if err := bench.RenderEpsilon(out, ds, eps); err != nil {
-			return err
-		}
-		fmt.Fprintln(out)
-		sched, err := bench.AblationScheduler(ctx, ds, runs)
-		if err != nil {
-			return err
-		}
-		if err := bench.RenderScheduler(out, sched); err != nil {
-			return err
-		}
-		fmt.Fprintln(out)
-		comb, err := bench.AblationCombiner(ctx, ds, runs)
-		if err != nil {
-			return err
-		}
-		if err := bench.RenderCombiner(out, comb); err != nil {
-			return err
-		}
-		fmt.Fprintln(out)
-		part, err := bench.AblationPartition(ctx, "wikipedia-s", runs)
-		if err != nil {
-			return err
-		}
-		if err := bench.RenderPartition(out, part); err != nil {
-			return err
-		}
-		fmt.Fprintln(out)
 	}
 	if exp == "pregel" { // excluded from "all": it re-times the engine for ~10s
 		any = true
@@ -213,5 +226,5 @@ func run(ctx context.Context, exp string, runs int, jsonPath, label string) erro
 	if !any {
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
-	return nil
+	return firstErr
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"os"
 	"strings"
 	"testing"
@@ -67,5 +68,52 @@ func TestProfiledWritesProfiles(t *testing.T) {
 		if st.Size() == 0 {
 			t.Fatalf("empty profile %s", p)
 		}
+	}
+}
+
+// captureStdoutErr is captureStdout for invocations expected to fail: it
+// returns both the rendered output and the error.
+func captureStdoutErr(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	return string(buf[:n]), errRun
+}
+
+// TestRunAbortKeepsCompletedExperiments is the mid-suite abort regression
+// test: cancelling between experiments must not discard the experiments
+// that already rendered. With a cancelled ctx, the ctx-free tables still
+// print in full, every timed experiment renders its (empty) table with an
+// ABORTED marker, later experiments are still attempted, and the first
+// abort error decides the exit status.
+func TestRunAbortKeepsCompletedExperiments(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // "between experiments": before any timed measurement starts
+	out, err := captureStdoutErr(t, func() error { return run(ctx, "all", 1, "", "") })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for _, want := range []string{
+		"Table 1", "136.54M", // ctx-free experiments completed in full
+		"Table 2", "pagerank",
+		"Figure 4", "Figure 5", // timed experiments still rendered headers…
+		"ABORTED:",                 // …with abort markers
+		"lookup-table memoization", // and the suite continued into ablations
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "ABORTED:"); n != 3 { // fig4, fig5, first ablation
+		t.Fatalf("ABORTED markers = %d, want 3:\n%s", n, out)
 	}
 }

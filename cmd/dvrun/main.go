@@ -7,6 +7,7 @@
 //	      (-dataset name | -edges file.el [-directed] | -gen spec [-seed n])
 //	      [-param k=v]... [-workers N] [-queue] [-hash] [-combine] [-epsilon e]
 //	      [-show field] [-top N] [-trace] [-timeout d]
+//	      [-checkpoint-dir dir [-checkpoint-every N]] [-resume snapshot]
 //
 // Exactly one graph source (-dataset, -edges or -gen) must be given;
 // conflicting sources are an error. Generator specs: rmat:scale:edgefactor,
@@ -16,6 +17,14 @@
 // cases the run aborts at its next superstep barrier, dvrun prints the
 // statistics accumulated so far with an "aborted:" line (and, with -trace,
 // the completed per-superstep rows), and exits 1.
+//
+// -checkpoint-dir enables barrier snapshots: one snap-NNNNNN.dvsnap file
+// per checkpointed superstep (every -checkpoint-every supersteps, plus a
+// final snapshot at the terminal barrier and on any abort). The freshest
+// snapshot path is printed as a "checkpoint:" line. -resume continues a
+// run from such a file — the same program, mode, params, graph and
+// scheduler flags must be given (the graph fingerprint and scheduler are
+// validated) — executing only the remaining supersteps.
 //
 // Examples:
 //
@@ -74,6 +83,9 @@ type flagVals struct {
 	show                 string
 	top                  int
 	timeout              time.Duration
+	ckptDir              string
+	ckptEvery            int
+	resume               string
 	params               paramFlags
 }
 
@@ -96,6 +108,9 @@ func registerFlags(fs *flag.FlagSet) *flagVals {
 	fs.StringVar(&v.show, "show", "", "print this field's values")
 	fs.IntVar(&v.top, "top", 10, "how many values to print with -show")
 	fs.DurationVar(&v.timeout, "timeout", 0, "abort the run after this duration (0 = no limit)")
+	fs.StringVar(&v.ckptDir, "checkpoint-dir", "", "write barrier snapshots into this directory")
+	fs.IntVar(&v.ckptEvery, "checkpoint-every", 0, "periodic snapshot interval in supersteps (0 = final/abort snapshots only)")
+	fs.StringVar(&v.resume, "resume", "", "resume from a snapshot file written by -checkpoint-dir")
 	fs.Var(v.params, "param", "program parameter override, name=value (repeatable)")
 	return v
 }
@@ -106,7 +121,8 @@ func (v *flagVals) config() runConfig {
 		dataset: v.dataset, edges: v.edges, directed: v.directed, gen: v.gen, seed: v.seed,
 		workers: v.workers, queue: v.queue, hash: v.hash, combine: v.combine,
 		epsilon: v.epsilon, show: v.show, top: v.top, trace: v.trace,
-		timeout: v.timeout, params: v.params,
+		timeout: v.timeout, ckptDir: v.ckptDir, ckptEvery: v.ckptEvery,
+		resume: v.resume, params: v.params,
 	}
 }
 
@@ -135,6 +151,9 @@ type runConfig struct {
 	top                  int
 	trace                bool
 	timeout              time.Duration
+	ckptDir              string
+	ckptEvery            int
+	resume               string
 	params               paramFlags
 }
 
@@ -263,12 +282,33 @@ func run(ctx context.Context, cfg runConfig) error {
 	if cfg.hash {
 		part = pregel.PartitionHash
 	}
+
+	if cfg.ckptEvery > 0 && cfg.ckptDir == "" {
+		return fmt.Errorf("-checkpoint-every needs -checkpoint-dir")
+	}
+	var ckpt pregel.CheckpointOptions
+	if cfg.ckptDir != "" {
+		if err := os.MkdirAll(cfg.ckptDir, 0o755); err != nil {
+			return err
+		}
+		ckpt = pregel.CheckpointOptions{Every: cfg.ckptEvery, Dir: cfg.ckptDir}
+	}
+	var resumeSnap *pregel.Snapshot
+	if cfg.resume != "" {
+		resumeSnap, err = pregel.ReadSnapshotFile(cfg.resume)
+		if err != nil {
+			return err
+		}
+	}
+
 	res, runErr := vm.RunContext(ctx, prog, g, vm.RunOptions{
-		Params:    cfg.params,
-		Workers:   cfg.workers,
-		Scheduler: sched,
-		Partition: part,
-		Combine:   cfg.combine,
+		Params:     cfg.params,
+		Workers:    cfg.workers,
+		Scheduler:  sched,
+		Partition:  part,
+		Combine:    cfg.combine,
+		Checkpoint: ckpt,
+		Resume:     resumeSnap,
 	})
 	if res == nil {
 		return runErr
@@ -285,6 +325,9 @@ func run(ctx context.Context, cfg runConfig) error {
 	fmt.Printf("wall time:    %v\n", res.Stats.Duration)
 	if res.Stats.Aborted {
 		fmt.Printf("aborted:      %s\n", res.Stats.AbortReason)
+	}
+	if res.Stats.CheckpointPath != "" {
+		fmt.Printf("checkpoint:   %s\n", res.Stats.CheckpointPath)
 	}
 	if res.NonMonotoneSends > 0 {
 		fmt.Printf("WARNING: %d non-monotone Δ-messages (min/max accumulators may be stale)\n", res.NonMonotoneSends)

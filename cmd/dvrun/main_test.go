@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -227,6 +229,7 @@ func TestRegisterFlagsConfigRoundTrip(t *testing.T) {
 	if err := fs.Parse([]string{
 		"-mode", "dvstar", "-program", "pagerank", "-gen", "rmat:5:4",
 		"-timeout", "250ms", "-param", "src=3", "-queue", "-trace",
+		"-checkpoint-dir", "/tmp/ck", "-checkpoint-every", "4", "-resume", "snap.dvsnap",
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -235,6 +238,9 @@ func TestRegisterFlagsConfigRoundTrip(t *testing.T) {
 		t.Fatalf("cfg = %+v", cfg)
 	}
 	if cfg.timeout != 250*time.Millisecond || !cfg.queue || !cfg.trace {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if cfg.ckptDir != "/tmp/ck" || cfg.ckptEvery != 4 || cfg.resume != "snap.dvsnap" {
 		t.Fatalf("cfg = %+v", cfg)
 	}
 	if cfg.params["src"] != 3 {
@@ -297,5 +303,175 @@ func TestRunPanicSurfacesRunError(t *testing.T) {
 	var re *pregel.RunError
 	if errors.As(err, &re) {
 		t.Fatalf("unknown-field error should not be a RunError: %v", err)
+	}
+}
+
+// --- checkpoint / resume ---------------------------------------------------
+
+// superstepsOf extracts the "supersteps: N" stat from dvrun output.
+func superstepsOf(t *testing.T, out string) int {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if rest, ok := strings.CutPrefix(line, "supersteps:"); ok {
+			n, err := strconv.Atoi(strings.TrimSpace(rest))
+			if err != nil {
+				t.Fatalf("bad supersteps line %q: %v", line, err)
+			}
+			return n
+		}
+	}
+	t.Fatalf("no supersteps line in output:\n%s", out)
+	return 0
+}
+
+// checkpointPathFrom extracts the "checkpoint: path" line, or "".
+func checkpointPathFrom(out string) string {
+	for _, line := range strings.Split(out, "\n") {
+		if rest, ok := strings.CutPrefix(line, "checkpoint:"); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return ""
+}
+
+// topBlock extracts the "top N by field:" block (the printed result values).
+func topBlock(t *testing.T, out string) string {
+	t.Helper()
+	_, block, ok := strings.Cut(out, "top ")
+	if !ok {
+		t.Fatalf("no top-values block in output:\n%s", out)
+	}
+	return block
+}
+
+// TestRunCheckpointResumeDeterministic drives the CLI resume path without
+// relying on interrupt timing: a full run snapshots every barrier, then a
+// second invocation resumes from a mid-run snapshot file and must reproduce
+// the same final values in exactly the remaining supersteps.
+func TestRunCheckpointResumeDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	base := runConfig{
+		mode: "dv", progName: "pagerank", gen: "rmat:8:6", seed: 5,
+		workers: 2, combine: true, show: "vl", top: 5, params: paramFlags{},
+	}
+	full := base
+	full.ckptDir = dir
+	full.ckptEvery = 1
+	fullOut := capture(t, func() error { return run(context.Background(), full) })
+	S := superstepsOf(t, fullOut)
+	if S < 3 {
+		t.Fatalf("full run too short to resume from the middle: %d supersteps", S)
+	}
+	if p := checkpointPathFrom(fullOut); !strings.HasPrefix(p, dir) {
+		t.Fatalf("checkpoint line %q does not point into -checkpoint-dir %q", p, dir)
+	}
+	wantTop := topBlock(t, fullOut)
+
+	k := S / 2 // resume from the snapshot taken after superstep k
+	res := base
+	res.resume = filepath.Join(dir, pregel.SnapshotFileName(k))
+	out := capture(t, func() error { return run(context.Background(), res) })
+	if got, want := superstepsOf(t, out), S-(k+1); got != want {
+		t.Errorf("resumed run took %d supersteps, want %d", got, want)
+	}
+	if got := topBlock(t, out); got != wantTop {
+		t.Errorf("resumed values differ from uninterrupted run:\ngot:\n%swant:\n%s", got, wantTop)
+	}
+}
+
+// TestRunInterruptResume is the end-to-end crash story: a long run is
+// cancelled mid-flight (as SIGINT would via signal.NotifyContext), the CLI
+// fails but prints the abort snapshot's path, and resuming from that path
+// completes the computation with values identical to an uninterrupted run.
+func TestRunInterruptResume(t *testing.T) {
+	base := runConfig{
+		mode: "dv", progName: "pagerank", gen: "rmat:13:8", seed: 6,
+		workers: 2, combine: true, show: "vl", top: 5, params: paramFlags{},
+	}
+	fullOut := capture(t, func() error { return run(context.Background(), base) })
+	S := superstepsOf(t, fullOut)
+	wantTop := topBlock(t, fullOut)
+
+	// Interrupt timing is inherently racy: too early and no barrier has
+	// completed (nothing to snapshot), too late and the run finishes. Retry
+	// with growing timeouts until an aborted run leaves a checkpoint.
+	var snapPath string
+	for timeout := 2 * time.Millisecond; timeout < 4*time.Second; timeout *= 2 {
+		cfg := base
+		cfg.ckptDir = t.TempDir()
+		cfg.timeout = timeout
+		out, err := captureErr(t, func() error { return run(context.Background(), cfg) })
+		if err == nil {
+			t.Skipf("run finished within %v; machine too fast to interrupt", timeout)
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err = %v, want context.DeadlineExceeded in chain", err)
+		}
+		if p := checkpointPathFrom(out); p != "" {
+			if !strings.Contains(out, "aborted:") {
+				t.Fatalf("interrupted output has a checkpoint but no aborted line:\n%s", out)
+			}
+			snapPath = p
+			break
+		}
+	}
+	if snapPath == "" {
+		t.Fatal("no interrupted run produced a checkpoint")
+	}
+
+	var k int
+	if _, err := fmt.Sscanf(filepath.Base(snapPath), "snap-%d.dvsnap", &k); err != nil {
+		t.Fatalf("cannot parse superstep from %q: %v", snapPath, err)
+	}
+	res := base
+	res.resume = snapPath
+	out := capture(t, func() error { return run(context.Background(), res) })
+	if got, want := superstepsOf(t, out), S-(k+1); got != want {
+		t.Errorf("resumed run took %d supersteps, want %d (snapshot at superstep %d of %d)", got, want, k, S)
+	}
+	if got := topBlock(t, out); got != wantTop {
+		t.Errorf("resumed values differ from uninterrupted run:\ngot:\n%swant:\n%s", got, wantTop)
+	}
+}
+
+// TestRunCheckpointErrorPaths covers flag validation and resume rejection.
+func TestRunCheckpointErrorPaths(t *testing.T) {
+	ctx := context.Background()
+	// -checkpoint-every without -checkpoint-dir is a flag error.
+	err := run(ctx, runConfig{
+		mode: "dv", progName: "pagerank", gen: "grid:3:3",
+		combine: true, ckptEvery: 2, params: paramFlags{},
+	})
+	if err == nil || !strings.Contains(err.Error(), "-checkpoint-dir") {
+		t.Fatalf("err = %v, want -checkpoint-dir requirement", err)
+	}
+	// -resume with a missing file.
+	err = run(ctx, runConfig{
+		mode: "dv", progName: "pagerank", gen: "grid:3:3",
+		combine: true, resume: "/nonexistent.dvsnap", params: paramFlags{},
+	})
+	if err == nil {
+		t.Fatal("resume from missing file succeeded")
+	}
+	// -resume against a different graph: fingerprint mismatch.
+	dir := t.TempDir()
+	_ = capture(t, func() error {
+		return run(ctx, runConfig{
+			mode: "dv", progName: "pagerank", gen: "grid:5:5", seed: 1,
+			combine: true, ckptDir: dir, ckptEvery: 1, params: paramFlags{},
+		})
+	})
+	snaps, err := filepath.Glob(filepath.Join(dir, "snap-*.dvsnap"))
+	if err != nil || len(snaps) == 0 {
+		t.Fatalf("no snapshots written: %v %v", snaps, err)
+	}
+	_, err = captureErr(t, func() error {
+		return run(ctx, runConfig{
+			mode: "dv", progName: "pagerank", gen: "grid:6:6", seed: 1,
+			combine: true, resume: snaps[0], params: paramFlags{},
+		})
+	})
+	if !errors.Is(err, pregel.ErrSnapshotMismatch) {
+		t.Fatalf("err = %v, want ErrSnapshotMismatch", err)
 	}
 }

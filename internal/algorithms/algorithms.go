@@ -23,6 +23,13 @@ type RunOptions struct {
 	// aborts at the next superstep barrier with partial stats (see
 	// pregel.Engine.RunContext). Nil means context.Background().
 	Ctx context.Context
+	// Checkpoint enables barrier snapshots (see pregel.CheckpointOptions);
+	// the algorithms install portable codecs for their state types, so
+	// snapshots are architecture-independent.
+	Checkpoint pregel.CheckpointOptions
+	// Resume continues a previous run from a barrier snapshot instead of
+	// starting at superstep 0 (see pregel.Options.Resume).
+	Resume *pregel.Snapshot
 }
 
 // ctx returns the run context, defaulting to Background.
@@ -31,6 +38,16 @@ func (o RunOptions) ctx() context.Context {
 		return o.Ctx
 	}
 	return context.Background()
+}
+
+// engineOpts translates RunOptions to engine options.
+func (o RunOptions) engineOpts() pregel.Options {
+	return pregel.Options{
+		Workers:    o.Workers,
+		Scheduler:  o.Scheduler,
+		Checkpoint: o.Checkpoint,
+		Resume:     o.Resume,
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -80,7 +97,9 @@ func (p *PageRank) sendRank(ctx *pregel.Context[PRState, float64]) {
 
 // RunPageRank executes PageRank and returns the engine plus run stats.
 func RunPageRank(g *graph.Graph, iterations int, opts RunOptions) (*pregel.Engine[PRState, float64], *pregel.Stats, error) {
-	e := pregel.New[PRState, float64](g, pregel.Options{Workers: opts.Workers, Scheduler: opts.Scheduler})
+	e := pregel.New[PRState, float64](g, opts.engineOpts())
+	e.SetValueCodec(prStateCodec{})
+	e.SetMessageCodec(pregel.Float64Codec{})
 	if opts.Combine {
 		e.SetCombiner(pregel.CombinerFunc[float64](func(a, b float64) float64 { return a + b }))
 	}
@@ -147,7 +166,9 @@ func (s *SSSP) relax(ctx *pregel.Context[SSSPState, float64]) {
 
 // RunSSSP executes SSSP from source and returns the engine plus stats.
 func RunSSSP(g *graph.Graph, source graph.VertexID, opts RunOptions) (*pregel.Engine[SSSPState, float64], *pregel.Stats, error) {
-	e := pregel.New[SSSPState, float64](g, pregel.Options{Workers: opts.Workers, Scheduler: opts.Scheduler})
+	e := pregel.New[SSSPState, float64](g, opts.engineOpts())
+	e.SetValueCodec(ssspStateCodec{})
+	e.SetMessageCodec(pregel.Float64Codec{})
 	if opts.Combine {
 		e.SetCombiner(pregel.CombinerFunc[float64](math.Min))
 	}
@@ -191,7 +212,9 @@ func (CC) Compute(ctx *pregel.Context[CCState, float64], msgs []float64) {
 
 // RunCC executes connected components and returns the engine plus stats.
 func RunCC(g *graph.Graph, opts RunOptions) (*pregel.Engine[CCState, float64], *pregel.Stats, error) {
-	e := pregel.New[CCState, float64](g, pregel.Options{Workers: opts.Workers, Scheduler: opts.Scheduler})
+	e := pregel.New[CCState, float64](g, opts.engineOpts())
+	e.SetValueCodec(ccStateCodec{})
+	e.SetMessageCodec(pregel.Float64Codec{})
 	if opts.Combine {
 		e.SetCombiner(pregel.CombinerFunc[float64](math.Min))
 	}
@@ -276,7 +299,9 @@ func (hitsCombiner) Key(m HITSMsg) uint32 {
 // have reverse adjacency.
 func RunHITS(g *graph.Graph, iterations int, opts RunOptions) (*pregel.Engine[HITSState, HITSMsg], *pregel.Stats, error) {
 	g.BuildReverse()
-	e := pregel.New[HITSState, HITSMsg](g, pregel.Options{Workers: opts.Workers, Scheduler: opts.Scheduler})
+	e := pregel.New[HITSState, HITSMsg](g, opts.engineOpts())
+	e.SetValueCodec(hitsStateCodec{})
+	e.SetMessageCodec(hitsMsgCodec{})
 	if opts.Combine {
 		e.SetCombiner(hitsCombiner{})
 	}

@@ -1,0 +1,93 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"repro/internal/pregel"
+)
+
+// Snapshot codecs for the built-in algorithm state and message types.
+// These are written field by field against the portable little-endian
+// helpers (pregel.AppendFloat64 and friends) instead of using
+// pregel.PODCodec, so snapshots carry no struct padding and decode
+// identically across architectures.
+
+type prStateCodec struct{}
+
+func (prStateCodec) AppendValue(dst []byte, v PRState) []byte {
+	return pregel.AppendFloat64(dst, v.PR)
+}
+
+func (prStateCodec) DecodeValue(src []byte) (PRState, []byte, error) {
+	pr, rest, err := pregel.DecodeFloat64(src)
+	return PRState{PR: pr}, rest, err
+}
+
+type ssspStateCodec struct{}
+
+func (ssspStateCodec) AppendValue(dst []byte, v SSSPState) []byte {
+	return pregel.AppendFloat64(dst, v.Dist)
+}
+
+func (ssspStateCodec) DecodeValue(src []byte) (SSSPState, []byte, error) {
+	d, rest, err := pregel.DecodeFloat64(src)
+	return SSSPState{Dist: d}, rest, err
+}
+
+type ccStateCodec struct{}
+
+func (ccStateCodec) AppendValue(dst []byte, v CCState) []byte {
+	return pregel.AppendInt64(dst, v.Comp)
+}
+
+func (ccStateCodec) DecodeValue(src []byte) (CCState, []byte, error) {
+	c, rest, err := pregel.DecodeInt64(src)
+	return CCState{Comp: c}, rest, err
+}
+
+type hitsStateCodec struct{}
+
+func (hitsStateCodec) AppendValue(dst []byte, v HITSState) []byte {
+	dst = pregel.AppendFloat64(dst, v.Hub)
+	return pregel.AppendFloat64(dst, v.Auth)
+}
+
+func (hitsStateCodec) DecodeValue(src []byte) (HITSState, []byte, error) {
+	var v HITSState
+	var err error
+	if v.Hub, src, err = pregel.DecodeFloat64(src); err != nil {
+		return v, nil, err
+	}
+	if v.Auth, src, err = pregel.DecodeFloat64(src); err != nil {
+		return v, nil, err
+	}
+	return v, src, nil
+}
+
+type hitsMsgCodec struct{}
+
+func (hitsMsgCodec) AppendValue(dst []byte, m HITSMsg) []byte {
+	b := byte(0)
+	if m.ToAuth {
+		b = 1
+	}
+	dst = append(dst, b)
+	return pregel.AppendFloat64(dst, m.Val)
+}
+
+func (hitsMsgCodec) DecodeValue(src []byte) (HITSMsg, []byte, error) {
+	var m HITSMsg
+	if len(src) < 1 {
+		return m, nil, fmt.Errorf("%w: truncated HITSMsg", pregel.ErrSnapshotCorrupt)
+	}
+	switch src[0] {
+	case 0:
+	case 1:
+		m.ToAuth = true
+	default:
+		return m, nil, fmt.Errorf("%w: HITSMsg kind %d", pregel.ErrSnapshotCorrupt, src[0])
+	}
+	var err error
+	m.Val, src, err = pregel.DecodeFloat64(src[1:])
+	return m, src, err
+}

@@ -50,7 +50,7 @@ func AblationMemoTable(ctx context.Context, dataset string, runs int) ([]MemoTab
 				}
 				res, err := m.RunContext(ctx, vm.RunOptions{Combine: mode != core.MemoTable, Workers: BenchWorkers})
 				if err != nil {
-					return nil, err
+					return rows, err // completed variants survive an abort
 				}
 				row.Seconds += res.Stats.Duration.Seconds()
 				row.Messages = res.Stats.MessagesSent
@@ -108,7 +108,7 @@ func AblationEpsilon(ctx context.Context, dataset string, epsilons []float64) ([
 		}
 		res, err := vm.RunContext(ctx, prog, g, vm.RunOptions{Combine: true, Workers: BenchWorkers})
 		if err != nil {
-			return nil, err
+			return rows, err // completed ε points survive an abort
 		}
 		maxErr := 0.0
 		for u := range exact {
@@ -173,7 +173,7 @@ func AblationScheduler(ctx context.Context, dataset string, runs int) ([]Schedul
 				}
 				res, err := vm.RunContext(ctx, prog, g, opts)
 				if err != nil {
-					return nil, err
+					return rows, err // completed scheduler rows survive an abort
 				}
 				row.Seconds += res.Stats.Duration.Seconds()
 				row.Active = res.Stats.TotalActive
@@ -225,7 +225,7 @@ func AblationPartition(ctx context.Context, dataset string, runs int) ([]Partiti
 		for i := 0; i < maxInt(1, runs); i++ {
 			res, err := vm.RunContext(ctx, prog, g, vm.RunOptions{Partition: part, Combine: true, Workers: BenchWorkers})
 			if err != nil {
-				return nil, err
+				return rows, err // completed placement rows survive an abort
 			}
 			row.Seconds += res.Stats.Duration.Seconds()
 			row.Delivered = res.Stats.CombinedMessages
@@ -281,7 +281,7 @@ func AblationCombiner(ctx context.Context, dataset string, runs int) ([]Combiner
 		for i := 0; i < maxInt(1, runs); i++ {
 			res, err := vm.RunContext(ctx, prog, g, vm.RunOptions{Combine: combine, Workers: BenchWorkers})
 			if err != nil {
-				return nil, err
+				return rows, err // completed combiner rows survive an abort
 			}
 			row.Messages = res.Stats.MessagesSent
 			row.Combined = res.Stats.CombinedMessages

@@ -323,7 +323,9 @@ var Figure5Datasets = []string{"facebook-s", "livejournal-ug-s"}
 var Variants = []string{VariantDV, VariantDVStar, VariantPregel}
 
 // Figure4 measures runtime and messages for SSSP, HITS and PageRank on the
-// directed stand-ins across the three variants.
+// directed stand-ins across the three variants. On abort (cancellation or
+// deadline) the rows measured before the abort are returned alongside the
+// error, so callers can still render the completed part of the experiment.
 func Figure4(ctx context.Context, runs int) ([]PerfRow, error) {
 	var rows []PerfRow
 	for _, ds := range Figure4Datasets {
@@ -331,7 +333,7 @@ func Figure4(ctx context.Context, runs int) ([]PerfRow, error) {
 			for _, variant := range Variants {
 				r, err := Measure(ctx, prog, ds, variant, runs)
 				if err != nil {
-					return nil, err
+					return rows, err
 				}
 				rows = append(rows, r)
 			}
@@ -340,14 +342,15 @@ func Figure4(ctx context.Context, runs int) ([]PerfRow, error) {
 	return rows, nil
 }
 
-// Figure5 measures Connected Components on the undirected stand-ins.
+// Figure5 measures Connected Components on the undirected stand-ins. Like
+// Figure4, an abort returns the completed rows alongside the error.
 func Figure5(ctx context.Context, runs int) ([]PerfRow, error) {
 	var rows []PerfRow
 	for _, ds := range Figure5Datasets {
 		for _, variant := range Variants {
 			r, err := Measure(ctx, "cc", ds, variant, runs)
 			if err != nil {
-				return nil, err
+				return rows, err
 			}
 			rows = append(rows, r)
 		}

@@ -3,8 +3,10 @@ package bench
 import (
 	"bytes"
 	"context"
+	"errors"
 	"os"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -239,5 +241,49 @@ func TestMicroSnapshotRoundTrip(t *testing.T) {
 	}
 	if strings.Count(string(data), "\"after\"") != 2 { // map key + label field
 		t.Fatalf("unexpected snapshot file:\n%s", data)
+	}
+}
+
+// countdownCtx cancels itself after a fixed number of Err() calls. The
+// engine polls ctx.Err() only at barriers from the master loop, so the call
+// count of a run is deterministic — which lets tests abort exactly between
+// two measurements of a figure.
+type countdownCtx struct {
+	context.Context
+	calls atomic.Int64
+	limit int64 // <= 0: count only, never cancel
+}
+
+func (c *countdownCtx) Err() error {
+	if n := c.calls.Add(1); c.limit > 0 && n > c.limit {
+		return context.Canceled
+	}
+	return c.Context.Err()
+}
+
+// TestFigure5PartialRowsOnAbort is the regression test for the mid-suite
+// abort fix: an abort during the second measurement must still return the
+// first, completed row alongside the error (it used to discard everything).
+func TestFigure5PartialRowsOnAbort(t *testing.T) {
+	// Count the barrier checks of one full first measurement...
+	counting := &countdownCtx{Context: context.Background()}
+	if _, err := Measure(counting, "cc", Figure5Datasets[0], Variants[0], 1); err != nil {
+		t.Fatal(err)
+	}
+	// ...then allow exactly that many: the first Figure5 measurement
+	// completes, the second aborts at its first barrier.
+	ctx := &countdownCtx{Context: context.Background(), limit: counting.calls.Load()}
+	rows, err := Figure5(ctx, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("partial rows = %d, want exactly the 1 completed measurement", len(rows))
+	}
+	if rows[0].Dataset != Figure5Datasets[0] || rows[0].Variant != Variants[0] {
+		t.Fatalf("partial row = %+v, want %s/%s", rows[0], Figure5Datasets[0], Variants[0])
+	}
+	if rows[0].Seconds <= 0 || rows[0].Steps <= 0 {
+		t.Fatalf("partial row not a real measurement: %+v", rows[0])
 	}
 }

@@ -79,12 +79,12 @@ func TestJSONShape(t *testing.T) {
 	l[0].Suggestion = "use -mode memotable"
 	var rep struct {
 		Diagnostics []struct {
-			Pos        struct{ Line, Col int } `json:"pos"`
+			Pos        struct{ Line, Col int }  `json:"pos"`
 			End        *struct{ Line, Col int } `json:"end"`
-			Severity   string                  `json:"severity"`
-			Code       string                  `json:"code"`
-			Message    string                  `json:"message"`
-			Suggestion string                  `json:"suggestion"`
+			Severity   string                   `json:"severity"`
+			Code       string                   `json:"code"`
+			Message    string                   `json:"message"`
+			Suggestion string                   `json:"suggestion"`
 		} `json:"diagnostics"`
 	}
 	if err := json.Unmarshal([]byte(l.JSON()), &rep); err != nil {

@@ -1,0 +1,155 @@
+package vm
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/pregel"
+)
+
+// Crash-resume equivalence for compiled ΔV programs: the machine state
+// (flat state matrix, memo tables, master phase machine) rides in the
+// snapshot's Extra payload, so a resumed run must be indistinguishable from
+// the uninterrupted one — bitwise-identical final fields, same remaining
+// supersteps, same per-phase iteration counts.
+//
+// The memo-table case uses sssp (a min fold): min is order-insensitive, so
+// the nondeterministic map iteration order of table folds cannot perturb
+// bits. Sum-fold memo tables are reproducible only up to float association,
+// which is exactly why the equivalence suite pins a min program there.
+func TestDeltaVCheckpointResumeEquivalence(t *testing.T) {
+	g := directedTestGraph()
+	cases := []struct {
+		program string
+		mode    core.Mode
+		field   string
+		params  map[string]float64
+	}{
+		{"pagerank", core.Incremental, "vl", nil},
+		{"sssp", core.MemoTable, "dist", map[string]float64{"src": 5}},
+		{"cc", core.Incremental, "cid", nil},
+		{"twophase", core.Incremental, "t", nil},
+	}
+	scheds := map[string]pregel.Scheduler{
+		"scan-all":   pregel.ScanAll,
+		"work-queue": pregel.WorkQueue,
+	}
+	for _, tc := range cases {
+		for schedName, sched := range scheds {
+			tc, sched := tc, sched
+			t.Run(tc.program+"/"+tc.mode.String()+"/"+schedName, func(t *testing.T) {
+				gr := g
+				if tc.program == "cc" {
+					gr = graph.PreferentialAttachment(150, 2, 5)
+				}
+				prog := compileT(t, tc.program, tc.mode)
+				base := RunOptions{Workers: 4, Scheduler: sched, Params: tc.params}
+
+				dir := t.TempDir()
+				full := base
+				full.Checkpoint = pregel.CheckpointOptions{Every: 1, Dir: dir}
+				fullRes, err := Run(prog, gr, full)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := fullRes.FieldVector(tc.field)
+				if err != nil {
+					t.Fatal(err)
+				}
+				S := fullRes.Stats.Supersteps
+				if S < 3 {
+					t.Fatalf("full run too short: %d supersteps", S)
+				}
+				for k := 0; k < S; k++ {
+					snap, err := pregel.ReadSnapshotFile(filepath.Join(dir, pregel.SnapshotFileName(k)))
+					if err != nil {
+						t.Fatalf("k=%d: %v", k, err)
+					}
+					res := base
+					res.Resume = snap
+					out, err := Run(compileT(t, tc.program, tc.mode), gr, res)
+					if err != nil {
+						t.Fatalf("k=%d: resume: %v", k, err)
+					}
+					if got, wantLeft := out.Stats.Supersteps, S-(k+1); got != wantLeft {
+						t.Errorf("k=%d: resumed run took %d supersteps, want %d", k, got, wantLeft)
+					}
+					got, err := out.FieldVector(tc.field)
+					if err != nil {
+						t.Fatalf("k=%d: %v", k, err)
+					}
+					for u := range want {
+						if math.Float64bits(got[u]) != math.Float64bits(want[u]) {
+							t.Fatalf("k=%d: %s[%d] = %g (%x), want %g (%x)",
+								k, tc.field, u, got[u], math.Float64bits(got[u]), want[u], math.Float64bits(want[u]))
+						}
+					}
+					for i := range fullRes.Iterations {
+						if out.Iterations[i] != fullRes.Iterations[i] {
+							t.Errorf("k=%d: phase %d ran %d iterations, want %d",
+								k, i, out.Iterations[i], fullRes.Iterations[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestDeltaVResumeRejectsWrongProgram checks the Extra payload validation:
+// a snapshot from one program/mode cannot resume a machine compiled for
+// another shape.
+func TestDeltaVResumeRejectsWrongProgram(t *testing.T) {
+	g := directedTestGraph()
+	dir := t.TempDir()
+	opts := RunOptions{Workers: 2, Checkpoint: pregel.CheckpointOptions{Every: 1, Dir: dir}}
+	if _, err := Run(compileT(t, "pagerank", core.Incremental), g, opts); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := pregel.ReadSnapshotFile(filepath.Join(dir, pregel.SnapshotFileName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different layout (state width) → the machine payload must refuse.
+	if _, err := Run(compileT(t, "sssp", core.Incremental), g, RunOptions{Workers: 2, Resume: snap}); err == nil {
+		t.Fatal("sssp machine resumed a pagerank snapshot")
+	}
+	// Memo-table mode expects table payloads the dv snapshot lacks.
+	if _, err := Run(compileT(t, "pagerank", core.MemoTable), g, RunOptions{Workers: 2, Resume: snap}); err == nil {
+		t.Fatal("memo-table machine resumed an incremental snapshot")
+	}
+	// Empty Extra (engine-only snapshot) must be rejected too.
+	bare := *snap
+	bare.Extra = nil
+	if _, err := Run(compileT(t, "pagerank", core.Incremental), g, RunOptions{Workers: 2, Resume: &bare}); err == nil {
+		t.Fatal("machine resumed a snapshot with no Extra payload")
+	}
+}
+
+// FuzzDeltaVExtraDecode: arbitrary Extra payloads must produce errors, not
+// panics or corrupt machines.
+func FuzzDeltaVExtraDecode(f *testing.F) {
+	g := graph.Path(8, true)
+	prog := mustCompile("pagerank", core.Incremental)
+	m, err := NewMachine(prog, g, RunOptions{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid := m.encodeExtra(nil, &globals{Phase: 0, Mode: modeBody, Iter: 2})
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		mm, err := NewMachine(mustCompile("pagerank", core.Incremental), g, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gl, err := mm.restoreExtra(b)
+		if err == nil && gl == nil {
+			t.Fatal("restoreExtra returned neither globals nor error")
+		}
+	})
+}

@@ -68,6 +68,16 @@ type RunOptions struct {
 	Combine bool
 	// MaxSupersteps bounds the engine (default 10h of supersteps: 100k).
 	MaxSupersteps int
+	// Checkpoint enables barrier snapshots (pregel.CheckpointOptions).
+	// The VM owns the snapshot's Extra payload — it stores the machine's
+	// flat state, memo tables, and master phase there — so any Extra
+	// callback set here is ignored.
+	Checkpoint pregel.CheckpointOptions
+	// Resume continues from a snapshot taken by a previous run of the
+	// same compiled program (same mode) on the same graph. The machine
+	// payload and the engine state are both validated before the run
+	// continues at the snapshot's superstep + 1.
+	Resume *pregel.Snapshot
 }
 
 // ErrUnknownField is wrapped by the error returned when a field name does
@@ -265,13 +275,26 @@ func (m *Machine) RunContext(ctx context.Context, opts RunOptions) (*Result, err
 		ctx = context.Background()
 	}
 	m.runCtx = ctx
-	eng := pregel.New[VState, Msg](m.g, pregel.Options{
+	// The Extra closure captures eng by reference: the engine only invokes
+	// it mid-run, after New below has assigned it.
+	var eng *pregel.Engine[VState, Msg]
+	ckpt := opts.Checkpoint
+	if ckpt.Dir != "" || ckpt.Sink != nil {
+		ckpt.Extra = func(dst []byte) []byte {
+			return m.encodeExtra(dst, eng.Globals().(*globals))
+		}
+	}
+	eng = pregel.New[VState, Msg](m.g, pregel.Options{
 		Workers:       opts.Workers,
 		Scheduler:     opts.Scheduler,
 		Partition:     opts.Partition,
 		MaxSupersteps: opts.MaxSupersteps,
+		Checkpoint:    ckpt,
+		Resume:        opts.Resume,
 	})
 	eng.SetMessageSize(m.msgBytes)
+	eng.SetValueCodec(vstateCodec{})
+	eng.SetMessageCodec(msgCodec{})
 	if err := eng.RegisterAggregator(aggUnchanged, pregel.AggAnd, false); err != nil {
 		return nil, err
 	}
@@ -280,7 +303,21 @@ func (m *Machine) RunContext(ctx context.Context, opts RunOptions) (*Result, err
 			eng.SetCombiner(c)
 		}
 	}
-	eng.SetGlobals(&globals{Phase: 0, Mode: modePrime})
+	if opts.Resume != nil {
+		// Validate graph identity before decoding the machine payload so a
+		// wrong-graph snapshot fails with the engine's mismatch error, not a
+		// confusing state-size complaint.
+		if opts.Resume.Fingerprint != m.g.Fingerprint() {
+			return nil, fmt.Errorf("vm: %w: snapshot was taken on a different graph", pregel.ErrSnapshotMismatch)
+		}
+		gl, err := m.restoreExtra(opts.Resume.Extra)
+		if err != nil {
+			return nil, err
+		}
+		eng.SetGlobals(gl)
+	} else {
+		eng.SetGlobals(&globals{Phase: 0, Mode: modePrime})
+	}
 	eng.SetMasterHook(m.masterHook)
 	stats, err := eng.RunContext(ctx, m)
 	if stats == nil {

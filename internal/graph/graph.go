@@ -11,7 +11,9 @@ package graph
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // VertexID identifies a vertex. IDs are dense: a graph with n vertices uses
@@ -42,6 +44,10 @@ type Graph struct {
 	inOff []int64
 	inAdj []VertexID
 	inW   []float64
+
+	// fp caches Fingerprint (0 = not yet computed; the hash is folded so
+	// it can never legitimately be 0).
+	fp atomic.Uint64
 }
 
 // NumVertices returns |V|.
@@ -166,6 +172,57 @@ func (g *Graph) BuildReverse() {
 		}
 	}
 	g.inOff, g.inAdj, g.inW = inOff, inAdj, inW
+}
+
+// Fingerprint returns a deterministic 64-bit digest of the graph's
+// structure: vertex count, directedness, the out-CSR offsets and adjacency,
+// and the edge weights. Two graphs built from the same edges in the same
+// order hash identically across processes and runs (the hash is FNV-1a over
+// a fixed little-endian serialization), which is what lets an engine
+// snapshot refuse to resume against a different graph. The digest is
+// computed once and cached; it is never 0.
+func (g *Graph) Fingerprint() uint64 {
+	if fp := g.fp.Load(); fp != 0 {
+		return fp
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	byte1 := func(b byte) {
+		h = (h ^ uint64(b)) * prime64
+	}
+	word := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			byte1(byte(v >> (8 * i)))
+		}
+	}
+	word(uint64(g.n))
+	if g.directed {
+		byte1(1)
+	} else {
+		byte1(0)
+	}
+	for _, o := range g.outOff {
+		word(uint64(o))
+	}
+	for _, v := range g.outAdj {
+		word(uint64(v))
+	}
+	if g.outW != nil {
+		byte1(1)
+		for _, w := range g.outW {
+			word(math.Float64bits(w))
+		}
+	} else {
+		byte1(0)
+	}
+	if h == 0 {
+		h = 1 // reserve 0 as "not computed"
+	}
+	g.fp.Store(h)
+	return h
 }
 
 // String returns a short human-readable summary.

@@ -1,6 +1,7 @@
 package pregel
 
 import (
+	"io"
 	"math"
 	"testing"
 
@@ -45,6 +46,42 @@ func TestSteadyStateAllocs(t *testing.T) {
 			run := func(waves int) func() int {
 				return func() int {
 					e := New[ringVal, float64](ring, Options{Workers: 4, Scheduler: sched, MaxSupersteps: 400})
+					e.SetCombiner(CombinerFunc[float64](math.Min))
+					stats, err := e.Run(ringProgram{waves: waves, n: 64})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return stats.Supersteps
+				}
+			}
+			checkMarginalAllocs(t, run(2), run(4))
+		})
+	}
+}
+
+// TestCheckpointSteadyStateAllocs pins the checkpoint-capture cost: with a
+// snapshot taken at every barrier into a byte sink, a warmed-up capture
+// reuses the engine's Snapshot and encode buffer, so steady-state
+// supersteps still show zero marginal allocation. (Writing checkpoint
+// files naturally allocates in the OS write path; that cost is per
+// checkpoint barrier only, which is what the marginal measurement proves —
+// checkpointing-disabled behavior is pinned by TestSteadyStateAllocs.)
+func TestCheckpointSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+	ring := graph.Cycle(64, true)
+	for _, sched := range []Scheduler{ScanAll, WorkQueue} {
+		sched := sched
+		t.Run(schedName(sched), func(t *testing.T) {
+			run := func(waves int) func() int {
+				return func() int {
+					e := New[ringVal, float64](ring, Options{
+						Workers:       4,
+						Scheduler:     sched,
+						MaxSupersteps: 400,
+						Checkpoint:    CheckpointOptions{Every: 1, Sink: io.Discard},
+					})
 					e.SetCombiner(CombinerFunc[float64](math.Min))
 					stats, err := e.Run(ringProgram{waves: waves, n: 64})
 					if err != nil {

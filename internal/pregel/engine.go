@@ -40,6 +40,14 @@ type Engine[V, M any] struct {
 
 	stats Stats
 	ran   bool
+
+	// Checkpoint machinery (see checkpoint.go). The Snapshot and encode
+	// buffer are reused across captures so periodic checkpoints settle into
+	// steady-state buffers instead of allocating per barrier.
+	valCodec ValueCodec[V]
+	msgCodec ValueCodec[M]
+	snap     Snapshot
+	snapBuf  []byte
 }
 
 // worker owns a contiguous slot range and all the scratch its superstep
@@ -288,6 +296,13 @@ func (e *Engine[V, M]) RunContext(ctx context.Context, prog Program[V, M]) (*Sta
 	e.ran = true
 	start := time.Now()
 
+	ckptOn := e.opts.Checkpoint.enabled()
+	if ckptOn || e.opts.Resume != nil {
+		if err := e.ensureCodecs(); err != nil {
+			return nil, err
+		}
+	}
+
 	// The effective run deadline is the earlier of Options.Deadline and
 	// the context's own deadline; either alone also applies.
 	deadline := e.opts.Deadline
@@ -340,6 +355,21 @@ func (e *Engine[V, M]) RunContext(ctx context.Context, prog Program[V, M]) (*Sta
 	}
 	e.stats.Steps = make([]StepStats, 0, min(e.opts.MaxSupersteps, 4096))
 
+	// A resumed run restores the snapshot barrier's state and continues at
+	// the next superstep; a snapshot of a finished run just rehydrates the
+	// final values and returns.
+	startStep := 0
+	if s := e.opts.Resume; s != nil {
+		if err := e.restore(s); err != nil {
+			return nil, err
+		}
+		if s.Done {
+			e.stats.Duration = time.Since(start)
+			return &e.stats, nil
+		}
+		startStep = s.Superstep + 1
+	}
+
 	cmds := make([]chan workerCmd, len(e.workers))
 	var wg sync.WaitGroup
 	for i, wk := range e.workers {
@@ -366,11 +396,24 @@ func (e *Engine[V, M]) RunContext(ctx context.Context, prog Program[V, M]) (*Sta
 	// and this shutdown broadcast can never deadlock, abort or not.
 	defer broadcast(cmdStop)
 
-	// Superstep 0 runs Init on every vertex.
-	e.activateAll = true
-	for e.superstep = 0; e.superstep < e.opts.MaxSupersteps; e.superstep++ {
+	// Superstep 0 runs Init on every vertex (a resumed run restored
+	// activateAll from the snapshot instead and starts past 0).
+	if e.opts.Resume == nil {
+		e.activateAll = true
+	}
+	// pendingAbort defers an abort detected between the compute and
+	// exchange phases: with checkpointing on, the run first drains through
+	// the exchange to the next barrier — where outboxes are empty and the
+	// cut is consistent — takes the final snapshot, and only then aborts.
+	var pendingAbort error
+	for e.superstep = startStep; e.superstep < e.opts.MaxSupersteps; e.superstep++ {
 		stepStart := time.Now()
 		if err := e.checkAbort(ctx, deadline, stepStart); err != nil {
+			if ckptOn && e.superstep > startStep {
+				// State sits at the previous superstep's barrier; persist it
+				// so the abort leaves a resumable snapshot behind.
+				_ = e.capture(e.superstep-1, false)
+			}
 			return abort(err)
 		}
 		broadcast(cmdCompute)
@@ -379,7 +422,10 @@ func (e *Engine[V, M]) RunContext(ctx context.Context, prog Program[V, M]) (*Sta
 		}
 		e.mergeAggregators()
 		if err := e.checkAbort(ctx, deadline, stepStart); err != nil {
-			return abort(err)
+			if !ckptOn {
+				return abort(err)
+			}
+			pendingAbort = err
 		}
 		broadcast(cmdExchange)
 		if re := e.workerPanic(); re != nil {
@@ -410,6 +456,18 @@ func (e *Engine[V, M]) RunContext(ctx context.Context, prog Program[V, M]) (*Sta
 				return abort(err)
 			}
 		}
+		done := e.stopped || (nextActive == 0 && st.CombinedMessages == 0 && !e.activateAll)
+		if ckptOn {
+			every := e.opts.Checkpoint.Every
+			if pendingAbort != nil || done || (every > 0 && (e.superstep+1)%every == 0) {
+				if err := e.capture(e.superstep, done); err != nil && pendingAbort == nil {
+					return abort(err)
+				}
+			}
+		}
+		if pendingAbort != nil {
+			return abort(pendingAbort)
+		}
 		if e.stopped {
 			break
 		}
@@ -419,6 +477,11 @@ func (e *Engine[V, M]) RunContext(ctx context.Context, prog Program[V, M]) (*Sta
 	}
 	e.stats.Duration = time.Since(start)
 	if e.superstep >= e.opts.MaxSupersteps && !e.stopped {
+		if ckptOn && e.superstep > startStep {
+			// The limit is a consistent barrier too: leave a resumable
+			// snapshot so a rerun with a higher limit can continue.
+			_ = e.capture(e.superstep-1, false)
+		}
 		return &e.stats, fmt.Errorf("pregel: superstep limit %d reached", e.opts.MaxSupersteps)
 	}
 	return &e.stats, nil

@@ -1,0 +1,75 @@
+package pregel
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// fuzzSeedSnapshot builds the valid snapshot the fuzz seeds mutate; the
+// same bytes are checked in under testdata/fuzz/FuzzSnapshotDecode.
+func fuzzSeedSnapshot() []byte {
+	s := &Snapshot{
+		Version:     SnapshotVersion,
+		Fingerprint: 0xdeadbeefcafef00d,
+		Superstep:   3,
+		NumVertices: 5,
+		ActivateAll: true,
+		Aggs:        []float64{1.5, -2},
+		Active:      []bool{true, false, true, true, false},
+		Removed:     []bool{false, false, true, false, false},
+		Queue:       []VertexID{0, 3, 1},
+		InboxCounts: []uint32{1, 0, 0, 2, 0},
+		Inbox:       AppendFloat64(AppendFloat64(AppendFloat64(nil, 1), 2), 3),
+		Values:      bytes.Repeat([]byte{7}, 40),
+		Extra:       []byte("extra"),
+	}
+	return s.AppendTo(nil)
+}
+
+// FuzzSnapshotDecode asserts the decoder's contract on arbitrary input:
+// it may reject (corrupt/truncated/wrong-version inputs must error) but it
+// must never panic, and anything it accepts must re-encode to a snapshot
+// that decodes to the same value.
+func FuzzSnapshotDecode(f *testing.F) {
+	valid := fuzzSeedSnapshot()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:8])
+	f.Add([]byte{})
+	f.Add([]byte("DVSNAP"))
+	wrongVersion := append([]byte(nil), valid...)
+	wrongVersion[6] ^= 0xff
+	f.Add(wrongVersion)
+	badCRC := append([]byte(nil), valid...)
+	badCRC[len(badCRC)-1] ^= 0x01
+	f.Add(badCRC)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, rest, err := DecodeSnapshot(b)
+		if err != nil {
+			if s != nil {
+				t.Fatal("decode returned both a snapshot and an error")
+			}
+			return
+		}
+		if len(rest) > len(b) {
+			t.Fatal("remainder longer than input")
+		}
+		// Accepted input must survive a re-encode/decode cycle (bitset
+		// padding bits may differ, so compare semantically, not by bytes).
+		re := s.AppendTo(nil)
+		s2, rest2, err := DecodeSnapshot(re)
+		if err != nil {
+			t.Fatalf("re-encoded snapshot failed to decode: %v", err)
+		}
+		if len(rest2) != 0 {
+			t.Fatalf("re-encoded snapshot left %d remainder bytes", len(rest2))
+		}
+		normalize(s)
+		normalize(s2)
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("re-encode changed the snapshot:\n got %+v\nwant %+v", s2, s)
+		}
+	})
+}

@@ -120,6 +120,18 @@ type Options struct {
 	// partial Stats. A context deadline passed to RunContext combines
 	// with this; the earlier of the two wins.
 	Deadline time.Time
+	// Checkpoint enables barrier snapshots when it requests any output
+	// (Dir and/or Sink set): periodic snapshots every Every supersteps,
+	// plus a final snapshot at the terminal barrier and on every
+	// cancellation/deadline abort. See CheckpointOptions.
+	Checkpoint CheckpointOptions
+	// Resume, when non-nil, restores engine state from a barrier snapshot
+	// (see ReadSnapshotFile / DecodeSnapshot) instead of running superstep
+	// 0: the snapshot's graph fingerprint and aggregator registration are
+	// validated against this run, then execution continues at the
+	// snapshot's superstep + 1. Resuming a snapshot whose Done flag is set
+	// rehydrates the final vertex values and returns immediately.
+	Resume *Snapshot
 }
 
 // ErrStepTimeout is wrapped by the run error when a superstep exceeds
@@ -155,6 +167,13 @@ type Stats struct {
 	Aborted bool
 	// AbortReason is a human-readable cause, set iff Aborted.
 	AbortReason string
+	// CheckpointPath names the most recent snapshot file written into
+	// Options.Checkpoint.Dir (empty when checkpointing to a Dir is off or
+	// no snapshot was taken yet). After an abort it points at resumable
+	// state — except after a contained panic (*RunError), where it still
+	// names the last periodic snapshot but no fresh one is taken, because
+	// the panicking superstep left the barrier inconsistent.
+	CheckpointPath string
 }
 
 // String summarizes the run statistics.

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dvbench -exp table1|table2|fig4|fig5|ablations|pregel|all [-runs N]
+//	dvbench -exp table1|table2|fig4|fig5|delta|ablations|pregel|all [-runs N]
 //	dvbench -exp pregel -json BENCH_pregel.json -label before|after
 //	dvbench -exp fig4 -cpuprofile cpu.out -memprofile mem.out
 //	dvbench -exp fig4 -timeout 30s
@@ -41,7 +41,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, fig4, fig5, ablations, pregel, all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig4, fig5, delta, ablations, pregel, all")
 	runs := flag.Int("runs", 3, "runs to average for timing experiments (paper: 3)")
 	jsonPath := flag.String("json", "", "merge pregel micro-benchmark results into this JSON snapshot file")
 	label := flag.String("label", "after", "snapshot label for -json (conventionally before/after)")
@@ -158,6 +158,18 @@ func run(ctx context.Context, exp string, runs int, jsonPath, label string) erro
 		any = true
 		rows, err := bench.Figure5(ctx, runs)
 		if rerr := bench.RenderPerf(out, "Figure 5: Connected Components (undirected datasets)", rows); rerr != nil {
+			return rerr
+		}
+		fmt.Fprintln(out)
+		if err != nil {
+			aborted(err)
+		}
+	}
+	if want("delta") {
+		any = true
+		rows, err := bench.DeltaRecompute(ctx, runs)
+		fmt.Fprintln(out, "== Streaming delta: full rerun vs delta-recompute ==")
+		if rerr := bench.RenderDelta(out, rows); rerr != nil {
 			return rerr
 		}
 		fmt.Fprintln(out)

@@ -106,6 +106,7 @@ func TestRunAbortKeepsCompletedExperiments(t *testing.T) {
 		"Table 1", "136.54M", // ctx-free experiments completed in full
 		"Table 2", "pagerank",
 		"Figure 4", "Figure 5", // timed experiments still rendered headers…
+		"Streaming delta",          // …including the delta-recompute block…
 		"ABORTED:",                 // …with abort markers
 		"lookup-table memoization", // and the suite continued into ablations
 	} {
@@ -113,7 +114,7 @@ func TestRunAbortKeepsCompletedExperiments(t *testing.T) {
 			t.Fatalf("output missing %q:\n%s", want, out)
 		}
 	}
-	if n := strings.Count(out, "ABORTED:"); n != 3 { // fig4, fig5, first ablation
-		t.Fatalf("ABORTED markers = %d, want 3:\n%s", n, out)
+	if n := strings.Count(out, "ABORTED:"); n != 4 { // fig4, fig5, delta, first ablation
+		t.Fatalf("ABORTED markers = %d, want 4:\n%s", n, out)
 	}
 }

@@ -8,6 +8,7 @@
 //	      [-param k=v]... [-workers N] [-queue] [-hash] [-combine] [-epsilon e]
 //	      [-show field] [-top N] [-trace] [-timeout d]
 //	      [-checkpoint-dir dir [-checkpoint-every N]] [-resume snapshot]
+//	      [-mutations log.dvdelta [-warm-start snapshot]]
 //
 // Exactly one graph source (-dataset, -edges or -gen) must be given;
 // conflicting sources are an error. Generator specs: rmat:scale:edgefactor,
@@ -21,16 +22,29 @@
 // -checkpoint-dir enables barrier snapshots: one snap-NNNNNN.dvsnap file
 // per checkpointed superstep (every -checkpoint-every supersteps, plus a
 // final snapshot at the terminal barrier and on any abort). The freshest
-// snapshot path is printed as a "checkpoint:" line. -resume continues a
-// run from such a file — the same program, mode, params, graph and
-// scheduler flags must be given (the graph fingerprint and scheduler are
-// validated) — executing only the remaining supersteps.
+// snapshot path and its superstep are printed as a "checkpoint:" line.
+// -resume continues a run from such a file — the same program, mode,
+// params, graph and scheduler flags must be given (the graph fingerprint
+// and scheduler are validated) — executing only the remaining supersteps.
+//
+// -mutations applies a streaming edge-mutation log (see graph.ReadDeltaLog
+// for the text format: add/del/set/addv lines) to the loaded graph
+// before running. On its own this re-runs the program from scratch on the
+// mutated graph. Adding -warm-start snapshot instead performs a
+// delta-recomputation warm restart: the snapshot must be the terminal
+// checkpoint of a converged run on the pre-mutation graph, and only the
+// contributions invalidated by the mutations are retracted, re-injected
+// and propagated. -warm-start requires -mutations and conflicts with
+// -resume.
 //
 // Examples:
 //
 //	dvrun -program pagerank -dataset wikipedia-s
 //	dvrun -program sssp -gen grid:50:50 -param src=0 -show dist -top 5
 //	dvrun -program pagerank -gen rmat:20:16 -timeout 10s -trace
+//	dvrun -program sssp -gen grid:50:50 -param src=0 -checkpoint-dir ck
+//	dvrun -program sssp -gen grid:50:50 -param src=0 \
+//	      -mutations edits.dvdelta -warm-start ck/snap-000102.dvsnap
 package main
 
 import (
@@ -86,6 +100,8 @@ type flagVals struct {
 	ckptDir              string
 	ckptEvery            int
 	resume               string
+	mutations            string
+	warmStart            string
 	params               paramFlags
 }
 
@@ -111,6 +127,8 @@ func registerFlags(fs *flag.FlagSet) *flagVals {
 	fs.StringVar(&v.ckptDir, "checkpoint-dir", "", "write barrier snapshots into this directory")
 	fs.IntVar(&v.ckptEvery, "checkpoint-every", 0, "periodic snapshot interval in supersteps (0 = final/abort snapshots only)")
 	fs.StringVar(&v.resume, "resume", "", "resume from a snapshot file written by -checkpoint-dir")
+	fs.StringVar(&v.mutations, "mutations", "", "apply this edge-mutation log (add/del/set/addv) to the graph before running")
+	fs.StringVar(&v.warmStart, "warm-start", "", "delta-recompute from this converged pre-mutation snapshot (needs -mutations)")
 	fs.Var(v.params, "param", "program parameter override, name=value (repeatable)")
 	return v
 }
@@ -122,7 +140,7 @@ func (v *flagVals) config() runConfig {
 		workers: v.workers, queue: v.queue, hash: v.hash, combine: v.combine,
 		epsilon: v.epsilon, show: v.show, top: v.top, trace: v.trace,
 		timeout: v.timeout, ckptDir: v.ckptDir, ckptEvery: v.ckptEvery,
-		resume: v.resume, params: v.params,
+		resume: v.resume, mutations: v.mutations, warmStart: v.warmStart, params: v.params,
 	}
 }
 
@@ -154,6 +172,8 @@ type runConfig struct {
 	ckptDir              string
 	ckptEvery            int
 	resume               string
+	mutations            string
+	warmStart            string
 	params               paramFlags
 }
 
@@ -265,9 +285,27 @@ func run(ctx context.Context, cfg runConfig) error {
 		return fmt.Errorf("unknown mode %q", cfg.mode)
 	}
 
+	if cfg.warmStart != "" && cfg.mutations == "" {
+		return fmt.Errorf("-warm-start needs -mutations: a warm restart repairs the effect of a mutation log")
+	}
+	if cfg.warmStart != "" && cfg.resume != "" {
+		return fmt.Errorf("-warm-start and -resume are mutually exclusive")
+	}
+
 	g, err := loadGraph(cfg.dataset, cfg.edges, cfg.directed, cfg.gen, cfg.seed)
 	if err != nil {
 		return err
+	}
+	var applied *graph.AppliedDelta
+	if cfg.mutations != "" {
+		d, err := graph.ReadDeltaLogFile(cfg.mutations)
+		if err != nil {
+			return err
+		}
+		g, applied, err = graph.ApplyDelta(g, d)
+		if err != nil {
+			return err
+		}
 	}
 	prog, err := core.Compile(src, core.Options{Mode: mode, Epsilon: cfg.epsilon})
 	if err != nil {
@@ -301,7 +339,7 @@ func run(ctx context.Context, cfg runConfig) error {
 		}
 	}
 
-	res, runErr := vm.RunContext(ctx, prog, g, vm.RunOptions{
+	runOpts := vm.RunOptions{
 		Params:     cfg.params,
 		Workers:    cfg.workers,
 		Scheduler:  sched,
@@ -309,12 +347,35 @@ func run(ctx context.Context, cfg runConfig) error {
 		Combine:    cfg.combine,
 		Checkpoint: ckpt,
 		Resume:     resumeSnap,
-	})
+	}
+	var res *vm.Result
+	var runErr error
+	if cfg.warmStart != "" {
+		snap, err := pregel.ReadSnapshotFile(cfg.warmStart)
+		if err != nil {
+			return err
+		}
+		res, runErr = vm.RunDeltaContext(ctx, prog, g, vm.DeltaRunOptions{
+			RunOptions: runOpts,
+			Snapshot:   snap,
+			Changes:    applied,
+		})
+	} else {
+		res, runErr = vm.RunContext(ctx, prog, g, runOpts)
+	}
 	if res == nil {
 		return runErr
 	}
 
 	fmt.Printf("graph:        %s\n", g)
+	if applied != nil {
+		start := "from scratch"
+		if cfg.warmStart != "" {
+			start = "delta-recompute from " + cfg.warmStart
+		}
+		fmt.Printf("mutations:    %d arc changes, %d new vertices (%s)\n",
+			len(applied.Arcs), applied.NewVertices, start)
+	}
 	fmt.Printf("mode:         %s (state %d bytes/vertex)\n", mode, prog.Layout.ByteSize())
 	fmt.Printf("supersteps:   %d\n", res.Stats.Supersteps)
 	fmt.Printf("iterations:   %v\n", res.Iterations)
@@ -327,7 +388,7 @@ func run(ctx context.Context, cfg runConfig) error {
 		fmt.Printf("aborted:      %s\n", res.Stats.AbortReason)
 	}
 	if res.Stats.CheckpointPath != "" {
-		fmt.Printf("checkpoint:   %s\n", res.Stats.CheckpointPath)
+		fmt.Printf("checkpoint:   %s (superstep %d)\n", res.Stats.CheckpointPath, res.Stats.CheckpointSuperstep)
 	}
 	if res.NonMonotoneSends > 0 {
 		fmt.Printf("WARNING: %d non-monotone Δ-messages (min/max accumulators may be stale)\n", res.NonMonotoneSends)

@@ -324,11 +324,13 @@ func superstepsOf(t *testing.T, out string) int {
 	return 0
 }
 
-// checkpointPathFrom extracts the "checkpoint: path" line, or "".
+// checkpointPathFrom extracts the path from the "checkpoint: path
+// (superstep N)" line, or "".
 func checkpointPathFrom(out string) string {
 	for _, line := range strings.Split(out, "\n") {
 		if rest, ok := strings.CutPrefix(line, "checkpoint:"); ok {
-			return strings.TrimSpace(rest)
+			p, _, _ := strings.Cut(strings.TrimSpace(rest), " (")
+			return p
 		}
 	}
 	return ""
@@ -364,6 +366,9 @@ func TestRunCheckpointResumeDeterministic(t *testing.T) {
 	}
 	if p := checkpointPathFrom(fullOut); !strings.HasPrefix(p, dir) {
 		t.Fatalf("checkpoint line %q does not point into -checkpoint-dir %q", p, dir)
+	}
+	if !strings.Contains(fullOut, "(superstep ") {
+		t.Fatalf("checkpoint line lacks the superstep annotation:\n%s", fullOut)
 	}
 	wantTop := topBlock(t, fullOut)
 
@@ -431,6 +436,127 @@ func TestRunInterruptResume(t *testing.T) {
 	}
 	if got := topBlock(t, out); got != wantTop {
 		t.Errorf("resumed values differ from uninterrupted run:\ngot:\n%swant:\n%s", got, wantTop)
+	}
+}
+
+// --- streaming mutations / warm start ---------------------------------------
+
+// TestRunWarmStartDeltaRecompute is the CLI end of the streaming-mutation
+// story: converge once with a terminal checkpoint, apply a mutation log,
+// and check that -warm-start reproduces the from-scratch values on the
+// mutated graph in strictly fewer supersteps.
+func TestRunWarmStartDeltaRecompute(t *testing.T) {
+	// A directed path is the worst case for a from-scratch SSSP wave and
+	// keeps the repair wave local to the shortcut's downstream suffix.
+	el := filepath.Join(t.TempDir(), "chain.el")
+	fh, err := os.Create(el)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteEdgeList(fh, graph.Path(120, true)); err != nil {
+		t.Fatal(err)
+	}
+	fh.Close()
+
+	dir := t.TempDir()
+	base := runConfig{
+		mode: "dv", progName: "sssp", edges: el, directed: true,
+		workers: 2, combine: true, show: "dist", top: 5,
+		params: paramFlags{"src": 0},
+	}
+
+	// Seed run on the pre-mutation graph, keeping the terminal snapshot.
+	seed := base
+	seed.ckptDir = dir
+	seedOut := capture(t, func() error { return run(context.Background(), seed) })
+	snapPath := checkpointPathFrom(seedOut)
+	if snapPath == "" {
+		t.Fatalf("seed run printed no checkpoint line:\n%s", seedOut)
+	}
+
+	// A small streaming delta: one shortcut, one redundant back-link.
+	mut := filepath.Join(t.TempDir(), "edits.dvdelta")
+	if err := os.WriteFile(mut, []byte("# streaming edits\nadd 0 90\nadd 50 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	scratch := base
+	scratch.mutations = mut
+	scratchOut := capture(t, func() error { return run(context.Background(), scratch) })
+	if !strings.Contains(scratchOut, "arc changes") || !strings.Contains(scratchOut, "from scratch") {
+		t.Fatalf("scratch mutated run missing mutations line:\n%s", scratchOut)
+	}
+
+	warm := base
+	warm.mutations = mut
+	warm.warmStart = snapPath
+	warmOut := capture(t, func() error { return run(context.Background(), warm) })
+	if !strings.Contains(warmOut, "delta-recompute from "+snapPath) {
+		t.Fatalf("warm run missing delta-recompute marker:\n%s", warmOut)
+	}
+	if got, want := topBlock(t, warmOut), topBlock(t, scratchOut); got != want {
+		t.Errorf("warm-start values differ from scratch run on the mutated graph:\ngot:\n%swant:\n%s", got, want)
+	}
+	if ws, ss := superstepsOf(t, warmOut), superstepsOf(t, scratchOut); ws >= ss {
+		t.Errorf("warm start took %d supersteps, scratch %d — expected strictly fewer", ws, ss)
+	}
+}
+
+// TestRunMutationErrorPaths covers the new flag validation and the
+// planner's rejection surfacing through the CLI.
+func TestRunMutationErrorPaths(t *testing.T) {
+	ctx := context.Background()
+	base := runConfig{
+		mode: "dv", progName: "sssp", gen: "grid:5:5", seed: 1,
+		combine: true, params: paramFlags{"src": 0},
+	}
+	// -warm-start without -mutations.
+	cfg := base
+	cfg.warmStart = "snap.dvsnap"
+	if err := run(ctx, cfg); err == nil || !strings.Contains(err.Error(), "-mutations") {
+		t.Fatalf("err = %v, want -mutations requirement", err)
+	}
+	// -warm-start with -resume.
+	cfg = base
+	cfg.mutations = "edits.dvdelta"
+	cfg.warmStart = "snap.dvsnap"
+	cfg.resume = "snap.dvsnap"
+	if err := run(ctx, cfg); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("err = %v, want mutual-exclusion error", err)
+	}
+	// Missing mutation log.
+	cfg = base
+	cfg.mutations = "/nonexistent.dvdelta"
+	if err := run(ctx, cfg); err == nil {
+		t.Fatal("missing mutation log succeeded")
+	}
+	// Missing warm-start snapshot.
+	mut := filepath.Join(t.TempDir(), "edits.dvdelta")
+	if err := os.WriteFile(mut, []byte("add 0 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg = base
+	cfg.mutations = mut
+	cfg.warmStart = "/nonexistent.dvsnap"
+	if err := run(ctx, cfg); err == nil {
+		t.Fatal("missing warm-start snapshot succeeded")
+	}
+	// Removing an edge loosens a min input: the planner must reject it
+	// with a pointer at the memo-table discussion.
+	dir := t.TempDir()
+	seed := base
+	seed.ckptDir = dir
+	seedOut := capture(t, func() error { return run(ctx, seed) })
+	snapPath := checkpointPathFrom(seedOut)
+	del := filepath.Join(t.TempDir(), "del.dvdelta")
+	if err := os.WriteFile(del, []byte("del 0 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg = base
+	cfg.mutations = del
+	cfg.warmStart = snapPath
+	if err := run(ctx, cfg); err == nil || !strings.Contains(err.Error(), "cannot retract") {
+		t.Fatalf("err = %v, want min-retraction rejection", err)
 	}
 }
 

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestDeltaRecomputeCheaper pins the experiment's headline claim: on a
+// small-delta streaming workload the warm repair takes strictly fewer
+// supersteps AND strictly fewer messages than the from-scratch rerun, for
+// every canonical case.
+func TestDeltaRecomputeCheaper(t *testing.T) {
+	rows, err := DeltaRecompute(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(DeltaCases) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(DeltaCases))
+	}
+	for _, r := range rows {
+		if r.Arcs == 0 {
+			t.Errorf("%s/%s/%s: empty delta", r.Program, r.Dataset, r.Variant)
+		}
+		if r.DeltaSteps >= r.ScratchSteps {
+			t.Errorf("%s/%s/%s: repair took %d supersteps, scratch %d — expected strictly fewer",
+				r.Program, r.Dataset, r.Variant, r.DeltaSteps, r.ScratchSteps)
+		}
+		if r.DeltaMessages >= r.ScratchMessages {
+			t.Errorf("%s/%s/%s: repair sent %d messages, scratch %d — expected strictly fewer",
+				r.Program, r.Dataset, r.Variant, r.DeltaMessages, r.ScratchMessages)
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderDelta(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"wikipedia-s", "facebook-s", "Repair msgs", "dV-memotable"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("render missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestMeasureDeltaErrors covers the error paths.
+func TestMeasureDeltaErrors(t *testing.T) {
+	if _, err := MeasureDelta(context.Background(), "sssp", "nope", VariantDV, 1); err == nil {
+		t.Fatal("unknown dataset should fail")
+	}
+	if _, err := MeasureDelta(context.Background(), "sssp", testDS, "nope", 1); err == nil {
+		t.Fatal("unknown variant should fail")
+	}
+	if _, err := MeasureDelta(context.Background(), "hits", testDS, VariantDV, 1); err == nil {
+		t.Fatal("program without a delta workload should fail")
+	}
+	// A cancelled ctx aborts the seed run at its first barrier.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MeasureDelta(ctx, "cc", testDS, VariantDV, 1); err == nil {
+		t.Fatal("cancelled ctx should abort")
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import "repro/internal/deltav/ast"
+
+// This file exposes the operator- and expression-level facts the VM's
+// delta-recomputation planner needs to decide whether a streaming edge
+// mutation can be repaired in place (retract the stale contribution, inject
+// the new one) or needs a from-scratch rerun. They are compile-time
+// properties of the program, so they live next to the passes that
+// establish them.
+
+// Invertible reports whether a stale ⊞-contribution can be retracted from a
+// memoized accumulator exactly: for sum by adding the negation, for prod by
+// multiplying the reciprocal (with §6.4.1 nullary tags covering zeros), and
+// for and/or through the same nullary-count machinery. Idempotent operators
+// (min/max) destroy the information needed to undo a fold — once a value
+// has been absorbed there is no way to tell whether the accumulator still
+// depends on it — so removals against them force a rerun.
+func Invertible(op ast.AggOp) bool {
+	switch op {
+	case ast.AggSum, ast.AggProd, ast.AggAnd, ast.AggOr:
+		return true
+	}
+	return false
+}
+
+// SlotTopology reports which graph-topology inputs an expression reads:
+// in-degree, out-degree (DirOut and DirNeighbors both resolve to the
+// out-adjacency at the sender), and the vertex count. A site whose slot
+// expression reads a degree produces different contributions on every
+// incident edge when a mutation changes that degree — PageRank's
+// rank/#neighbors is the canonical case — so the repair planner must
+// re-send over the sender's whole adjacency, not just the mutated arcs.
+func SlotTopology(e ast.Expr) (readsInDeg, readsOutDeg, readsSize bool) {
+	ast.Walk(e, func(x ast.Expr) bool {
+		switch n := x.(type) {
+		case *ast.Cardinality:
+			if n.G == ast.DirIn {
+				readsInDeg = true
+			} else {
+				readsOutDeg = true
+			}
+		case *ast.GraphSize:
+			readsSize = true
+		}
+		return true
+	})
+	return
+}
+
+// ReadsFixpoint reports whether an until{} condition consults the fixpoint
+// aggregator. A delta repair is only meaningful for computations that stop
+// when they converge: an iteration-count bound would cut the repair wave
+// short (or run it long), producing a state no from-scratch run matches.
+func ReadsFixpoint(e ast.Expr) bool {
+	found := false
+	ast.Walk(e, func(x ast.Expr) bool {
+		if _, ok := x.(*ast.FixpointRef); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// ReadsIterVar reports whether an expression reads the enclosing iter
+// statement's iteration counter. A warm restart resets the counter (the
+// repair wave needs its own iteration budget), which would change the
+// meaning of an iteration-dependent body, so the planner rejects those.
+func ReadsIterVar(e ast.Expr) bool {
+	found := false
+	ast.Walk(e, func(x ast.Expr) bool {
+		if v, ok := x.(*ast.Var); ok && v.Slot == IterVarSlot {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,619 @@
+package vm
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/deltav/ast"
+	"repro/internal/graph"
+	"repro/internal/pregel"
+)
+
+// Delta recomputation: instead of rerunning a converged program from
+// scratch after an edge mutation, RunDelta warm-starts the engine from the
+// previous run's terminal snapshot and repairs the affected accumulators in
+// place. The plan is computed before the run starts: for every mutated arc
+// the sender retracts its stale contribution and injects the new one using
+// the same Δ-message encoding the incremental pipeline already uses (sum:
+// signed difference; prod/and/or: §6.4.1 nullary tags; min/max: monotone
+// re-injection only), and the body supersteps then propagate the repair
+// wave exactly as an ordinary run would propagate any change. A site whose
+// slot expression reads a degree (PageRank's rank/#neighbors) is re-sent
+// over the sender's whole adjacency, because a topology change shifts its
+// contribution on every incident edge. In memo-table mode the repair
+// rewrites the per-neighbour tables instead: surviving pairs are re-sent
+// (the table update replaces the stale entry), and pairs whose last arc
+// disappeared are surgically deleted with the receiver kept active for the
+// next refold.
+
+// DeltaRunOptions configure a delta-recomputation run. The machine's graph
+// must be the *mutated* graph (the output of graph.ApplyDelta); Snapshot
+// and Changes tie it back to the converged pre-mutation run.
+type DeltaRunOptions struct {
+	RunOptions
+	// Snapshot is the terminal (Done, quiescent) snapshot of a converged
+	// run of the same compiled program on the pre-mutation graph.
+	Snapshot *pregel.Snapshot
+	// Changes is the applied mutation diff produced by graph.ApplyDelta;
+	// its OldFingerprint must match the snapshot's graph.
+	Changes *graph.AppliedDelta
+}
+
+// repairSend is one precomputed repair message.
+type repairSend struct {
+	dest graph.VertexID
+	msg  Msg
+}
+
+// tableSurgery deletes a memo-table entry whose last arc disappeared.
+type tableSurgery struct {
+	site   int
+	dest   graph.VertexID
+	sender graph.VertexID
+}
+
+// repairPlan is everything the modeRepair superstep executes.
+type repairPlan struct {
+	sends      map[graph.VertexID][]repairSend
+	keepActive map[graph.VertexID]bool
+	surgery    []tableSurgery
+	frontier   []graph.VertexID
+}
+
+// RunDelta executes a delta-recomputation run to completion; see
+// RunDeltaContext.
+func RunDelta(prog *core.Program, g *graph.Graph, opts DeltaRunOptions) (*Result, error) {
+	return RunDeltaContext(context.Background(), prog, g, opts)
+}
+
+// RunDeltaContext warm-starts prog on the mutated graph g from the
+// converged snapshot in opts and repairs only the state the delta actually
+// disturbed. The result is equivalent to rerunning from scratch on g —
+// bitwise identical for idempotent (min/max) programs, and equal up to
+// float re-association for sum-based ones — while running strictly fewer
+// supersteps and messages when the delta is small.
+func RunDeltaContext(ctx context.Context, prog *core.Program, g *graph.Graph, opts DeltaRunOptions) (*Result, error) {
+	m, err := NewMachine(prog, g, opts.RunOptions)
+	if err != nil {
+		return nil, err
+	}
+	return m.RunDeltaContext(ctx, opts)
+}
+
+// RunDeltaContext executes the machine as a delta-recomputation run. It may
+// only be called once, like RunContext.
+func (m *Machine) RunDeltaContext(ctx context.Context, opts DeltaRunOptions) (*Result, error) {
+	if m.ran {
+		return nil, fmt.Errorf("vm: Machine.Run called twice")
+	}
+	m.ran = true
+	if err := m.validateDelta(&opts); err != nil {
+		return nil, err
+	}
+	gl, err := m.restoreExtra(opts.Snapshot.Extra)
+	if err != nil {
+		return nil, err
+	}
+	if gl.Mode != modeBody {
+		return nil, fmt.Errorf("vm: delta run needs the snapshot of a completed body phase")
+	}
+	// The repair run reports its own work, not the seed run's.
+	for i := range m.iterations {
+		m.iterations[i] = 0
+	}
+	m.nonMonotone.Store(0)
+	plan, err := m.planRepair(opts.Changes)
+	if err != nil {
+		return nil, err
+	}
+	for _, sg := range plan.surgery {
+		delete(m.tables[sg.site][sg.dest], sg.sender)
+	}
+	m.repair = plan
+	warm := &pregel.WarmStartOptions{
+		Snapshot:          opts.Snapshot,
+		ExpectFingerprint: opts.Changes.OldFingerprint,
+		Activate:          plan.frontier,
+	}
+	return m.execute(ctx, opts.RunOptions, warm, &globals{Phase: gl.Phase, Mode: modeRepair, Iter: 1})
+}
+
+// validateDelta rejects the combinations a warm repair cannot handle.
+func (m *Machine) validateDelta(opts *DeltaRunOptions) error {
+	if opts.Snapshot == nil {
+		return fmt.Errorf("vm: delta run needs a snapshot")
+	}
+	if opts.Changes == nil {
+		return fmt.Errorf("vm: delta run needs the applied delta")
+	}
+	if opts.Resume != nil {
+		return fmt.Errorf("vm: Resume and a delta run are mutually exclusive")
+	}
+	if m.prog.Mode == core.Baseline {
+		return fmt.Errorf("vm: %s re-sends full values every superstep and keeps no repairable state; delta runs need mode %s or %s",
+			core.Baseline, core.Incremental, core.MemoTable)
+	}
+	if len(m.prog.Phases) != 1 {
+		return fmt.Errorf("vm: delta run supports single-phase programs, this one has %d phases (earlier phases' effects are baked into the snapshot and cannot be replayed)",
+			len(m.prog.Phases))
+	}
+	if opts.Changes.NewVertices > 0 {
+		return fmt.Errorf("vm: delta adds %d vertices, which need init{}; rerun from scratch", opts.Changes.NewVertices)
+	}
+	if opts.Snapshot.Fingerprint != opts.Changes.OldFingerprint {
+		return fmt.Errorf("vm: %w: snapshot was taken on graph %016x, the delta was applied to %016x",
+			pregel.ErrSnapshotMismatch, opts.Snapshot.Fingerprint, opts.Changes.OldFingerprint)
+	}
+	for _, s := range m.prog.Sites {
+		if s.Strategy == core.StrategyScratch {
+			return fmt.Errorf("vm: aggregation site %d refolds from scratch each superstep; its receivers cannot be repaired in place", s.ID)
+		}
+	}
+	ph := &m.prog.Phases[0]
+	if core.ReadsIterVar(ph.Body) {
+		return fmt.Errorf("vm: delta run cannot warm-start an iteration-dependent body (the repair restarts the iteration counter)")
+	}
+	if ph.Kind == core.PhaseIter && ph.Until != nil && !core.ReadsFixpoint(ph.Until) {
+		return fmt.Errorf("vm: delta run needs a convergence-detecting until{} (fixpoint); an iteration-count bound describes a prefix of the computation, not its fixpoint")
+	}
+	return nil
+}
+
+// pushArc is one sender-perspective arc.
+type pushArc struct {
+	dest graph.VertexID
+	w    float64
+}
+
+// planRepair builds the per-vertex repair sends, the memo-table surgery
+// list, and the warm-start frontier for the applied delta. It runs after
+// restoreExtra, so slot expressions evaluate against the converged state.
+func (m *Machine) planRepair(ch *graph.AppliedDelta) (*repairPlan, error) {
+	plan := &repairPlan{
+		sends:      make(map[graph.VertexID][]repairSend),
+		keepActive: make(map[graph.VertexID]bool),
+	}
+	// Per-vertex degree changes (new minus old), for evaluating
+	// pre-mutation contributions against the mutated CSR.
+	inDelta := make(map[graph.VertexID]int)
+	outDelta := make(map[graph.VertexID]int)
+	for _, a := range ch.Arcs {
+		switch a.Kind {
+		case graph.ArcAdd:
+			outDelta[a.U]++
+			inDelta[a.V]++
+		case graph.ArcRemove:
+			outDelta[a.U]--
+			inDelta[a.V]--
+		}
+	}
+	ev := &evaluator{m: m}
+	ev.lets = make([]float64, m.prog.MaxLetDepth)
+	for _, gid := range m.prog.Phases[0].Groups {
+		if err := m.planGroup(plan, ev, m.prog.Groups[gid], ch, inDelta, outDelta); err != nil {
+			return nil, err
+		}
+	}
+	// A body that reads a degree (stock PageRank's pr = vl/|#out|) computes
+	// different field values once that degree changes, so every vertex with
+	// a changed degree must re-run the body even if no repair message wakes
+	// it; its own change checks then broadcast the correction.
+	bodyIn, bodyOut, _ := core.SlotTopology(m.prog.Phases[0].Body)
+	if bodyIn {
+		for v, d := range inDelta {
+			if d != 0 {
+				plan.keepActive[v] = true
+			}
+		}
+	}
+	if bodyOut {
+		for v, d := range outDelta {
+			if d != 0 {
+				plan.keepActive[v] = true
+			}
+		}
+	}
+	frontier := make([]graph.VertexID, 0, len(plan.sends)+len(plan.keepActive))
+	for u := range plan.sends {
+		frontier = append(frontier, u)
+	}
+	for u := range plan.keepActive {
+		if _, dup := plan.sends[u]; !dup {
+			frontier = append(frontier, u)
+		}
+	}
+	sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+	plan.frontier = frontier
+	return plan, nil
+}
+
+// planGroup plans one send group's repair.
+func (m *Machine) planGroup(plan *repairPlan, ev *evaluator, g *core.SendGroup, ch *graph.AppliedDelta, inDelta, outDelta map[graph.VertexID]int) error {
+	sites := make([]*core.AggSite, len(g.Sites))
+	readsIn, readsOut := false, false
+	for i, sid := range g.Sites {
+		sites[i] = m.prog.Sites[sid]
+		ri, ro, _ := core.SlotTopology(sites[i].SlotExpr)
+		readsIn = readsIn || ri
+		readsOut = readsOut || ro
+	}
+	// Orient the CSR arc changes into the group's push direction: an arc
+	// u→v is pushed by u to v over out-adjacency, and by v to u when the
+	// group pushes over in-adjacency.
+	perSender := make(map[graph.VertexID]map[graph.VertexID][]graph.ArcChange)
+	for _, a := range ch.Arcs {
+		s, d := a.U, a.V
+		if g.PushDir == ast.DirIn {
+			s, d = a.V, a.U
+		}
+		pd := perSender[s]
+		if pd == nil {
+			pd = make(map[graph.VertexID][]graph.ArcChange)
+			perSender[s] = pd
+		}
+		pd[d] = append(pd[d], a)
+	}
+	// A sender whose read degree changed produces a different contribution
+	// on every incident edge and must re-send over its whole adjacency.
+	resweep := make(map[graph.VertexID]bool)
+	if readsIn {
+		for v, d := range inDelta {
+			if d != 0 {
+				resweep[v] = true
+			}
+		}
+	}
+	if readsOut {
+		for v, d := range outDelta {
+			if d != 0 {
+				resweep[v] = true
+			}
+		}
+	}
+	senders := make([]graph.VertexID, 0, len(perSender)+len(resweep))
+	for s := range perSender {
+		senders = append(senders, s)
+	}
+	for s := range resweep {
+		if _, dup := perSender[s]; !dup {
+			senders = append(senders, s)
+		}
+	}
+	sort.Slice(senders, func(i, j int) bool { return senders[i] < senders[j] })
+
+	usesW := m.groupUsesWeight(g.ID)
+	for _, s := range senders {
+		ev.u, ev.base = s, int(s)*m.stride
+		cur := m.pushArcs(ev, g.PushDir)
+		if g.Strategy == core.StrategyTable {
+			m.planTableSender(plan, ev, g, sites, cur, sortedDests(perSender[s]), resweep[s])
+			continue
+		}
+		var err error
+		if resweep[s] {
+			err = m.planResweep(plan, ev, g, sites, cur, perSender[s], inDelta, outDelta)
+		} else {
+			err = m.planChangedArcs(plan, ev, g, sites, sortedDests(perSender[s]), perSender[s], usesW)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pushArcs lists the sender's current push-side arcs in destination order.
+func (m *Machine) pushArcs(ev *evaluator, dir ast.GraphDir) []pushArc {
+	var out []pushArc
+	ev.forPushEdges(dir, func(dest graph.VertexID, w float64) {
+		out = append(out, pushArc{dest, w})
+	})
+	sort.SliceStable(out, func(i, j int) bool { return out[i].dest < out[j].dest })
+	return out
+}
+
+func sortedDests(pd map[graph.VertexID][]graph.ArcChange) []graph.VertexID {
+	dests := make([]graph.VertexID, 0, len(pd))
+	for d := range pd {
+		dests = append(dests, d)
+	}
+	sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
+	return dests
+}
+
+// oldDegrees reconstructs a vertex's pre-mutation degrees from the diff.
+func (m *Machine) oldDegrees(u graph.VertexID, inDelta, outDelta map[graph.VertexID]int) *vertexDegrees {
+	d := &vertexDegrees{out: m.g.OutDegree(u) - outDelta[u]}
+	if m.g.HasReverse() {
+		d.in = m.g.InDegree(u) - inDelta[u]
+	} else {
+		d.in = d.out
+	}
+	return d
+}
+
+// repairSlotVal evaluates one site's slot expression for the planner:
+// with the arc's weight, optionally against the pre-mutation degrees, and
+// optionally against the $old fields (what receivers last heard).
+func (m *Machine) repairSlotVal(ev *evaluator, s *core.AggSite, w float64, old *vertexDegrees) float64 {
+	ev.curWeight = w
+	ev.degOverride = old
+	if old != nil {
+		ev.redirect = m.redirectFor(s)
+	}
+	v := ev.eval(s.SlotExpr)
+	ev.redirect = nil
+	ev.degOverride = nil
+	return v
+}
+
+// emitRepair builds and records one repair message for an arc whose
+// contribution moves from oldArc (nil: the arc did not exist) to newArc
+// (nil: the arc no longer exists). oldDeg carries the pre-mutation degrees
+// for old-side evaluation; nil means the degrees did not change.
+func (m *Machine) emitRepair(plan *repairPlan, ev *evaluator, g *core.SendGroup, sites []*core.AggSite, dest graph.VertexID, oldArc, newArc *pushArc, oldDeg *vertexDegrees) error {
+	if oldDeg == nil {
+		oldDeg = &vertexDegrees{in: m.degreeOf(ev.u, true), out: m.degreeOf(ev.u, false)}
+	}
+	msg := Msg{Group: uint8(g.ID), NVals: uint8(len(sites)), Sender: ev.u}
+	noop := true
+	for i, s := range sites {
+		var oldV, newV float64
+		if oldArc != nil {
+			oldV = m.repairSlotVal(ev, s, oldArc.w, oldDeg)
+		}
+		if newArc != nil {
+			newV = m.repairSlotVal(ev, s, newArc.w, nil)
+		}
+		val, tagNull, tagPrev, slotNoop, err := repairSlot(s, oldV, oldArc != nil, newV, newArc != nil)
+		if err != nil {
+			return err
+		}
+		msg.Vals[i] = val
+		if tagNull {
+			msg.TagNull |= 1 << i
+		}
+		if tagPrev {
+			msg.TagPrev |= 1 << i
+		}
+		if !slotNoop {
+			noop = false
+		}
+	}
+	if !noop {
+		plan.sends[ev.u] = append(plan.sends[ev.u], repairSend{dest: dest, msg: msg})
+	}
+	return nil
+}
+
+func (m *Machine) degreeOf(u graph.VertexID, in bool) int {
+	if in && m.g.HasReverse() {
+		return m.g.InDegree(u)
+	}
+	return m.g.OutDegree(u)
+}
+
+// planChangedArcs handles a sender whose contributions are
+// topology-independent: only the mutated arcs themselves need repair.
+func (m *Machine) planChangedArcs(plan *repairPlan, ev *evaluator, g *core.SendGroup, sites []*core.AggSite, dests []graph.VertexID, pd map[graph.VertexID][]graph.ArcChange, usesW bool) error {
+	for _, dest := range dests {
+		for _, a := range pd[dest] {
+			var err error
+			switch a.Kind {
+			case graph.ArcAdd:
+				err = m.emitRepair(plan, ev, g, sites, dest, nil, &pushArc{dest, a.NewW}, nil)
+			case graph.ArcRemove:
+				err = m.emitRepair(plan, ev, g, sites, dest, &pushArc{dest, a.OldW}, nil, nil)
+			case graph.ArcReweight:
+				if !usesW {
+					continue // no site reads the weight: nothing changed
+				}
+				err = m.emitRepair(plan, ev, g, sites, dest, &pushArc{dest, a.OldW}, &pushArc{dest, a.NewW}, nil)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// planResweep handles a sender whose read degree changed: every incident
+// arc's contribution moved, so the old adjacency is reconstructed from the
+// diff and diffed arc-by-arc against the current one.
+func (m *Machine) planResweep(plan *repairPlan, ev *evaluator, g *core.SendGroup, sites []*core.AggSite, cur []pushArc, pd map[graph.VertexID][]graph.ArcChange, inDelta, outDelta map[graph.VertexID]int) error {
+	oldDeg := m.oldDegrees(ev.u, inDelta, outDelta)
+	old := append([]pushArc(nil), cur...)
+	for _, dest := range sortedDests(pd) {
+		for _, a := range pd[dest] {
+			switch a.Kind {
+			case graph.ArcAdd:
+				i := findArc(old, dest, a.NewW)
+				if i < 0 {
+					return fmt.Errorf("vm: repair plan cannot reconcile added arc %d->%d with the mutated graph", ev.u, dest)
+				}
+				old = append(old[:i], old[i+1:]...)
+			case graph.ArcReweight:
+				i := findArc(old, dest, a.NewW)
+				if i < 0 {
+					return fmt.Errorf("vm: repair plan cannot reconcile reweighted arc %d->%d with the mutated graph", ev.u, dest)
+				}
+				old[i].w = a.OldW
+			case graph.ArcRemove:
+				old = append(old, pushArc{dest, a.OldW})
+			}
+		}
+	}
+	sort.SliceStable(old, func(i, j int) bool { return old[i].dest < old[j].dest })
+	// Merge old and current per destination: persisting arcs become
+	// old→new transitions, vanished arcs retractions, fresh arcs
+	// injections.
+	i, j := 0, 0
+	for i < len(old) || j < len(cur) {
+		var err error
+		switch {
+		case j >= len(cur) || (i < len(old) && old[i].dest < cur[j].dest):
+			err = m.emitRepair(plan, ev, g, sites, old[i].dest, &old[i], nil, oldDeg)
+			i++
+		case i >= len(old) || cur[j].dest < old[i].dest:
+			err = m.emitRepair(plan, ev, g, sites, cur[j].dest, nil, &cur[j], oldDeg)
+			j++
+		default:
+			err = m.emitRepair(plan, ev, g, sites, old[i].dest, &old[i], &cur[j], oldDeg)
+			i++
+			j++
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func findArc(arcs []pushArc, dest graph.VertexID, w float64) int {
+	for i, a := range arcs {
+		if a.dest == dest && math.Float64bits(a.w) == math.Float64bits(w) {
+			return i
+		}
+	}
+	return -1
+}
+
+// planTableSender repairs the §4.2.1 per-neighbour tables: stale pairs are
+// re-sent over every surviving arc (the receiver's table update replaces
+// the entry, merging parallel arcs with ⊞), and pairs whose last arc
+// disappeared are queued for direct surgery with the receiver kept active
+// so its next refold sees the deletion.
+func (m *Machine) planTableSender(plan *repairPlan, ev *evaluator, g *core.SendGroup, sites []*core.AggSite, cur []pushArc, changedDests []graph.VertexID, resweep bool) {
+	emitFull := func(a pushArc) {
+		msg := Msg{Group: uint8(g.ID), NVals: uint8(len(sites)), Sender: ev.u}
+		for i, s := range sites {
+			msg.Vals[i] = m.repairSlotVal(ev, s, a.w, nil)
+		}
+		plan.sends[ev.u] = append(plan.sends[ev.u], repairSend{dest: a.dest, msg: msg})
+	}
+	surgery := func(dest graph.VertexID) {
+		for _, sid := range g.Sites {
+			plan.surgery = append(plan.surgery, tableSurgery{site: sid, dest: dest, sender: ev.u})
+		}
+		plan.keepActive[dest] = true
+	}
+	if resweep {
+		for _, a := range cur {
+			emitFull(a)
+		}
+		for _, dest := range changedDests {
+			if countArcs(cur, dest) == 0 {
+				surgery(dest)
+			}
+		}
+		return
+	}
+	for _, dest := range changedDests {
+		n := 0
+		for _, a := range cur {
+			if a.dest == dest {
+				emitFull(a)
+				n++
+			}
+		}
+		if n == 0 {
+			surgery(dest)
+		}
+	}
+}
+
+func countArcs(arcs []pushArc, dest graph.VertexID) int {
+	n := 0
+	for _, a := range arcs {
+		if a.dest == dest {
+			n++
+		}
+	}
+	return n
+}
+
+// repairSlot synthesizes the Δ-message slot that moves a memoized
+// accumulator from an arc's old contribution to its new one, reusing the
+// Δ-message encodings of Eq. 11 and §6.4.1. Absent contributions (the arc
+// did not or will no longer exist) are passed with present=false.
+func repairSlot(s *core.AggSite, oldV float64, oldPresent bool, newV float64, newPresent bool) (val float64, tagNull, tagPrev, noop bool, err error) {
+	switch s.Op {
+	case ast.AggSum:
+		var o, n float64
+		if oldPresent {
+			o = oldV
+		}
+		if newPresent {
+			n = newV
+		}
+		if o == n {
+			return 0, false, false, true, nil
+		}
+		return n - o, false, false, false, nil
+	case ast.AggMin, ast.AggMax:
+		id := core.Identity(s.Op)
+		if !oldPresent {
+			// Injection: folding a fresh value into an idempotent
+			// accumulator is always exact.
+			return newV, false, false, newV == id, nil
+		}
+		if newPresent {
+			if newV == oldV {
+				return id, false, false, true, nil
+			}
+			if (s.Op == ast.AggMin && newV < oldV) || (s.Op == ast.AggMax && newV > oldV) {
+				// A tightening transition subsumes the old value.
+				return newV, false, false, false, nil
+			}
+		}
+		if oldV == id {
+			// The old contribution was the identity; dropping it is free.
+			if !newPresent {
+				return id, false, false, true, nil
+			}
+			return newV, false, false, false, nil
+		}
+		return 0, false, false, false, fmt.Errorf(
+			"vm: cannot retract a %s contribution from a memoized accumulator (mutation loosens a folded-in value); use mode %s or rerun from scratch",
+			s.Op, core.MemoTable)
+	case ast.AggProd:
+		o, n := 1.0, 1.0
+		if oldPresent {
+			o = oldV
+		}
+		if newPresent {
+			n = newV
+		}
+		if o == n {
+			return 1, false, false, true, nil
+		}
+		if o == 0 || n == 0 {
+			// Zero crossings need the sender-global $lastnn protocol, which
+			// a per-arc repair cannot participate in.
+			return 0, false, false, false, fmt.Errorf("vm: cannot repair a nullary (zero) product contribution in place; rerun from scratch")
+		}
+		return n / o, false, false, false, nil
+	case ast.AggOr, ast.AggAnd:
+		abs, _ := core.Absorbing(s.Op)
+		id := core.Identity(s.Op)
+		o, n := id, id
+		if oldPresent {
+			o = oldV
+		}
+		if newPresent {
+			n = newV
+		}
+		if o == n {
+			return id, false, false, true, nil
+		}
+		if n == abs {
+			return n, true, false, false, nil // gained an absorbing value
+		}
+		return id, false, true, false, nil // lost an absorbing value
+	}
+	return 0, false, false, false, fmt.Errorf("vm: repair for unknown operator %s", s.Op)
+}

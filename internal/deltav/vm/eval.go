@@ -33,7 +33,17 @@ type evaluator struct {
 	// synthesis (Eq. 11).
 	redirect map[int]int
 
+	// degOverride, when non-nil, substitutes the vertex's degrees during
+	// Cardinality evaluation. The repair planner uses it to evaluate
+	// pre-mutation contributions against the mutated graph's CSR.
+	degOverride *vertexDegrees
+
 	changed bool
+}
+
+// vertexDegrees is an explicit degree pair for degOverride.
+type vertexDegrees struct {
+	in, out int
 }
 
 func (ev *evaluator) field(slot int) float64 {
@@ -219,6 +229,12 @@ func (ev *evaluator) eval(e ast.Expr) float64 {
 
 // degree is the receiver-perspective count |g|.
 func (ev *evaluator) degree(g ast.GraphDir) int {
+	if d := ev.degOverride; d != nil {
+		if g == ast.DirIn {
+			return d.in
+		}
+		return d.out
+	}
 	switch g {
 	case ast.DirIn:
 		return ev.m.g.InDegree(ev.u)

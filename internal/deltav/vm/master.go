@@ -32,6 +32,15 @@ func (m *Machine) masterHook(mc *pregel.MasterContext) {
 		// messages.
 		mc.SetGlobals(&globals{Phase: gl.Phase, Mode: modeBody, Iter: 1})
 		mc.ActivateAll()
+	case modeRepair:
+		// The repair frontier has injected its corrections; body supersteps
+		// now propagate them outward. Deliberately no ActivateAll: only
+		// vertices woken by repair messages (or kept active by the planner)
+		// run, which is what makes a small delta cheap. The iteration
+		// counter restarts so iteration-bounded until{} conditions grant the
+		// repair wave a full budget; quiescence fast-forwarding still ends
+		// the phase as soon as the wave dies out.
+		mc.SetGlobals(&globals{Phase: gl.Phase, Mode: modeBody, Iter: 1})
 	case modeBody:
 		ph := &m.prog.Phases[gl.Phase]
 		m.iterations[gl.Phase]++

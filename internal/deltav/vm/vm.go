@@ -42,8 +42,9 @@ type Msg struct {
 type stepMode int
 
 const (
-	modePrime stepMode = iota // send full slot values, skip the body
-	modeBody                  // run the transformed statement body
+	modePrime  stepMode = iota // send full slot values, skip the body
+	modeBody                   // run the transformed statement body
+	modeRepair                 // emit planned delta-repair sends (RunDelta)
 )
 
 // globals is the engine-wide state vertices read; replaced (not mutated)
@@ -143,6 +144,11 @@ type Machine struct {
 	masterErr   error
 	runCtx      context.Context // run's context, visible to the master hook
 	ran         bool
+
+	// repair is the delta-recomputation plan (RunDelta only): the
+	// retraction/injection messages each frontier vertex emits during the
+	// modeRepair superstep. Nil for ordinary runs.
+	repair *repairPlan
 
 	msgBytes int
 }
@@ -268,6 +274,27 @@ func (m *Machine) RunContext(ctx context.Context, opts RunOptions) (*Result, err
 		return nil, fmt.Errorf("vm: Machine.Run called twice")
 	}
 	m.ran = true
+	var gl *globals
+	if opts.Resume != nil {
+		// Validate graph identity before decoding the machine payload so a
+		// wrong-graph snapshot fails with the engine's mismatch error, not a
+		// confusing state-size complaint.
+		if opts.Resume.Fingerprint != m.g.Fingerprint() {
+			return nil, fmt.Errorf("vm: %w: snapshot was taken on a different graph", pregel.ErrSnapshotMismatch)
+		}
+		var err error
+		if gl, err = m.restoreExtra(opts.Resume.Extra); err != nil {
+			return nil, err
+		}
+	} else {
+		gl = &globals{Phase: 0, Mode: modePrime}
+	}
+	return m.execute(ctx, opts, nil, gl)
+}
+
+// execute runs the machine on a fresh engine seeded with gl. Exactly one of
+// opts.Resume and warm may be set; both nil is a from-scratch run.
+func (m *Machine) execute(ctx context.Context, opts RunOptions, warm *pregel.WarmStartOptions, gl *globals) (*Result, error) {
 	if opts.MaxSupersteps <= 0 {
 		opts.MaxSupersteps = 100_000
 	}
@@ -291,6 +318,7 @@ func (m *Machine) RunContext(ctx context.Context, opts RunOptions) (*Result, err
 		MaxSupersteps: opts.MaxSupersteps,
 		Checkpoint:    ckpt,
 		Resume:        opts.Resume,
+		WarmStart:     warm,
 	})
 	eng.SetMessageSize(m.msgBytes)
 	eng.SetValueCodec(vstateCodec{})
@@ -303,21 +331,7 @@ func (m *Machine) RunContext(ctx context.Context, opts RunOptions) (*Result, err
 			eng.SetCombiner(c)
 		}
 	}
-	if opts.Resume != nil {
-		// Validate graph identity before decoding the machine payload so a
-		// wrong-graph snapshot fails with the engine's mismatch error, not a
-		// confusing state-size complaint.
-		if opts.Resume.Fingerprint != m.g.Fingerprint() {
-			return nil, fmt.Errorf("vm: %w: snapshot was taken on a different graph", pregel.ErrSnapshotMismatch)
-		}
-		gl, err := m.restoreExtra(opts.Resume.Extra)
-		if err != nil {
-			return nil, err
-		}
-		eng.SetGlobals(gl)
-	} else {
-		eng.SetGlobals(&globals{Phase: 0, Mode: modePrime})
-	}
+	eng.SetGlobals(gl)
 	eng.SetMasterHook(m.masterHook)
 	stats, err := eng.RunContext(ctx, m)
 	if stats == nil {
@@ -424,6 +438,17 @@ func (m *Machine) Compute(ctx *pregel.Context[VState, Msg], msgs []Msg) {
 		ctx.Aggregate(aggUnchanged, boolTo01(!ev.changed))
 		// Halting is performed by the Halt node for incremental programs;
 		// non-halting programs stay active for the next body superstep.
+	case modeRepair:
+		// Emit the precomputed retraction/injection messages for this
+		// vertex's mutated arcs. Pure senders halt; vertices flagged by the
+		// planner (memo-table surgery receivers) stay active so the next
+		// body superstep refolds their state even if no message wakes them.
+		for _, ps := range m.repair.sends[u] {
+			ctx.Send(ps.dest, ps.msg)
+		}
+		if !m.repair.keepActive[u] {
+			ctx.VoteToHalt()
+		}
 	}
 }
 

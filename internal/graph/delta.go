@@ -1,0 +1,385 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file implements streaming graph mutations: a Delta is an ordered
+// log of edge/vertex mutations, and ApplyDelta replays it against an
+// immutable CSR graph to produce a fresh CSR plus an AppliedDelta — the
+// directed-arc level diff the ΔV runtime needs to retract stale
+// contributions and inject new ones without a full rerun.
+//
+// Deltas are graph-agnostic: mirroring for undirected graphs happens at
+// apply time, exactly as Builder mirrors AddEdge. The rebuilt CSR keeps
+// the Builder invariants (arcs sorted by (u,v), undirected arcs stored in
+// both directions, self-loops single) so code that binary-searches
+// adjacency or fingerprints the structure sees no difference between a
+// built graph and a mutated one.
+
+// MutationOp is the kind of a single Delta entry.
+type MutationOp uint8
+
+const (
+	// MutAddEdge adds an edge u→v with weight W (1 for unweighted adds).
+	// Parallel edges are allowed, as in Builder.
+	MutAddEdge MutationOp = iota
+	// MutRemoveEdge removes every parallel edge u→v. Removing an edge
+	// that does not exist at that point in the log is an error.
+	MutRemoveEdge
+	// MutSetWeight rewrites the weight of every parallel edge u→v.
+	// Reweighting a missing edge is an error.
+	MutSetWeight
+	// MutAddVertices appends Count isolated vertices (IDs n..n+Count-1);
+	// later entries in the same log may reference them.
+	MutAddVertices
+)
+
+func (op MutationOp) String() string {
+	switch op {
+	case MutAddEdge:
+		return "add"
+	case MutRemoveEdge:
+		return "del"
+	case MutSetWeight:
+		return "set"
+	case MutAddVertices:
+		return "addv"
+	}
+	return fmt.Sprintf("MutationOp(%d)", uint8(op))
+}
+
+// Mutation is one entry of a Delta log.
+type Mutation struct {
+	Op    MutationOp
+	U, V  VertexID // endpoints (edge ops)
+	W     float64  // weight (MutAddEdge, MutSetWeight)
+	Count int      // vertex count (MutAddVertices)
+}
+
+// Delta is an ordered mutation log. Entries are applied strictly in log
+// order: "add u v; del u v" leaves no edge, "del u v; add u v" leaves
+// exactly the new one.
+type Delta struct {
+	Muts []Mutation
+}
+
+// AddEdge appends an unweighted edge addition.
+func (d *Delta) AddEdge(u, v VertexID) { d.AddWeightedEdge(u, v, 1) }
+
+// AddWeightedEdge appends a weighted edge addition.
+func (d *Delta) AddWeightedEdge(u, v VertexID, w float64) {
+	d.Muts = append(d.Muts, Mutation{Op: MutAddEdge, U: u, V: v, W: w})
+}
+
+// RemoveEdge appends a removal of every parallel edge u→v.
+func (d *Delta) RemoveEdge(u, v VertexID) {
+	d.Muts = append(d.Muts, Mutation{Op: MutRemoveEdge, U: u, V: v})
+}
+
+// SetWeight appends a reweight of every parallel edge u→v.
+func (d *Delta) SetWeight(u, v VertexID, w float64) {
+	d.Muts = append(d.Muts, Mutation{Op: MutSetWeight, U: u, V: v, W: w})
+}
+
+// AddVertices appends count new isolated vertices.
+func (d *Delta) AddVertices(count int) {
+	d.Muts = append(d.Muts, Mutation{Op: MutAddVertices, Count: count})
+}
+
+// Len returns the number of log entries.
+func (d *Delta) Len() int { return len(d.Muts) }
+
+// ArcKind classifies one directed-arc change in an AppliedDelta.
+type ArcKind uint8
+
+const (
+	ArcAdd      ArcKind = iota // arc did not exist before, exists now (NewW)
+	ArcRemove                  // arc existed before (OldW), does not now
+	ArcReweight                // arc survives with OldW rewritten to NewW
+)
+
+func (k ArcKind) String() string {
+	switch k {
+	case ArcAdd:
+		return "add"
+	case ArcRemove:
+		return "remove"
+	case ArcReweight:
+		return "reweight"
+	}
+	return fmt.Sprintf("ArcKind(%d)", uint8(k))
+}
+
+// ArcChange records the net effect of a Delta on one stored directed arc.
+// Undirected edges appear as two changes (one per direction, self-loops
+// one); parallel arcs appear once each. OldW is the pre-mutation weight —
+// kept here because the mutated graph no longer stores removed arcs, and
+// retraction needs the weight the stale contribution was computed with.
+type ArcChange struct {
+	Kind       ArcKind
+	U, V       VertexID
+	OldW, NewW float64
+}
+
+// AppliedDelta is the net directed-arc diff produced by ApplyDelta,
+// together with the identity of the graph it was computed against.
+type AppliedDelta struct {
+	// OldFingerprint is Fingerprint() of the pre-mutation graph, computed
+	// before any structure changed. Warm-start validation matches it
+	// against the converged snapshot's fingerprint.
+	OldFingerprint uint64
+	// NewVertices is how many vertices the delta appended.
+	NewVertices int
+	// Arcs lists every changed stored arc, sorted by (U, V).
+	Arcs []ArcChange
+}
+
+// Touched returns the sorted, deduplicated set of vertices incident to
+// any changed arc, plus any appended vertices — the activation frontier
+// for a warm restart. oldN is the pre-mutation vertex count.
+func (a *AppliedDelta) Touched(oldN int) []VertexID {
+	ids := make([]VertexID, 0, 2*len(a.Arcs)+a.NewVertices)
+	for _, c := range a.Arcs {
+		ids = append(ids, c.U, c.V)
+	}
+	for i := 0; i < a.NewVertices; i++ {
+		ids = append(ids, VertexID(oldN+i))
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := ids[:0]
+	for i, v := range ids {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// pairKey identifies a directed arc endpoint pair.
+type pairKey struct{ u, v VertexID }
+
+// pendingAdd is an addition not yet folded into the CSR; dead additions
+// were cancelled by a later RemoveEdge in the same log.
+type pendingAdd struct {
+	u, v VertexID
+	w    float64
+	dead bool
+}
+
+// deltaState carries the sequential interpretation of a mutation log.
+type deltaState struct {
+	g        *Graph
+	n        int // current vertex count (grows with MutAddVertices)
+	removed  map[pairKey]bool    // all original arcs of the pair dropped
+	override map[pairKey]float64 // surviving original arcs reweighted
+	adds     []pendingAdd
+}
+
+// origArcRange returns the index range of original arcs u→v (arcs are
+// sorted by (u,v), so parallel arcs are contiguous).
+func (st *deltaState) origArcRange(u, v VertexID) (int64, int64) {
+	if int(u) >= st.g.n {
+		return 0, 0
+	}
+	lo, hi := st.g.outOff[u], st.g.outOff[u+1]
+	adj := st.g.outAdj[lo:hi]
+	a := int64(sort.Search(len(adj), func(i int) bool { return adj[i] >= v }))
+	b := int64(sort.Search(len(adj), func(i int) bool { return adj[i] > v }))
+	return lo + a, lo + b
+}
+
+// arcExists reports whether any arc u→v is live at this point in the log.
+func (st *deltaState) arcExists(u, v VertexID) bool {
+	if lo, hi := st.origArcRange(u, v); hi > lo && !st.removed[pairKey{u, v}] {
+		return true
+	}
+	for i := range st.adds {
+		if a := &st.adds[i]; !a.dead && a.u == u && a.v == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (st *deltaState) doAdd(u, v VertexID, w float64) {
+	st.adds = append(st.adds, pendingAdd{u: u, v: v, w: w})
+}
+
+func (st *deltaState) doRemove(u, v VertexID) {
+	p := pairKey{u, v}
+	st.removed[p] = true
+	delete(st.override, p)
+	for i := range st.adds {
+		if a := &st.adds[i]; !a.dead && a.u == u && a.v == v {
+			a.dead = true
+		}
+	}
+}
+
+func (st *deltaState) doSet(u, v VertexID, w float64) {
+	p := pairKey{u, v}
+	if lo, hi := st.origArcRange(u, v); hi > lo && !st.removed[p] {
+		st.override[p] = w
+	}
+	for i := range st.adds {
+		if a := &st.adds[i]; !a.dead && a.u == u && a.v == v {
+			a.w = w
+		}
+	}
+}
+
+// ApplyDelta replays the mutation log against g and returns the mutated
+// graph plus the directed-arc diff. g itself is never modified — it stays
+// immutable and shareable; the result is a fresh CSR whose cached
+// fingerprint starts uncomputed, so Fingerprint() on the mutated graph
+// hashes the new structure instead of inheriting g's stale digest.
+//
+// If g had its reverse adjacency built, the result's is built too, so a
+// mutated graph can drop into any pipeline the original ran in.
+func ApplyDelta(g *Graph, d *Delta) (*Graph, *AppliedDelta, error) {
+	oldFP := g.Fingerprint() // before any structural change
+	st := &deltaState{
+		g:        g,
+		n:        g.n,
+		removed:  make(map[pairKey]bool),
+		override: make(map[pairKey]float64),
+	}
+	for i, m := range d.Muts {
+		switch m.Op {
+		case MutAddVertices:
+			if m.Count <= 0 {
+				return nil, nil, fmt.Errorf("graph: delta entry %d: addv needs a positive count, got %d", i, m.Count)
+			}
+			st.n += m.Count
+			continue
+		case MutAddEdge, MutRemoveEdge, MutSetWeight:
+			if int(m.U) >= st.n || int(m.V) >= st.n {
+				return nil, nil, fmt.Errorf("graph: delta entry %d: %s %d %d out of range for %d vertices",
+					i, m.Op, m.U, m.V, st.n)
+			}
+		default:
+			return nil, nil, fmt.Errorf("graph: delta entry %d: unknown op %d", i, m.Op)
+		}
+		// Mirror edge ops for undirected graphs (self-loops single arc,
+		// as in Builder.Finalize).
+		mirror := !g.directed && m.U != m.V
+		switch m.Op {
+		case MutAddEdge:
+			st.doAdd(m.U, m.V, m.W)
+			if mirror {
+				st.doAdd(m.V, m.U, m.W)
+			}
+		case MutRemoveEdge:
+			if !st.arcExists(m.U, m.V) {
+				return nil, nil, fmt.Errorf("graph: delta entry %d: del %d %d: no such edge", i, m.U, m.V)
+			}
+			st.doRemove(m.U, m.V)
+			if mirror {
+				st.doRemove(m.V, m.U)
+			}
+		case MutSetWeight:
+			if !st.arcExists(m.U, m.V) {
+				return nil, nil, fmt.Errorf("graph: delta entry %d: set %d %d: no such edge", i, m.U, m.V)
+			}
+			st.doSet(m.U, m.V, m.W)
+			if mirror {
+				st.doSet(m.V, m.U, m.W)
+			}
+		}
+	}
+	return rebuild(g, st, oldFP)
+}
+
+// rebuild merges the surviving original arcs with the live additions into
+// a fresh sorted CSR, emitting the arc diff along the way. The original
+// arcs of each source are already sorted by target; additions are sorted
+// stably (log order preserved among parallel arcs) and merged in, with
+// originals first on equal targets — fully deterministic, no map
+// iteration anywhere on the structure path.
+func rebuild(g *Graph, st *deltaState, oldFP uint64) (*Graph, *AppliedDelta, error) {
+	live := make([]pendingAdd, 0, len(st.adds))
+	for _, a := range st.adds {
+		if !a.dead {
+			live = append(live, a)
+		}
+	}
+	sort.SliceStable(live, func(i, j int) bool {
+		if live[i].u != live[j].u {
+			return live[i].u < live[j].u
+		}
+		return live[i].v < live[j].v
+	})
+
+	n2 := st.n
+	ng := &Graph{n: n2, directed: g.directed, weighted: g.weighted}
+	ng.outOff = make([]int64, n2+1)
+	ng.outAdj = make([]VertexID, 0, len(g.outAdj)+len(live))
+	outW := make([]float64, 0, len(g.outAdj)+len(live))
+	var changes []ArcChange
+
+	origW := func(i int64) float64 {
+		if g.outW == nil {
+			return 1
+		}
+		return g.outW[i]
+	}
+	emit := func(u, v VertexID, w float64) {
+		ng.outAdj = append(ng.outAdj, v)
+		outW = append(outW, w)
+		if w != 1 {
+			ng.weighted = true
+		}
+		ng.outOff[u+1]++
+	}
+
+	ai := 0 // cursor into live additions
+	for u := 0; u < n2; u++ {
+		var oi, oend int64
+		if u < g.n {
+			oi, oend = g.outOff[u], g.outOff[u+1]
+		}
+		for oi < oend || (ai < len(live) && int(live[ai].u) == u) {
+			takeOrig := oi < oend &&
+				(ai >= len(live) || int(live[ai].u) != u || g.outAdj[oi] <= live[ai].v)
+			if takeOrig {
+				v, ow := g.outAdj[oi], origW(oi)
+				oi++
+				p := pairKey{VertexID(u), v}
+				if st.removed[p] {
+					changes = append(changes, ArcChange{Kind: ArcRemove, U: VertexID(u), V: v, OldW: ow})
+					continue
+				}
+				w := ow
+				if nw, ok := st.override[p]; ok {
+					w = nw
+				}
+				if math.Float64bits(w) != math.Float64bits(ow) {
+					changes = append(changes, ArcChange{Kind: ArcReweight, U: VertexID(u), V: v, OldW: ow, NewW: w})
+				}
+				emit(VertexID(u), v, w)
+			} else {
+				a := live[ai]
+				ai++
+				changes = append(changes, ArcChange{Kind: ArcAdd, U: a.u, V: a.v, NewW: a.w})
+				emit(a.u, a.v, a.w)
+			}
+		}
+	}
+	for i := 0; i < n2; i++ {
+		ng.outOff[i+1] += ng.outOff[i]
+	}
+	if ng.weighted {
+		ng.outW = outW
+	}
+	// ng.fp is the zero value: the mutated graph's fingerprint is computed
+	// from its own structure on first use, never inherited from g.
+	if !ng.directed {
+		ng.inOff, ng.inAdj, ng.inW = ng.outOff, ng.outAdj, ng.outW
+	} else if g.HasReverse() {
+		ng.BuildReverse()
+	}
+	return ng, &AppliedDelta{OldFingerprint: oldFP, NewVertices: n2 - g.n, Arcs: changes}, nil
+}

@@ -1,0 +1,155 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Mutation-log text format, one entry per line, '#' or '%' comments:
+//
+//	add u v [w]   add edge u→v (weight w, default 1)
+//	del u v       remove every parallel edge u→v
+//	set u v w     rewrite the weight of every parallel edge u→v
+//	addv k        append k isolated vertices
+//
+// The format is deliberately the edge-list dialect with verbs, so the
+// same tooling habits (comments, whitespace-splitting) apply.
+
+// ReadDeltaLog parses a mutation log.
+func ReadDeltaLog(r io.Reader) (*Delta, error) {
+	d := &Delta{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		verb, args := fields[0], fields[1:]
+		bad := func(format string, a ...any) error {
+			return fmt.Errorf("graph: delta line %d: %s", lineNo, fmt.Sprintf(format, a...))
+		}
+		id := func(s string) (VertexID, error) {
+			u, err := strconv.ParseUint(s, 10, 32)
+			if err != nil {
+				return 0, bad("bad vertex id %q: %v", s, err)
+			}
+			return VertexID(u), nil
+		}
+		switch verb {
+		case "add":
+			if len(args) != 2 && len(args) != 3 {
+				return nil, bad("add needs 2 or 3 arguments, got %d", len(args))
+			}
+			u, err := id(args[0])
+			if err != nil {
+				return nil, err
+			}
+			v, err := id(args[1])
+			if err != nil {
+				return nil, err
+			}
+			w := 1.0
+			if len(args) == 3 {
+				w, err = strconv.ParseFloat(args[2], 64)
+				if err != nil {
+					return nil, bad("bad weight %q: %v", args[2], err)
+				}
+			}
+			d.AddWeightedEdge(u, v, w)
+		case "del":
+			if len(args) != 2 {
+				return nil, bad("del needs 2 arguments, got %d", len(args))
+			}
+			u, err := id(args[0])
+			if err != nil {
+				return nil, err
+			}
+			v, err := id(args[1])
+			if err != nil {
+				return nil, err
+			}
+			d.RemoveEdge(u, v)
+		case "set":
+			if len(args) != 3 {
+				return nil, bad("set needs 3 arguments, got %d", len(args))
+			}
+			u, err := id(args[0])
+			if err != nil {
+				return nil, err
+			}
+			v, err := id(args[1])
+			if err != nil {
+				return nil, err
+			}
+			w, err := strconv.ParseFloat(args[2], 64)
+			if err != nil {
+				return nil, bad("bad weight %q: %v", args[2], err)
+			}
+			d.SetWeight(u, v, w)
+		case "addv":
+			if len(args) != 1 {
+				return nil, bad("addv needs 1 argument, got %d", len(args))
+			}
+			k, err := strconv.Atoi(args[0])
+			if err != nil || k <= 0 {
+				return nil, bad("addv needs a positive count, got %q", args[0])
+			}
+			d.AddVertices(k)
+		default:
+			return nil, bad("unknown verb %q (want add/del/set/addv)", verb)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: delta read: %w", err)
+	}
+	return d, nil
+}
+
+// ReadDeltaLogFile reads a mutation log from a file.
+func ReadDeltaLogFile(path string) (*Delta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("graph: delta: %w", err)
+	}
+	defer f.Close()
+	return ReadDeltaLog(f)
+}
+
+// WriteDeltaLog writes d in the parseable text format.
+func WriteDeltaLog(w io.Writer, d *Delta) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# delta: %d mutations\n", len(d.Muts)); err != nil {
+		return err
+	}
+	for i, m := range d.Muts {
+		var err error
+		switch m.Op {
+		case MutAddEdge:
+			if m.W == 1 {
+				_, err = fmt.Fprintf(bw, "add %d %d\n", m.U, m.V)
+			} else {
+				_, err = fmt.Fprintf(bw, "add %d %d %g\n", m.U, m.V, m.W)
+			}
+		case MutRemoveEdge:
+			_, err = fmt.Fprintf(bw, "del %d %d\n", m.U, m.V)
+		case MutSetWeight:
+			_, err = fmt.Fprintf(bw, "set %d %d %g\n", m.U, m.V, m.W)
+		case MutAddVertices:
+			_, err = fmt.Fprintf(bw, "addv %d\n", m.Count)
+		default:
+			err = fmt.Errorf("graph: delta entry %d: unknown op %d", i, m.Op)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

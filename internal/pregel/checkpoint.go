@@ -109,6 +109,11 @@ func (e *Engine[V, M]) capture(superstep int, done bool) error {
 		}
 		e.stats.CheckpointPath = path
 	}
+	// Record which superstep the snapshot just written captured: after an
+	// abort, CheckpointPath can name a snapshot many supersteps behind
+	// Stats.Supersteps (e.g. the last periodic one before a panic), and
+	// resume tooling must not assume the two agree.
+	e.stats.CheckpointSuperstep = superstep
 	return nil
 }
 

@@ -38,6 +38,12 @@ type Engine[V, M any] struct {
 	stopped     bool
 	superstep   int
 
+	// stepDeadline is the wall-clock bound of the current superstep's
+	// compute phase, written by the master before each compute broadcast
+	// when StepTimeout is armed (the broadcast orders it before worker
+	// reads); zero when StepTimeout is off.
+	stepDeadline time.Time
+
 	stats Stats
 	ran   bool
 
@@ -99,6 +105,10 @@ type worker[V, M any] struct {
 	// compute-phase panic can be attributed to ctx.id.
 	panicErr *RunError
 	inVertex bool
+
+	// timedOut is set by the cooperative StepTimeout check inside the
+	// vertex loop; the master reads it after the compute barrier.
+	timedOut bool
 
 	// Per-superstep partial stats.
 	sent       int
@@ -295,12 +305,16 @@ func (e *Engine[V, M]) RunContext(ctx context.Context, prog Program[V, M]) (*Sta
 	}
 	e.ran = true
 	start := time.Now()
+	e.stats.CheckpointSuperstep = -1
 
 	ckptOn := e.opts.Checkpoint.enabled()
-	if ckptOn || e.opts.Resume != nil {
+	if ckptOn || e.opts.Resume != nil || e.opts.WarmStart != nil {
 		if err := e.ensureCodecs(); err != nil {
 			return nil, err
 		}
+	}
+	if e.opts.Resume != nil && e.opts.WarmStart != nil {
+		return nil, errors.New("pregel: Resume and WarmStart are mutually exclusive")
 	}
 
 	// The effective run deadline is the earlier of Options.Deadline and
@@ -369,6 +383,14 @@ func (e *Engine[V, M]) RunContext(ctx context.Context, prog Program[V, M]) (*Sta
 		}
 		startStep = s.Superstep + 1
 	}
+	// A warm start seeds values from a converged snapshot and begins a new
+	// computation at superstep 1 with only the delta frontier active.
+	if ws := e.opts.WarmStart; ws != nil {
+		if err := e.warmRestore(ws); err != nil {
+			return nil, err
+		}
+		startStep = 1
+	}
 
 	cmds := make([]chan workerCmd, len(e.workers))
 	var wg sync.WaitGroup
@@ -397,8 +419,9 @@ func (e *Engine[V, M]) RunContext(ctx context.Context, prog Program[V, M]) (*Sta
 	defer broadcast(cmdStop)
 
 	// Superstep 0 runs Init on every vertex (a resumed run restored
-	// activateAll from the snapshot instead and starts past 0).
-	if e.opts.Resume == nil {
+	// activateAll from the snapshot instead and starts past 0; a warm
+	// start activates exactly its frontier).
+	if e.opts.Resume == nil && e.opts.WarmStart == nil {
 		e.activateAll = true
 	}
 	// pendingAbort defers an abort detected between the compute and
@@ -416,9 +439,19 @@ func (e *Engine[V, M]) RunContext(ctx context.Context, prog Program[V, M]) (*Sta
 			}
 			return abort(err)
 		}
+		if st := e.opts.StepTimeout; st > 0 {
+			e.stepDeadline = stepStart.Add(st)
+		}
 		broadcast(cmdCompute)
 		if re := e.workerPanic(); re != nil {
 			return abort(re)
+		}
+		if e.workerTimedOut() {
+			// The compute phase was cut short mid-loop: outboxes and the
+			// active set are torn, so no snapshot can be taken for this
+			// superstep — CheckpointPath keeps pointing at the last
+			// periodic one.
+			return abort(fmt.Errorf("%w (superstep %d ran > %v)", ErrStepTimeout, e.superstep, e.opts.StepTimeout))
 		}
 		e.mergeAggregators()
 		if err := e.checkAbort(ctx, deadline, stepStart); err != nil {
@@ -501,6 +534,18 @@ func (e *Engine[V, M]) checkAbort(ctx context.Context, deadline time.Time, stepS
 		return fmt.Errorf("%w (superstep %d ran > %v)", ErrStepTimeout, e.superstep, st)
 	}
 	return nil
+}
+
+// workerTimedOut reports whether any worker's cooperative StepTimeout
+// check fired during the compute phase that just completed. Safe to call
+// only after the barrier's WaitGroup wait.
+func (e *Engine[V, M]) workerTimedOut() bool {
+	for _, wk := range e.workers {
+		if wk.timedOut {
+			return true
+		}
+	}
+	return false
 }
 
 // workerPanic returns the first (lowest worker id) panic recovered during
@@ -624,7 +669,18 @@ func (w *worker[V, M]) compute(prog Program[V, M]) {
 		w.next = w.next[:0]
 	}
 	n := e.g.NumVertices()
+	// Cooperative StepTimeout: re-read the clock every 32 vertices run, so
+	// a worker whose vertices are individually slow stops shortly past the
+	// deadline instead of draining its whole range. The check is two
+	// compares plus a (rare) time.Now — nothing on this path allocates, so
+	// the zero-alloc steady state is untouched.
+	w.timedOut = false
+	deadline := e.stepDeadline
 	runVertex := func(u, slot int) {
+		if !deadline.IsZero() && w.ran&31 == 0 && time.Now().After(deadline) {
+			w.timedOut = true
+			return
+		}
 		w.ran++
 		ctx := &w.ctx
 		ctx.id = VertexID(u)
@@ -650,7 +706,7 @@ func (w *worker[V, M]) compute(prog Program[V, M]) {
 	}
 	switch {
 	case e.activateAll:
-		for slot := w.lo; slot < w.hi; slot++ {
+		for slot := w.lo; slot < w.hi && !w.timedOut; slot++ {
 			u := e.vertexAt(slot)
 			if u >= n || e.removed[u] {
 				continue
@@ -660,6 +716,9 @@ func (w *worker[V, M]) compute(prog Program[V, M]) {
 		}
 	case queue:
 		for _, v := range w.cur {
+			if w.timedOut {
+				break
+			}
 			u := int(v)
 			slot := e.slotOf(v)
 			if e.removed[u] || (!e.active[u] && !w.hasMsgs(slot)) {
@@ -668,7 +727,7 @@ func (w *worker[V, M]) compute(prog Program[V, M]) {
 			runVertex(u, slot)
 		}
 	default:
-		for slot := w.lo; slot < w.hi; slot++ {
+		for slot := w.lo; slot < w.hi && !w.timedOut; slot++ {
 			u := e.vertexAt(slot)
 			if u >= n || e.removed[u] {
 				continue
@@ -678,7 +737,7 @@ func (w *worker[V, M]) compute(prog Program[V, M]) {
 			}
 		}
 	}
-	if e.combiner != nil {
+	if e.combiner != nil && !w.timedOut {
 		w.combineOut()
 	}
 }

@@ -110,10 +110,14 @@ type Options struct {
 	// Partition selects the vertex-to-worker placement.
 	Partition Partition
 	// StepTimeout, when positive, bounds each superstep's wall-clock
-	// time. Like all run-lifecycle conditions it is checked at the
-	// superstep barriers (a hung Compute cannot be preempted mid-call);
-	// exceeding it aborts the run with an error wrapping ErrStepTimeout
-	// and partial Stats.
+	// time. It is checked at the superstep barriers and cooperatively
+	// inside each worker's vertex loop (every few dozen vertices), so a
+	// worker with many slow vertices stops shortly after the deadline
+	// instead of draining its whole range — though a single Compute call
+	// that never returns still cannot be preempted. Exceeding it aborts
+	// the run with an error wrapping ErrStepTimeout and partial Stats; a
+	// mid-compute abort leaves a torn superstep, so no fresh snapshot is
+	// taken for it.
 	StepTimeout time.Duration
 	// Deadline, when non-zero, aborts the run once the wall clock passes
 	// it, returning an error wrapping context.DeadlineExceeded and
@@ -132,6 +136,40 @@ type Options struct {
 	// snapshot's superstep + 1. Resuming a snapshot whose Done flag is set
 	// rehydrates the final vertex values and returns immediately.
 	Resume *Snapshot
+	// WarmStart, when non-nil, seeds a fresh computation from a converged
+	// snapshot instead of running superstep 0: vertex values come from
+	// the snapshot, only the listed vertices start active, and execution
+	// begins at superstep 1 with empty inboxes. Mutually exclusive with
+	// Resume. See WarmStartOptions.
+	WarmStart *WarmStartOptions
+}
+
+// WarmStartOptions seed a run from the terminal snapshot of a previous,
+// converged run — the delta-recomputation entry point: after an edge
+// delta, a warm start activates only the vertices incident to the change
+// and lets the computation repair outward from that frontier.
+//
+// Unlike Resume, a warm start begins a new computation: the snapshot's
+// scheduler flag, active set, and queue are ignored (so a ScanAll
+// snapshot can warm-start a WorkQueue run), and the engine's graph is
+// not fingerprint-checked against the snapshot — it is expected to
+// differ, since the point is to run on a mutated graph. The snapshot
+// must be terminal (Done) and quiescent (no in-flight messages): a
+// mid-run snapshot has senders whose recorded state already reflects
+// messages their receivers have not folded in, and seeding from such a
+// cut would double- or under-count contributions.
+type WarmStartOptions struct {
+	// Snapshot is the converged snapshot to seed values from.
+	Snapshot *Snapshot
+	// ExpectFingerprint, when non-zero, must equal the fingerprint
+	// recorded in the snapshot — callers pass the pre-mutation graph's
+	// fingerprint to prove the snapshot belongs to the graph the delta
+	// was computed against.
+	ExpectFingerprint uint64
+	// Activate lists the vertices to run in the first superstep; all
+	// others start halted and wake only on incoming messages. Removed
+	// vertices are skipped. An empty list converges immediately.
+	Activate []VertexID
 }
 
 // ErrStepTimeout is wrapped by the run error when a superstep exceeds
@@ -174,6 +212,12 @@ type Stats struct {
 	// names the last periodic snapshot but no fresh one is taken, because
 	// the panicking superstep left the barrier inconsistent.
 	CheckpointPath string
+	// CheckpointSuperstep is the superstep captured by the most recent
+	// snapshot this run wrote (to Dir or Sink), or -1 when none was. It
+	// can trail Supersteps: after a panic abort, CheckpointPath names the
+	// last periodic snapshot, which may be many supersteps behind the
+	// abort point — resume from this superstep, not from Supersteps.
+	CheckpointSuperstep int
 }
 
 // String summarizes the run statistics.

@@ -1,0 +1,100 @@
+package pregel
+
+import (
+	"fmt"
+)
+
+// warmRestore seeds the engine from a converged snapshot for a
+// delta-recomputation run. It is deliberately looser than restore in the
+// dimensions a mutated graph changes — the graph fingerprint is checked
+// against the caller's expectation (the pre-mutation graph), not the
+// engine's graph, and the snapshot's scheduler flag, active set, and
+// queue are ignored — and stricter in the dimension correctness needs:
+// the snapshot must be a quiescent terminal cut, because a mid-run cut
+// has in-flight messages whose senders' recorded state already accounts
+// for them, and replaying from such a cut desynchronizes senders from
+// receivers.
+func (e *Engine[V, M]) warmRestore(ws *WarmStartOptions) error {
+	s := ws.Snapshot
+	if s == nil {
+		return fmt.Errorf("pregel: warm start needs a snapshot")
+	}
+	n := e.g.NumVertices()
+	if s.Version != SnapshotVersion {
+		return fmt.Errorf("%w: got %d, want %d", ErrSnapshotVersion, s.Version, SnapshotVersion)
+	}
+	if ws.ExpectFingerprint != 0 && s.Fingerprint != ws.ExpectFingerprint {
+		return fmt.Errorf("%w: warm start expects a snapshot of graph %016x, snapshot was taken on %016x",
+			ErrSnapshotMismatch, ws.ExpectFingerprint, s.Fingerprint)
+	}
+	if !s.Done {
+		return fmt.Errorf("%w: warm start needs a terminal (Done) snapshot, got one at superstep %d",
+			ErrSnapshotMismatch, s.Superstep)
+	}
+	if s.NumVertices != n {
+		return fmt.Errorf("%w: graph has %d vertices, snapshot has %d",
+			ErrSnapshotMismatch, n, s.NumVertices)
+	}
+	if len(s.Aggs) != len(e.aggList) {
+		return fmt.Errorf("%w: run registers %d aggregators, snapshot has %d",
+			ErrSnapshotMismatch, len(e.aggList), len(s.Aggs))
+	}
+	if len(s.Active) != n || len(s.Removed) != n || len(s.InboxCounts) != n {
+		return fmt.Errorf("%w: bitset/inbox sizes do not match vertex count", ErrSnapshotCorrupt)
+	}
+	var inflight int64
+	for _, c := range s.InboxCounts {
+		inflight += int64(c)
+	}
+	if inflight != 0 {
+		return fmt.Errorf("%w: snapshot is not quiescent (%d in-flight messages); warm starts need a converged fixpoint",
+			ErrSnapshotMismatch, inflight)
+	}
+	b := s.Values
+	for i := 0; i < n; i++ {
+		v, rest, err := e.valCodec.DecodeValue(b)
+		if err != nil {
+			return fmt.Errorf("pregel: snapshot value %d: %w", i, err)
+		}
+		e.values[i] = v
+		b = rest
+	}
+	if len(b) != 0 {
+		return fmt.Errorf("%w: %d trailing value bytes", ErrSnapshotCorrupt, len(b))
+	}
+	copy(e.removed, s.Removed)
+	for i, a := range e.aggList {
+		a.value = s.Aggs[i]
+		if a.persistent {
+			a.pending = 0
+		} else {
+			a.pending = aggIdentity(a.op)
+		}
+	}
+	// Fresh scheduling state: everything halted except the frontier.
+	for i := range e.active {
+		e.active[i] = false
+	}
+	for _, wk := range e.workers {
+		wk.cur = wk.cur[:0]
+	}
+	for _, v := range ws.Activate {
+		if int(v) >= n {
+			return fmt.Errorf("pregel: warm start activates vertex %d, graph has %d vertices", v, n)
+		}
+		if e.removed[v] {
+			continue
+		}
+		if e.active[v] {
+			continue // duplicate in Activate
+		}
+		e.active[v] = true
+		if e.opts.Scheduler == WorkQueue {
+			wk := e.workers[e.ownerOf(v)]
+			wk.cur = append(wk.cur, v)
+		}
+	}
+	e.activateAll = false
+	e.stopped = false
+	return nil
+}

@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	dvbench -exp table1|table2|fig4|fig5|delta|ablations|pregel|all [-runs N]
+//	dvbench -exp table1|table2|fig4|fig5|delta|ablations|pregel|memory|all [-runs N]
 //	dvbench -exp pregel -json BENCH_pregel.json -label before|after
+//	dvbench -exp memory -scale 20,22 -json BENCH_memory.json
 //	dvbench -exp fig4 -cpuprofile cpu.out -memprofile mem.out
 //	dvbench -exp fig4 -timeout 30s
 //
@@ -26,6 +27,14 @@
 // before/after engine changes stay diffable in-repo. The -cpuprofile and
 // -memprofile flags write pprof profiles of the paper-table runs for
 // `go tool pprof`.
+//
+// The memory experiment loads R-MAT graphs (scales from the
+// comma-separated -scale list) from DVGRAF files in all three graph
+// representations — flat CSR, compact gap-varint CSR, mmap-backed — runs
+// ΔV PageRank and SSSP over each, and reports structural bytes per arc,
+// peak RSS over the load+run window, and ns per superstep, with
+// flat-vs-compact ratio lines. With -json the rows land in
+// BENCH_memory.json. Like pregel, it is excluded from "all".
 package main
 
 import (
@@ -36,14 +45,17 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"repro/internal/bench"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, fig4, fig5, delta, ablations, pregel, all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig4, fig5, delta, ablations, pregel, memory, all")
 	runs := flag.Int("runs", 3, "runs to average for timing experiments (paper: 3)")
-	jsonPath := flag.String("json", "", "merge pregel micro-benchmark results into this JSON snapshot file")
+	scale := flag.String("scale", "", "comma-separated R-MAT scales for -exp memory (default 20,22)")
+	jsonPath := flag.String("json", "", "write pregel or memory benchmark results to this JSON snapshot file")
 	label := flag.String("label", "after", "snapshot label for -json (conventionally before/after)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the experiment run to this file")
@@ -58,8 +70,14 @@ func main() {
 		defer cancel()
 	}
 
+	scales, err := parseScales(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dvbench:", err)
+		os.Exit(2)
+	}
+
 	if err := profiled(*cpuprofile, *memprofile, func() error {
-		return run(ctx, *exp, *runs, *jsonPath, *label)
+		return run(ctx, *exp, *runs, scales, *jsonPath, *label)
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "dvbench:", err)
 		os.Exit(1)
@@ -97,7 +115,23 @@ func profiled(cpuPath, memPath string, fn func() error) error {
 	return nil
 }
 
-func run(ctx context.Context, exp string, runs int, jsonPath, label string) error {
+// parseScales parses the -scale list; empty means the experiment default.
+func parseScales(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 || v > 30 {
+			return nil, fmt.Errorf("bad -scale entry %q (want an integer in 1..30)", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func run(ctx context.Context, exp string, runs int, scales []int, jsonPath, label string) error {
 	out := os.Stdout
 	want := func(name string) bool { return exp == "all" || exp == name }
 	any := false
@@ -232,6 +266,29 @@ func run(ctx context.Context, exp string, runs int, jsonPath, label string) erro
 			fmt.Fprintf(out, "snapshot %q written to %s\n", label, jsonPath)
 			if err := bench.RenderMicroDelta(out, jsonPath); err != nil {
 				return err
+			}
+		}
+	}
+	if exp == "memory" { // excluded from "all": generates multi-GB graphs
+		any = true
+		rows, err := bench.MemoryExperiment(ctx, scales, runs)
+		fmt.Fprintln(out, "== Memory: graph representation axis (R-MAT, dV PageRank/SSSP) ==")
+		if rerr := bench.RenderMemory(out, rows); rerr != nil {
+			return rerr
+		}
+		fmt.Fprintln(out)
+		if err != nil {
+			aborted(err)
+		} else {
+			if err := bench.RenderMemorySummary(out, bench.SummarizeMemory(rows)); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+			if jsonPath != "" {
+				if err := bench.WriteMemorySnapshot(jsonPath, rows); err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "memory snapshot written to %s\n", jsonPath)
 			}
 		}
 	}

@@ -28,7 +28,7 @@ func captureStdout(t *testing.T, fn func() error) string {
 }
 
 func TestRunTable1(t *testing.T) {
-	out := captureStdout(t, func() error { return run(context.Background(), "table1", 1, "", "") })
+	out := captureStdout(t, func() error { return run(context.Background(), "table1", 1, nil, "", "") })
 	for _, want := range []string{"Table 1", "wikipedia-s", "facebook-s", "136.54M"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("table1 output missing %q:\n%s", want, out)
@@ -37,14 +37,14 @@ func TestRunTable1(t *testing.T) {
 }
 
 func TestRunTable2(t *testing.T) {
-	out := captureStdout(t, func() error { return run(context.Background(), "table2", 1, "", "") })
+	out := captureStdout(t, func() error { return run(context.Background(), "table2", 1, nil, "", "") })
 	if !strings.Contains(out, "48B") || !strings.Contains(out, "pagerank") {
 		t.Fatalf("table2 output:\n%s", out)
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run(context.Background(), "bogus", 1, "", ""); err == nil {
+	if err := run(context.Background(), "bogus", 1, nil, "", ""); err == nil {
 		t.Fatal("unknown experiment should error")
 	}
 }
@@ -98,7 +98,7 @@ func captureStdoutErr(t *testing.T, fn func() error) (string, error) {
 func TestRunAbortKeepsCompletedExperiments(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel() // "between experiments": before any timed measurement starts
-	out, err := captureStdoutErr(t, func() error { return run(ctx, "all", 1, "", "") })
+	out, err := captureStdoutErr(t, func() error { return run(ctx, "all", 1, nil, "", "") })
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}

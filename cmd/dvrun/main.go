@@ -4,7 +4,9 @@
 // Usage:
 //
 //	dvrun [-mode dv|dvstar|memotable] (-program name | -file prog.dv)
-//	      (-dataset name | -edges file.el [-directed] | -gen spec [-seed n])
+//	      (-dataset name | -edges file [-directed] | -gen spec [-seed n])
+//	      [-graph-format auto|el|dvg] [-repr flat|compact|mmap]
+//	      [-save-graph out.dvg]
 //	      [-param k=v]... [-workers N] [-queue] [-hash] [-combine] [-epsilon e]
 //	      [-show field] [-top N] [-trace] [-timeout d]
 //	      [-checkpoint-dir dir [-checkpoint-every N]] [-resume snapshot]
@@ -13,6 +15,16 @@
 // Exactly one graph source (-dataset, -edges or -gen) must be given;
 // conflicting sources are an error. Generator specs: rmat:scale:edgefactor,
 // ba:n:k, er:n:m, grid:rows:cols, ws:n:k:beta (Watts–Strogatz small world).
+//
+// -edges accepts a text edge list or a binary DVGRAF graph file;
+// -graph-format pins the interpretation (auto sniffs the DVGRAF magic, so
+// .dvg files just work). -repr picks the in-memory representation: flat
+// CSR, compact (gap-varint adjacency, ~4x smaller on power-law graphs), or
+// mmap (page the compact sections straight from a DVGRAF file; requires
+// one). After loading, dvrun prints a "graph: n=… arcs=… repr=… bytes=…"
+// line so the resident adjacency footprint is visible in every run.
+// -save-graph writes the loaded graph as DVGRAF and may be used without a
+// program to convert an edge list or generator output into a .dvg file.
 //
 // A -timeout bounds the whole run; SIGINT (Ctrl-C) cancels it. In both
 // cases the run aborts at its next superstep barrier, dvrun prints the
@@ -42,6 +54,8 @@
 //	dvrun -program pagerank -dataset wikipedia-s
 //	dvrun -program sssp -gen grid:50:50 -param src=0 -show dist -top 5
 //	dvrun -program pagerank -gen rmat:20:16 -timeout 10s -trace
+//	dvrun -gen rmat:22:16 -save-graph rmat22.dvg
+//	dvrun -program pagerank -edges rmat22.dvg -repr mmap
 //	dvrun -program sssp -gen grid:50:50 -param src=0 -checkpoint-dir ck
 //	dvrun -program sssp -gen grid:50:50 -param src=0 \
 //	      -mutations edits.dvdelta -warm-start ck/snap-000102.dvsnap
@@ -88,6 +102,8 @@ func (p paramFlags) Set(s string) error {
 type flagVals struct {
 	mode, progName, file string
 	dataset, edges, gen  string
+	graphFormat, repr    string
+	saveGraph            string
 	directed             bool
 	seed                 int64
 	workers              int
@@ -114,6 +130,9 @@ func registerFlags(fs *flag.FlagSet) *flagVals {
 	fs.StringVar(&v.edges, "edges", "", "edge-list file")
 	fs.BoolVar(&v.directed, "directed", true, "treat -edges input as directed")
 	fs.StringVar(&v.gen, "gen", "", "generator spec (rmat:scale:ef, ba:n:k, er:n:m, grid:r:c, ws:n:k:beta)")
+	fs.StringVar(&v.graphFormat, "graph-format", "auto", "-edges file format: auto (sniff), el (text edge list), dvg (DVGRAF binary)")
+	fs.StringVar(&v.repr, "repr", "flat", "in-memory graph representation: flat, compact, mmap (mmap needs a DVGRAF -edges file)")
+	fs.StringVar(&v.saveGraph, "save-graph", "", "write the loaded graph to this DVGRAF (.dvg) file")
 	fs.Int64Var(&v.seed, "seed", 1, "generator seed")
 	fs.IntVar(&v.workers, "workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	fs.BoolVar(&v.queue, "queue", false, "use the work-queue (halt-by-default) scheduler")
@@ -137,6 +156,7 @@ func (v *flagVals) config() runConfig {
 	return runConfig{
 		mode: v.mode, progName: v.progName, file: v.file,
 		dataset: v.dataset, edges: v.edges, directed: v.directed, gen: v.gen, seed: v.seed,
+		graphFormat: v.graphFormat, repr: v.repr, saveGraph: v.saveGraph,
 		workers: v.workers, queue: v.queue, hash: v.hash, combine: v.combine,
 		epsilon: v.epsilon, show: v.show, top: v.top, trace: v.trace,
 		timeout: v.timeout, ckptDir: v.ckptDir, ckptEvery: v.ckptEvery,
@@ -160,6 +180,8 @@ func main() {
 type runConfig struct {
 	mode, progName, file string
 	dataset, edges, gen  string
+	graphFormat, repr    string
+	saveGraph            string
 	directed             bool
 	seed                 int64
 	workers              int
@@ -177,7 +199,7 @@ type runConfig struct {
 	params               paramFlags
 }
 
-func loadGraph(dataset, edges string, directed bool, gen string, seed int64) (*graph.Graph, error) {
+func loadGraph(dataset, edges string, directed bool, gen string, seed int64, format, repr string) (*graph.Graph, error) {
 	var sources []string
 	if dataset != "" {
 		sources = append(sources, "-dataset")
@@ -196,23 +218,80 @@ func loadGraph(dataset, edges string, directed bool, gen string, seed int64) (*g
 	default:
 		return nil, fmt.Errorf("conflicting graph sources: %s — pick exactly one", strings.Join(sources, " and "))
 	}
+	var g *graph.Graph
 	switch {
 	case dataset != "":
 		d, err := graph.DatasetByName(dataset)
 		if err != nil {
 			return nil, err
 		}
-		return d.Build(), nil
+		g = d.Build()
 	case edges != "":
+		dvg, err := isDVGRAF(format, edges)
+		if err != nil {
+			return nil, err
+		}
+		if dvg {
+			// The DVGRAF loader builds the requested representation
+			// directly — flat never exists as an intermediate for compact
+			// loads, and mmap never touches the heap.
+			mode, err := loadModeOf(repr)
+			if err != nil {
+				return nil, err
+			}
+			return graph.ReadGraphFile(edges, mode)
+		}
 		f, err := os.Open(edges)
 		if err != nil {
 			return nil, err
 		}
 		defer f.Close()
-		return graph.ReadEdgeList(f, directed)
+		g, err = graph.ReadEdgeList(f, directed)
+		if err != nil {
+			return nil, err
+		}
 	default:
-		return generate(gen, directed, seed)
+		var err error
+		g, err = generate(gen, directed, seed)
+		if err != nil {
+			return nil, err
+		}
 	}
+	switch repr {
+	case "", "flat":
+		return g, nil
+	case "compact":
+		return graph.Compact(g), nil
+	case "mmap":
+		return nil, fmt.Errorf("-repr mmap needs a DVGRAF -edges file (make one with -save-graph)")
+	}
+	return nil, fmt.Errorf("unknown representation %q (want flat, compact or mmap)", repr)
+}
+
+// isDVGRAF decides whether the -edges file holds a binary DVGRAF graph,
+// honouring an explicit -graph-format and sniffing the magic for auto.
+func isDVGRAF(format, path string) (bool, error) {
+	switch format {
+	case "", "auto":
+		return graph.IsGraphFile(path), nil
+	case "el":
+		return false, nil
+	case "dvg":
+		return true, nil
+	}
+	return false, fmt.Errorf("unknown -graph-format %q (want auto, el or dvg)", format)
+}
+
+func loadModeOf(repr string) (graph.LoadMode, error) {
+	switch repr {
+	case "", "flat":
+		return graph.LoadFlat, nil
+	case "compact":
+		return graph.LoadCompact, nil
+	case "mmap":
+		return graph.LoadMmap, nil
+	}
+	return 0, fmt.Errorf("unknown representation %q (want flat, compact or mmap)", repr)
 }
 
 func generate(spec string, directed bool, seed int64) (*graph.Graph, error) {
@@ -269,6 +348,9 @@ func run(ctx context.Context, cfg runConfig) error {
 			return err
 		}
 		src = string(b)
+	case cfg.saveGraph != "":
+		// Conversion-only invocation: load the graph, save it as DVGRAF,
+		// run nothing.
 	default:
 		return fmt.Errorf("need -program or -file")
 	}
@@ -292,9 +374,23 @@ func run(ctx context.Context, cfg runConfig) error {
 		return fmt.Errorf("-warm-start and -resume are mutually exclusive")
 	}
 
-	g, err := loadGraph(cfg.dataset, cfg.edges, cfg.directed, cfg.gen, cfg.seed)
+	g, err := loadGraph(cfg.dataset, cfg.edges, cfg.directed, cfg.gen, cfg.seed, cfg.graphFormat, cfg.repr)
 	if err != nil {
 		return err
+	}
+	defer g.Close()
+	// The memory line of record: resident adjacency bytes in the chosen
+	// representation, printed before anything else can inflate them.
+	fmt.Printf("graph: n=%d arcs=%d repr=%s bytes=%d\n",
+		g.NumVertices(), g.NumArcs(), g.Repr(), g.ArcBytes())
+	if cfg.saveGraph != "" {
+		if err := graph.WriteGraphFile(cfg.saveGraph, g); err != nil {
+			return err
+		}
+		fmt.Printf("saved: %s\n", cfg.saveGraph)
+		if src == "" {
+			return nil
+		}
 	}
 	var applied *graph.AppliedDelta
 	if cfg.mutations != "" {

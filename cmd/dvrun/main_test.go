@@ -165,7 +165,7 @@ func TestLoadGraphConflictingSources(t *testing.T) {
 		{"wikipedia-s", "g.el", "grid:3:3", []string{"-dataset", "-edges", "-gen"}},
 	}
 	for _, c := range cases {
-		_, err := loadGraph(c.dataset, c.edges, true, c.gen, 1)
+		_, err := loadGraph(c.dataset, c.edges, true, c.gen, 1, "auto", "flat")
 		if err == nil {
 			t.Fatalf("loadGraph(%q, %q, %q) succeeded, want conflict error", c.dataset, c.edges, c.gen)
 		}
@@ -176,10 +176,10 @@ func TestLoadGraphConflictingSources(t *testing.T) {
 		}
 	}
 	// A single source must still work (and none must still say so).
-	if _, err := loadGraph("", "", true, "grid:3:3", 1); err != nil {
+	if _, err := loadGraph("", "", true, "grid:3:3", 1, "auto", "flat"); err != nil {
 		t.Fatalf("single -gen source: %v", err)
 	}
-	if _, err := loadGraph("", "", true, "", 1); err == nil || !strings.Contains(err.Error(), "need one of") {
+	if _, err := loadGraph("", "", true, "", 1, "auto", "flat"); err == nil || !strings.Contains(err.Error(), "need one of") {
 		t.Fatalf("no source error = %v", err)
 	}
 }

@@ -87,12 +87,11 @@ func (p *PageRank) Compute(ctx *pregel.Context[PRState, float64], msgs []float64
 }
 
 func (p *PageRank) sendRank(ctx *pregel.Context[PRState, float64]) {
-	out := ctx.OutNeighbors()
-	if len(out) == 0 {
+	d := ctx.OutDegree()
+	if d == 0 {
 		return
 	}
-	msg := ctx.Value().PR / float64(len(out))
-	ctx.BroadcastOut(msg)
+	ctx.BroadcastOut(ctx.Value().PR / float64(d))
 }
 
 // RunPageRank executes PageRank and returns the engine plus run stats.
@@ -152,15 +151,10 @@ func (s *SSSP) Compute(ctx *pregel.Context[SSSPState, float64], msgs []float64) 
 }
 
 func (s *SSSP) relax(ctx *pregel.Context[SSSPState, float64]) {
-	adj := ctx.OutNeighbors()
-	ws := ctx.OutWeights()
 	d := ctx.Value().Dist
-	for i, v := range adj {
-		w := 1.0
-		if ws != nil {
-			w = ws[i]
-		}
-		ctx.Send(v, d+w)
+	it := ctx.OutArcs()
+	for it.Next() {
+		ctx.Send(it.To(), d+it.Weight())
 	}
 }
 
@@ -275,11 +269,13 @@ func (h *HITS) Compute(ctx *pregel.Context[HITSState, HITSMsg], msgs []HITSMsg) 
 
 func (h *HITS) send(ctx *pregel.Context[HITSState, HITSMsg]) {
 	v := ctx.Value()
-	for _, u := range ctx.OutNeighbors() {
-		ctx.Send(u, HITSMsg{ToAuth: true, Val: v.Hub})
+	out := ctx.OutArcs()
+	for out.Next() {
+		ctx.Send(out.To(), HITSMsg{ToAuth: true, Val: v.Hub})
 	}
-	for _, u := range ctx.InNeighbors() {
-		ctx.Send(u, HITSMsg{ToAuth: false, Val: v.Auth})
+	in := ctx.InArcs()
+	for in.Next() {
+		ctx.Send(in.To(), HITSMsg{ToAuth: false, Val: v.Auth})
 	}
 }
 
@@ -332,8 +328,9 @@ func PageRankOracle(g *graph.Graph, iterations int) []float64 {
 		next := make([]float64, n)
 		for u := 0; u < n; u++ {
 			sum := 0.0
-			for _, v := range g.InNeighbors(graph.VertexID(u)) {
-				sum += contrib[v]
+			it := g.InArcs(graph.VertexID(u))
+			for it.Next() {
+				sum += contrib[it.To()]
 			}
 			next[u] = 0.15 + 0.85*(sum/float64(n))
 		}
@@ -362,15 +359,10 @@ func SSSPOracle(g *graph.Graph, source graph.VertexID) []float64 {
 			break
 		}
 		done[u] = true
-		adj := g.OutNeighbors(graph.VertexID(u))
-		ws := g.OutWeights(graph.VertexID(u))
-		for i, v := range adj {
-			w := 1.0
-			if ws != nil {
-				w = ws[i]
-			}
-			if d := dist[u] + w; d < dist[v] {
-				dist[v] = d
+		it := g.OutArcs(graph.VertexID(u))
+		for it.Next() {
+			if d := dist[u] + it.Weight(); d < dist[it.To()] {
+				dist[it.To()] = d
 			}
 		}
 	}
@@ -389,11 +381,13 @@ func HITSOracle(g *graph.Graph, iterations int) (hub, auth []float64) {
 		nh := make([]float64, n)
 		na := make([]float64, n)
 		for u := 0; u < n; u++ {
-			for _, v := range g.InNeighbors(graph.VertexID(u)) {
-				na[u] += hub[v]
+			in := g.InArcs(graph.VertexID(u))
+			for in.Next() {
+				na[u] += hub[in.To()]
 			}
-			for _, v := range g.OutNeighbors(graph.VertexID(u)) {
-				nh[u] += auth[v]
+			out := g.OutArcs(graph.VertexID(u))
+			for out.Next() {
+				nh[u] += auth[out.To()]
 			}
 		}
 		hub, auth = nh, na

@@ -1,0 +1,156 @@
+package algorithms
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/pregel"
+)
+
+// Compact-CSR equivalence: every reference algorithm must produce
+// bit-identical vertex state on a gap-varint compacted graph and on the
+// flat graph it was built from, under every scheduler × combiner
+// configuration. The engine is deterministic per configuration, so any
+// divergence pins a decoding bug rather than float re-association.
+
+var equivConfigs = []struct {
+	name  string
+	sched pregel.Scheduler
+	comb  bool
+}{
+	{"scan-all", pregel.ScanAll, false},
+	{"scan-all/combine", pregel.ScanAll, true},
+	{"work-queue", pregel.WorkQueue, false},
+	{"work-queue/combine", pregel.WorkQueue, true},
+}
+
+// equivGraphPair returns the same weighted directed graph in both
+// representations, reverse adjacency built on each (the compact one stays
+// deferred until an algorithm actually pulls on it).
+func equivGraphPair() (flat, compact *graph.Graph) {
+	flat = graph.WithRandomWeights(graph.RMAT(9, 6, 0.57, 0.19, 0.19, true, 21), 1, 10, 5)
+	compact = graph.Compact(flat)
+	flat.BuildReverse()
+	compact.BuildReverse()
+	return flat, compact
+}
+
+func bitsEqual(t *testing.T, cfg, field string, u int, got, want float64) {
+	t.Helper()
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("%s: %s[%d] = %g (%x), want %g (%x)",
+			cfg, field, u, got, math.Float64bits(got), want, math.Float64bits(want))
+	}
+}
+
+func TestCompactEquivPageRank(t *testing.T) {
+	flat, compact := equivGraphPair()
+	for _, cfg := range equivConfigs {
+		opts := RunOptions{Workers: 4, Scheduler: cfg.sched, Combine: cfg.comb}
+		ef, _, err := RunPageRank(flat, 20, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ec, _, err := RunPageRank(compact, 20, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < flat.NumVertices(); u++ {
+			bitsEqual(t, cfg.name, "pr", u, ec.Value(graph.VertexID(u)).PR, ef.Value(graph.VertexID(u)).PR)
+		}
+	}
+}
+
+func TestCompactEquivSSSP(t *testing.T) {
+	flat, compact := equivGraphPair()
+	for _, cfg := range equivConfigs {
+		opts := RunOptions{Workers: 4, Scheduler: cfg.sched, Combine: cfg.comb}
+		ef, _, err := RunSSSP(flat, 0, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ec, _, err := RunSSSP(compact, 0, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < flat.NumVertices(); u++ {
+			bitsEqual(t, cfg.name, "dist", u, ec.Value(graph.VertexID(u)).Dist, ef.Value(graph.VertexID(u)).Dist)
+		}
+	}
+}
+
+func TestCompactEquivCC(t *testing.T) {
+	// CC broadcasts both directions on directed graphs; use an undirected
+	// graph too so the aliased-reverse compact path is also covered.
+	for _, directed := range []bool{true, false} {
+		flat := graph.RMAT(9, 5, 0.57, 0.19, 0.19, directed, 33)
+		compact := graph.Compact(flat)
+		flat.BuildReverse()
+		compact.BuildReverse()
+		for _, cfg := range equivConfigs {
+			opts := RunOptions{Workers: 4, Scheduler: cfg.sched, Combine: cfg.comb}
+			ef, _, err := RunCC(flat, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ec, _, err := RunCC(compact, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for u := 0; u < flat.NumVertices(); u++ {
+				if got, want := ec.Value(graph.VertexID(u)).Comp, ef.Value(graph.VertexID(u)).Comp; got != want {
+					t.Fatalf("directed=%v %s: cid[%d] = %d, want %d", directed, cfg.name, u, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCompactEquivHITS(t *testing.T) {
+	flat, compact := equivGraphPair()
+	for _, cfg := range equivConfigs {
+		opts := RunOptions{Workers: 4, Scheduler: cfg.sched, Combine: cfg.comb}
+		ef, _, err := RunHITS(flat, 12, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ec, _, err := RunHITS(compact, 12, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < flat.NumVertices(); u++ {
+			bitsEqual(t, cfg.name, "hub", u, ec.Value(graph.VertexID(u)).Hub, ef.Value(graph.VertexID(u)).Hub)
+			bitsEqual(t, cfg.name, "auth", u, ec.Value(graph.VertexID(u)).Auth, ef.Value(graph.VertexID(u)).Auth)
+		}
+	}
+}
+
+// TestCompactEquivMmap closes the loop for the third representation: a
+// DVGRAF file mapped from disk must run PageRank bit-identically to the
+// flat in-memory graph it serialized.
+func TestCompactEquivMmap(t *testing.T) {
+	flat, _ := equivGraphPair()
+	path := t.TempDir() + "/g.dvg"
+	if err := graph.WriteGraphFile(path, flat); err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := graph.ReadGraphFile(path, graph.LoadMmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+	mapped.BuildReverse()
+	opts := RunOptions{Workers: 4, Combine: true}
+	ef, _, err := RunPageRank(flat, 20, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, _, err := RunPageRank(mapped, 20, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < flat.NumVertices(); u++ {
+		bitsEqual(t, mapped.Repr(), "pr", u, em.Value(graph.VertexID(u)).PR, ef.Value(graph.VertexID(u)).PR)
+	}
+}

@@ -1,0 +1,368 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/deltav/vm"
+	"repro/internal/graph"
+)
+
+// Memory experiment: the iPregel-style axis. Each configuration loads an
+// R-MAT graph from a DVGRAF file in one of the three representations
+// (flat CSR, compact gap-varint CSR, mmap-backed compact), makes it
+// reverse-capable as every serving path does, and runs a ΔV program over
+// it, measuring structural bytes per arc, peak resident set over the
+// load+run window, and throughput. The interesting contrast: a flat
+// directed graph pays ~8 bytes per arc across outAdj/inAdj the moment
+// the reverse is built, while the compact representation gap-varint
+// encodes the out-direction (~2 bytes/arc on R-MAT) and defers the
+// reverse until something actually iterates it — which the
+// incrementalized pull-form programs never do, because the compiler
+// turns their #in aggregations into pushes along out-edges.
+
+// MemoryScales are the default R-MAT scales (log2 |V|) of the experiment.
+var MemoryScales = []int{20, 22}
+
+// MemoryEdgeFactor is arcs per vertex, the Graph500 convention.
+const MemoryEdgeFactor = 16
+
+// MemoryReprs is the representation axis, in rendering order.
+var MemoryReprs = []string{"flat", "compact", "mmap"}
+
+// MemoryPrograms is the program axis.
+var MemoryPrograms = []string{"pagerank", "sssp"}
+
+// memPageRankSrc is the stock ΔV PageRank bounded to 6 iterations so a
+// scale-22 measurement stays in seconds; the memory footprint is
+// iteration-independent.
+const memPageRankSrc = `
+init {
+  local vl : float = 1.0 / graphSize;
+  local pr : float = if |#out| > 0 then vl / |#out| else 0.0
+};
+iter i {
+  let sum : float = + [ u.pr | u <- #in ] in
+  vl = 0.15 + 0.85 * (sum / graphSize);
+  pr = if |#out| > 0 then vl / |#out| else 0.0
+} until {
+  i >= 6
+}
+`
+
+// memSSSPSrc is stock ΔV SSSP; R-MAT arcs are unweighted, so ew is 1 and
+// distances are hop counts.
+const memSSSPSrc = `
+param src : int = 0;
+init {
+  local dist : float = if id == src then 0.0 else infty
+};
+iter k {
+  let d : float = min [ u.dist + ew | u <- #in ] in
+  dist = min dist d
+} until {
+  fixpoint
+}
+`
+
+// MemRow is one (scale, program, representation) measurement.
+type MemRow struct {
+	Scale    int    `json:"scale"`
+	Program  string `json:"program"`
+	Repr     string `json:"repr"`
+	Vertices int    `json:"vertices"`
+	Arcs     int    `json:"arcs"`
+	// GraphBytes is Graph.ArcBytes after the run: adjacency + offsets in
+	// the process address space, including any reverse CSR the run forced
+	// into existence. For mmap rows these bytes are file-backed.
+	GraphBytes  int64   `json:"graph_bytes"`
+	BytesPerArc float64 `json:"bytes_per_arc"`
+	// PeakRSS is the peak VmRSS over the load+run window minus the
+	// settled floor before loading; -1 where /proc is unavailable.
+	PeakRSS      int64   `json:"peak_rss_bytes"`
+	RSSPerArc    float64 `json:"rss_per_arc"`
+	HeapInuse    uint64  `json:"heap_inuse_bytes"`
+	LoadSeconds  float64 `json:"load_seconds"`
+	Seconds      float64 `json:"run_seconds"`
+	Steps        int     `json:"supersteps"`
+	NsPerStep    float64 `json:"ns_per_superstep"`
+	Runs         int     `json:"runs"`
+	ReprReported string  `json:"repr_reported"`
+	AbortReason  string  `json:"abort_reason,omitempty"`
+}
+
+func memLoadMode(repr string) (graph.LoadMode, error) {
+	switch repr {
+	case "flat":
+		return graph.LoadFlat, nil
+	case "compact":
+		return graph.LoadCompact, nil
+	case "mmap":
+		return graph.LoadMmap, nil
+	}
+	return 0, fmt.Errorf("bench: unknown graph representation %q", repr)
+}
+
+func memProgram(name string) (string, error) {
+	switch name {
+	case "pagerank":
+		return memPageRankSrc, nil
+	case "sssp":
+		return memSSSPSrc, nil
+	}
+	return "", fmt.Errorf("bench: unknown memory-experiment program %q", name)
+}
+
+// MemoryExperiment measures every (scale, program, repr) cell. Graphs are
+// generated once per scale, written as DVGRAF into a temp dir, and every
+// cell re-loads from that file so the measurement window covers the load
+// path it is naming. On abort the completed rows are returned with the
+// error, matching the other experiments.
+func MemoryExperiment(ctx context.Context, scales []int, runs int) ([]MemRow, error) {
+	if len(scales) == 0 {
+		scales = MemoryScales
+	}
+	if runs <= 0 {
+		runs = 1
+	}
+	dir, err := os.MkdirTemp("", "dvbench-mem")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	var rows []MemRow
+	var abortErr error
+	for _, scale := range scales {
+		path := filepath.Join(dir, fmt.Sprintf("rmat-s%d.dvg", scale))
+		if ctx.Err() == nil { // don't generate multi-GB graphs after an abort
+			if err := writeRMATGraph(path, scale); err != nil {
+				return rows, err
+			}
+		}
+		for _, prog := range MemoryPrograms {
+			for _, repr := range MemoryReprs {
+				if err := ctx.Err(); err != nil {
+					if abortErr == nil {
+						abortErr = err
+					}
+					rows = append(rows, MemRow{Scale: scale, Program: prog, Repr: repr, AbortReason: err.Error()})
+					continue
+				}
+				row, err := measureMemCell(ctx, path, scale, prog, repr, runs)
+				rows = append(rows, row)
+				if err != nil {
+					return rows, err
+				}
+			}
+		}
+	}
+	return rows, abortErr
+}
+
+// writeRMATGraph generates the scale's R-MAT graph and serializes it,
+// letting the builder's transient memory die before any measurement.
+func writeRMATGraph(path string, scale int) error {
+	g := graph.RMAT(scale, MemoryEdgeFactor, 0.57, 0.19, 0.19, true, 7)
+	if err := graph.WriteGraphFile(path, g); err != nil {
+		return err
+	}
+	SettleHeap()
+	return nil
+}
+
+func measureMemCell(ctx context.Context, path string, scale int, prog, repr string, runs int) (MemRow, error) {
+	row := MemRow{Scale: scale, Program: prog, Repr: repr, Runs: runs}
+	mode, err := memLoadMode(repr)
+	if err != nil {
+		return row, err
+	}
+	src, err := memProgram(prog)
+	if err != nil {
+		return row, err
+	}
+	compiled, err := core.Compile(src, core.Options{Mode: core.Incremental})
+	if err != nil {
+		return row, err
+	}
+
+	base := SettleHeap()
+	sampler := StartRSSSampler(5 * time.Millisecond)
+
+	loadStart := time.Now()
+	g, err := graph.ReadGraphFile(path, mode)
+	if err != nil {
+		sampler.Stop()
+		return row, err
+	}
+	// Directed graphs are served reverse-capable, like every other loading
+	// path in the repo (the Table-1 datasets build their in-CSR up front so
+	// any program can run). Flat pays the full in-adjacency here; compact
+	// merely arms its deferred reverse, which PageRank/SSSP never
+	// materialize because the incrementalized runtime pushes along
+	// out-edges only.
+	g.BuildReverse()
+	row.LoadSeconds = time.Since(loadStart).Seconds()
+	row.Vertices, row.Arcs = g.NumVertices(), g.NumArcs()
+
+	opts := vm.RunOptions{Combine: true, Workers: BenchWorkers}
+	if prog == "sssp" {
+		opts.Params = map[string]float64{"src": float64(sourceVertex(g))}
+	}
+	var total time.Duration
+	for i := 0; i < runs; i++ {
+		res, err := vm.RunContext(ctx, compiled, g, opts)
+		if err != nil {
+			row.AbortReason = err.Error()
+			sampler.Stop()
+			g.Close()
+			return row, fmt.Errorf("bench: memory %s/s%d/%s: %w", prog, scale, repr, err)
+		}
+		total += res.Stats.Duration
+		row.Steps = res.Stats.Supersteps
+	}
+	peak := sampler.Stop()
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	row.HeapInuse = ms.HeapInuse
+	row.GraphBytes = g.ArcBytes()
+	row.ReprReported = g.Repr()
+	if row.Arcs > 0 {
+		row.BytesPerArc = float64(row.GraphBytes) / float64(row.Arcs)
+	}
+	if peak >= 0 && base >= 0 {
+		row.PeakRSS = peak - base
+		if row.Arcs > 0 {
+			row.RSSPerArc = float64(row.PeakRSS) / float64(row.Arcs)
+		}
+	} else {
+		row.PeakRSS = -1
+	}
+	row.Seconds = total.Seconds() / float64(runs)
+	if row.Steps > 0 {
+		row.NsPerStep = float64(total.Nanoseconds()) / float64(runs) / float64(row.Steps)
+	}
+	err = g.Close()
+	SettleHeap()
+	return row, err
+}
+
+// RenderMemory writes the memory rows as text.
+func RenderMemory(w io.Writer, rows []MemRow) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Scale\tProgram\tRepr\tArcs\tGraph MB\tB/arc\tPeak RSS MB\tRSS B/arc\tLoad (s)\tRun (s)\tns/step")
+	for _, r := range rows {
+		if r.AbortReason != "" {
+			fmt.Fprintf(tw, "%d\t%s\t%s\tABORTED: %s\n", r.Scale, r.Program, r.Repr, r.AbortReason)
+			continue
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%d\t%.1f\t%.2f\t%.1f\t%.2f\t%.3f\t%.3f\t%.0f\n",
+			r.Scale, r.Program, r.Repr, r.Arcs,
+			float64(r.GraphBytes)/(1<<20), r.BytesPerArc,
+			float64(r.PeakRSS)/(1<<20), r.RSSPerArc,
+			r.LoadSeconds, r.Seconds, r.NsPerStep)
+	}
+	return tw.Flush()
+}
+
+// MemSummary holds the headline compact-vs-flat ratios for one
+// (scale, program) pair: how many fewer structural bytes per arc the
+// compact representation keeps resident, and its throughput cost.
+type MemSummary struct {
+	Scale        int     `json:"scale"`
+	Program      string  `json:"program"`
+	BytesRatio   float64 `json:"flat_over_compact_bytes_per_arc"`
+	RSSRatio     float64 `json:"flat_over_compact_peak_rss"`
+	SlowdownComp float64 `json:"compact_over_flat_ns_per_step"`
+	SlowdownMmap float64 `json:"mmap_over_flat_ns_per_step"`
+}
+
+// SummarizeMemory derives the ratio rows from measured cells.
+func SummarizeMemory(rows []MemRow) []MemSummary {
+	type key struct {
+		s int
+		p string
+	}
+	byKey := map[key]map[string]MemRow{}
+	var order []key
+	for _, r := range rows {
+		if r.AbortReason != "" {
+			continue
+		}
+		k := key{r.Scale, r.Program}
+		if byKey[k] == nil {
+			byKey[k] = map[string]MemRow{}
+			order = append(order, k)
+		}
+		byKey[k][r.Repr] = r
+	}
+	var out []MemSummary
+	for _, k := range order {
+		cells := byKey[k]
+		flat, okF := cells["flat"]
+		comp, okC := cells["compact"]
+		if !okF || !okC {
+			continue
+		}
+		s := MemSummary{Scale: k.s, Program: k.p}
+		if comp.BytesPerArc > 0 {
+			s.BytesRatio = flat.BytesPerArc / comp.BytesPerArc
+		}
+		if comp.PeakRSS > 0 && flat.PeakRSS > 0 {
+			s.RSSRatio = float64(flat.PeakRSS) / float64(comp.PeakRSS)
+		}
+		if flat.NsPerStep > 0 {
+			s.SlowdownComp = comp.NsPerStep / flat.NsPerStep
+			if m, ok := cells["mmap"]; ok {
+				s.SlowdownMmap = m.NsPerStep / flat.NsPerStep
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// RenderMemorySummary writes the ratio summary as text.
+func RenderMemorySummary(w io.Writer, sums []MemSummary) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Scale\tProgram\tB/arc flat÷compact\tPeak RSS flat÷compact\tns/step compact÷flat\tns/step mmap÷flat")
+	for _, s := range sums {
+		fmt.Fprintf(tw, "%d\t%s\t%.2fx\t%.2fx\t%.2fx\t%.2fx\n",
+			s.Scale, s.Program, s.BytesRatio, s.RSSRatio, s.SlowdownComp, s.SlowdownMmap)
+	}
+	return tw.Flush()
+}
+
+// MemFile is the on-disk BENCH_memory.json format.
+type MemFile struct {
+	Benchmark  string       `json:"benchmark"`
+	GoVersion  string       `json:"go_version"`
+	EdgeFactor int          `json:"edge_factor"`
+	Rows       []MemRow     `json:"rows"`
+	Summary    []MemSummary `json:"summary"`
+}
+
+// WriteMemorySnapshot writes the memory-experiment artifact.
+func WriteMemorySnapshot(path string, rows []MemRow) error {
+	file := MemFile{
+		Benchmark:  "graph storage: flat vs compact vs mmap (R-MAT, dV PageRank/SSSP)",
+		GoVersion:  runtime.Version(),
+		EdgeFactor: MemoryEdgeFactor,
+		Rows:       rows,
+		Summary:    SummarizeMemory(rows),
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

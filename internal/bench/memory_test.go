@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseVmRSS(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want int64
+	}{
+		{"typical", "Name:\tdvbench\nVmPeak:\t  200 kB\nVmRSS:\t  1234 kB\nVmData:\t 99 kB\n", 1234 << 10},
+		{"missing", "Name:\tdvbench\nVmPeak:\t 200 kB\n", -1},
+		{"bad unit", "VmRSS:\t 1234 MB\n", -1},
+		{"bad number", "VmRSS:\t xyz kB\n", -1},
+		{"truncated", "VmRSS:", -1},
+	}
+	for _, c := range cases {
+		if got := parseVmRSS([]byte(c.in)); got != c.want {
+			t.Errorf("%s: parseVmRSS = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestRSSSampler(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("VmRSS needs /proc")
+	}
+	if r := ReadVmRSS(); r <= 0 {
+		t.Fatalf("ReadVmRSS = %d on linux", r)
+	}
+	s := StartRSSSampler(time.Millisecond)
+	// Force some resident growth so the peak has something to catch.
+	ballast := make([]byte, 32<<20)
+	for i := range ballast {
+		ballast[i] = byte(i)
+	}
+	time.Sleep(10 * time.Millisecond)
+	peak := s.Stop()
+	runtime.KeepAlive(ballast)
+	if peak <= 0 {
+		t.Fatalf("sampler peak = %d", peak)
+	}
+	if settled := SettleHeap(); settled <= 0 {
+		t.Fatalf("SettleHeap = %d", settled)
+	}
+}
+
+func TestMemLoadModeAndProgramErrors(t *testing.T) {
+	if _, err := memLoadMode("bogus"); err == nil {
+		t.Fatal("memLoadMode(bogus) should fail")
+	}
+	if _, err := memProgram("bogus"); err == nil {
+		t.Fatal("memProgram(bogus) should fail")
+	}
+	for _, repr := range MemoryReprs {
+		if _, err := memLoadMode(repr); err != nil {
+			t.Fatalf("memLoadMode(%s): %v", repr, err)
+		}
+	}
+	for _, prog := range MemoryPrograms {
+		if _, err := memProgram(prog); err != nil {
+			t.Fatalf("memProgram(%s): %v", prog, err)
+		}
+	}
+}
+
+func TestSummarizeMemoryRatios(t *testing.T) {
+	rows := []MemRow{
+		{Scale: 10, Program: "pagerank", Repr: "flat", BytesPerArc: 8, PeakRSS: 400, NsPerStep: 100},
+		{Scale: 10, Program: "pagerank", Repr: "compact", BytesPerArc: 2, PeakRSS: 100, NsPerStep: 120},
+		{Scale: 10, Program: "pagerank", Repr: "mmap", BytesPerArc: 2, PeakRSS: 80, NsPerStep: 150},
+		// sssp has no compact cell -> no summary row.
+		{Scale: 10, Program: "sssp", Repr: "flat", BytesPerArc: 8, PeakRSS: 400, NsPerStep: 100},
+		// Aborted rows must not poison the ratios.
+		{Scale: 12, Program: "pagerank", Repr: "flat", AbortReason: "context canceled"},
+	}
+	sums := SummarizeMemory(rows)
+	if len(sums) != 1 {
+		t.Fatalf("summaries = %d, want 1: %+v", len(sums), sums)
+	}
+	s := sums[0]
+	if s.Scale != 10 || s.Program != "pagerank" {
+		t.Fatalf("summary key = %d/%s", s.Scale, s.Program)
+	}
+	for _, c := range []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"bytes ratio", s.BytesRatio, 4.0},
+		{"rss ratio", s.RSSRatio, 4.0},
+		{"compact slowdown", s.SlowdownComp, 1.2},
+		{"mmap slowdown", s.SlowdownMmap, 1.5},
+	} {
+		if math.Abs(c.got-c.want) > 1e-9 {
+			t.Errorf("%s = %g, want %g", c.name, c.got, c.want)
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderMemorySummary(&buf, sums); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "4.00x") {
+		t.Fatalf("summary render:\n%s", buf.String())
+	}
+}
+
+// TestMemoryExperimentSmoke runs the full axis at a toy scale: every
+// (program, repr) cell must measure the same graph, report its declared
+// representation, and show the compact encoding strictly smaller per arc
+// than flat.
+func TestMemoryExperimentSmoke(t *testing.T) {
+	rows, err := MemoryExperiment(context.Background(), []int{8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(MemoryPrograms) * len(MemoryReprs); len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	byRepr := map[string]MemRow{}
+	for _, r := range rows {
+		if r.AbortReason != "" {
+			t.Fatalf("aborted cell: %+v", r)
+		}
+		wantRepr := r.Repr
+		if r.Repr == "mmap" {
+			wantRepr = "compact+mmap" // mmap rows page the compact encoding from disk
+		}
+		if r.ReprReported != wantRepr {
+			t.Fatalf("%s/%s: graph reports repr %q, want %q", r.Program, r.Repr, r.ReprReported, wantRepr)
+		}
+		if r.Arcs != rows[0].Arcs || r.Vertices != rows[0].Vertices {
+			t.Fatalf("cells measured different graphs: %+v vs %+v", r, rows[0])
+		}
+		if r.Steps <= 0 || r.NsPerStep <= 0 || r.GraphBytes <= 0 {
+			t.Fatalf("cell missing measurements: %+v", r)
+		}
+		if r.Program == "pagerank" {
+			byRepr[r.Repr] = r
+		}
+	}
+	if byRepr["flat"].BytesPerArc <= byRepr["compact"].BytesPerArc {
+		t.Fatalf("compact not smaller: flat %.2f vs compact %.2f B/arc",
+			byRepr["flat"].BytesPerArc, byRepr["compact"].BytesPerArc)
+	}
+	var buf bytes.Buffer
+	if err := RenderMemory(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "compact") || !strings.Contains(buf.String(), "mmap") {
+		t.Fatalf("memory render:\n%s", buf.String())
+	}
+
+	path := t.TempDir() + "/BENCH_memory.json"
+	if err := WriteMemorySnapshot(path, rows); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file MemFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatal(err)
+	}
+	if file.EdgeFactor != MemoryEdgeFactor || len(file.Rows) != len(rows) || len(file.Summary) != 2 {
+		t.Fatalf("snapshot file = %+v", file)
+	}
+}
+
+// TestMemoryExperimentAbort: a cancelled context marks every cell and
+// surfaces the abort error like the other experiments do.
+func TestMemoryExperimentAbort(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rows, err := MemoryExperiment(ctx, []int{8}, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if want := len(MemoryPrograms) * len(MemoryReprs); len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if r.AbortReason == "" {
+			t.Fatalf("cell not marked aborted: %+v", r)
+		}
+	}
+	if sums := SummarizeMemory(rows); len(sums) != 0 {
+		t.Fatalf("aborted rows produced summaries: %+v", sums)
+	}
+	var buf bytes.Buffer
+	if err := RenderMemory(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ABORTED") {
+		t.Fatalf("render of aborted rows:\n%s", buf.String())
+	}
+}

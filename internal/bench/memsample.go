@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"time"
+)
+
+// Peak-RSS measurement for the memory experiment. Go's heap statistics
+// miss what the memory axis is about — mmap'd pages, allocator slack,
+// fragmentation — so the sampler reads the kernel's VmRSS from
+// /proc/self/status. VmHWM would be cheaper but is a process-lifetime
+// high-water mark, useless for comparing configurations measured back to
+// back in one process.
+
+// ReadVmRSS returns the process's current resident set in bytes, or -1
+// where /proc/self/status is unavailable (non-Linux).
+func ReadVmRSS() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return -1
+	}
+	return parseVmRSS(data)
+}
+
+// parseVmRSS extracts the "VmRSS: N kB" line from a /proc/self/status
+// image, returning bytes or -1.
+func parseVmRSS(data []byte) int64 {
+	i := bytes.Index(data, []byte("VmRSS:"))
+	if i < 0 {
+		return -1
+	}
+	f := bytes.Fields(data[i+len("VmRSS:"):])
+	if len(f) < 2 || string(f[1]) != "kB" {
+		return -1
+	}
+	kb, err := strconv.ParseInt(string(f[0]), 10, 64)
+	if err != nil {
+		return -1
+	}
+	return kb << 10
+}
+
+// RSSSampler polls VmRSS on a fixed interval and tracks the maximum seen.
+type RSSSampler struct {
+	stop chan struct{}
+	done chan struct{}
+	peak int64
+}
+
+// StartRSSSampler begins sampling every interval (capped below at 1ms).
+// The first sample is taken synchronously so even an instantly-stopped
+// sampler reports the current footprint.
+func StartRSSSampler(interval time.Duration) *RSSSampler {
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	s := &RSSSampler{stop: make(chan struct{}), done: make(chan struct{}), peak: ReadVmRSS()}
+	go func() {
+		defer close(s.done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-tick.C:
+				if r := ReadVmRSS(); r > s.peak {
+					s.peak = r
+				}
+			}
+		}
+	}()
+	return s
+}
+
+// Stop halts sampling and returns the peak RSS observed (including one
+// final synchronous sample), in bytes; -1 where RSS is unreadable.
+func (s *RSSSampler) Stop() int64 {
+	close(s.stop)
+	<-s.done
+	if r := ReadVmRSS(); r > s.peak {
+		s.peak = r
+	}
+	return s.peak
+}
+
+// SettleHeap runs the collector and returns freed pages to the OS so the
+// next measurement window starts from a reproducible floor. Returns the
+// settled VmRSS.
+func SettleHeap() int64 {
+	runtime.GC()
+	debug.FreeOSMemory()
+	return ReadVmRSS()
+}

@@ -1,0 +1,202 @@
+package vm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/pregel"
+	"repro/internal/programs"
+)
+
+// Compact-CSR equivalence for the ΔV runtime: every corpus program in
+// every compilation mode must leave bit-identical user fields on a
+// gap-varint compacted graph and on the flat graph it came from. The
+// runtime schedules and sends identically per configuration, so this
+// pins decoding bugs, not float slop.
+
+// equivParams supplies the parameter bindings a corpus program declares.
+func equivParams(name string) map[string]float64 {
+	switch name {
+	case "sssp", "bfs", "reach":
+		return map[string]float64{"src": 5}
+	}
+	return nil
+}
+
+// compareUserFields asserts that two results agree bitwise on every user
+// field of prog's layout. tol > 0 relaxes to a relative tolerance, for
+// the one runtime mode whose float association is not reproducible.
+func compareUserFields(t *testing.T, label string, prog *core.Program, want, got *Result, tol float64) {
+	t.Helper()
+	for _, f := range prog.Layout.Fields[:prog.Layout.UserFields] {
+		wv, err := want.FieldVector(f.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gv, err := got.FieldVector(f.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := range wv {
+			if tol > 0 {
+				if !almostEqual(gv[u], wv[u], tol) {
+					t.Fatalf("%s: %s[%d] = %g, want %g", label, f.Name, u, gv[u], wv[u])
+				}
+			} else if math.Float64bits(gv[u]) != math.Float64bits(wv[u]) {
+				t.Fatalf("%s: %s[%d] = %g (%x), want %g (%x)",
+					label, f.Name, u, gv[u], math.Float64bits(gv[u]), wv[u], math.Float64bits(wv[u]))
+			}
+		}
+	}
+}
+
+func TestCompactEquivCorpus(t *testing.T) {
+	flat := directedTestGraph()
+	compact := graph.Compact(flat)
+	compact.BuildReverse() // deferred: materializes only if a program pulls #in
+	if compact.Fingerprint() != flat.Fingerprint() {
+		t.Fatal("fingerprint is not representation-independent")
+	}
+	// #neighbors programs demand an undirected graph.
+	undirFlat := graph.RMAT(8, 4, 0.57, 0.19, 0.19, false, 42)
+	undirCompact := graph.Compact(undirFlat)
+	needsUndirected := map[string]bool{"cc": true, "maxval": true}
+	for _, name := range programs.Names() {
+		for _, mode := range allModes {
+			t.Run(name+"/"+mode.String(), func(t *testing.T) {
+				f, c := flat, compact
+				if needsUndirected[name] {
+					f, c = undirFlat, undirCompact
+				}
+				// One worker keeps the send/apply schedule reproducible.
+				// The memo-table mode additionally folds its table in map
+				// iteration order, so its float products are not bitwise
+				// reproducible even against itself — compare those runs to
+				// a tight relative tolerance instead.
+				opts := RunOptions{Workers: 1, Params: equivParams(name)}
+				tol := 0.0
+				if mode == core.MemoTable {
+					tol = 1e-12
+				}
+				prog := compileT(t, name, mode)
+				want, err := Run(prog, f, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := Run(compileT(t, name, mode), c, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				compareUserFields(t, name, prog, want, got, tol)
+				// The same nondeterministic sums feed exact-equality dirty
+				// checks, so memo-table message counts wobble between runs;
+				// only the reproducible modes must match work exactly.
+				if tol == 0 && (want.Stats.Supersteps != got.Stats.Supersteps ||
+					want.Stats.MessagesSent != got.Stats.MessagesSent) {
+					t.Fatalf("work diverged: %d steps/%d msgs vs %d/%d",
+						got.Stats.Supersteps, got.Stats.MessagesSent,
+						want.Stats.Supersteps, want.Stats.MessagesSent)
+				}
+			})
+		}
+	}
+}
+
+// TestCompactEquivWarmDelta replays the delta-recomputation pipeline
+// entirely on compacted graphs: seed run, snapshot, ApplyDelta (which must
+// preserve the representation), RunDelta repair — and checks the repaired
+// state bitwise against a from-scratch run on the flat mutated graph.
+func TestCompactEquivWarmDelta(t *testing.T) {
+	g0 := weightedChain(80)
+	c0 := graph.Compact(g0)
+	prog := func() *core.Program {
+		p, err := core.Compile(programs.MustSource("sssp"), core.Options{Mode: core.Incremental})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	opts := RunOptions{Workers: 4, Params: map[string]float64{"src": 0}, Combine: true}
+	snap, _ := terminalVMSnapshot(t, prog(), c0, opts)
+
+	d := &graph.Delta{}
+	d.AddWeightedEdge(0, 60, 1.5)
+	d.SetWeight(30, 31, 1)
+	c1, ad, err := graph.ApplyDelta(c0, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c1.IsCompact() {
+		t.Fatalf("ApplyDelta changed representation: %s", c1.Repr())
+	}
+	repaired, err := RunDelta(prog(), c1, DeltaRunOptions{RunOptions: opts, Snapshot: snap, Changes: ad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, _, err := graph.ApplyDelta(g0, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch, err := Run(prog(), g1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareUserFields(t, "warm-delta", prog(), scratch, repaired, 0)
+	if repaired.Stats.Supersteps >= scratch.Stats.Supersteps {
+		t.Fatalf("repair on compact graph not cheaper: %d vs %d supersteps",
+			repaired.Stats.Supersteps, scratch.Stats.Supersteps)
+	}
+}
+
+// TestCompactEquivCrossReprWarmStart takes the terminal snapshot from a
+// run on the FLAT graph and repairs with it on the COMPACT mutated graph
+// (and vice versa). Both directions only work if Fingerprint is
+// representation-independent — the snapshot/delta handshake compares the
+// snapshot's graph fingerprint against the delta's OldFingerprint.
+func TestCompactEquivCrossReprWarmStart(t *testing.T) {
+	g0 := weightedChain(60)
+	c0 := graph.Compact(g0)
+	opts := RunOptions{Workers: 4, Params: map[string]float64{"src": 0}}
+	mk := func() *core.Program {
+		p, err := core.Compile(programs.MustSource("sssp"), core.Options{Mode: core.Incremental})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	d := &graph.Delta{}
+	d.AddWeightedEdge(0, 40, 1)
+
+	flatSnap, _ := terminalVMSnapshot(t, mk(), g0, opts)
+	compactSnap, _ := terminalVMSnapshot(t, mk(), c0, opts)
+	if flatSnap.Fingerprint != compactSnap.Fingerprint {
+		t.Fatal("snapshots of the two representations disagree on the graph fingerprint")
+	}
+
+	for _, dir := range []struct {
+		name string
+		snap *pregel.Snapshot
+		base *graph.Graph
+	}{
+		{"flat-snap/compact-graph", flatSnap, c0},
+		{"compact-snap/flat-graph", compactSnap, g0},
+	} {
+		t.Run(dir.name, func(t *testing.T) {
+			g1, ad, err := graph.ApplyDelta(dir.base, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			repaired, err := RunDelta(mk(), g1, DeltaRunOptions{RunOptions: opts, Snapshot: dir.snap, Changes: ad})
+			if err != nil {
+				t.Fatal(err)
+			}
+			scratch, err := Run(mk(), g1, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareUserFields(t, dir.name, mk(), scratch, repaired, 0)
+		})
+	}
+}

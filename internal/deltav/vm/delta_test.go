@@ -201,8 +201,8 @@ func TestDeltaRecomputeSSSP(t *testing.T) {
 		t.Run(mode.String(), func(t *testing.T) {
 			g0 := weightedChain(80)
 			d := &graph.Delta{}
-			d.AddWeightedEdge(0, 60, 1.5) // shortcut: tightens 60..79
-			d.SetWeight(30, 31, 1)        // tightened existing arc
+			d.AddWeightedEdge(0, 60, 1.5)  // shortcut: tightens 60..79
+			d.SetWeight(30, 31, 1)         // tightened existing arc
 			d.AddWeightedEdge(70, 10, 100) // loose arc: injected but never wins
 			tc := &deltaCase{
 				prog: "sssp", mode: mode, fields: []string{"dist"},

@@ -249,19 +249,15 @@ func (ev *evaluator) degree(g ast.GraphDir) int {
 // yielding each destination and edge weight.
 func (ev *evaluator) forPushEdges(dir ast.GraphDir, fn func(dest graph.VertexID, w float64)) {
 	g := ev.m.g
-	var adj []graph.VertexID
-	var ws []float64
+	var it graph.ArcIter
 	switch dir {
 	case ast.DirIn:
-		adj, ws = g.InNeighbors(ev.u), g.InWeights(ev.u)
+		it = g.InArcs(ev.u)
 	default: // DirOut and DirNeighbors
-		adj, ws = g.OutNeighbors(ev.u), g.OutWeights(ev.u)
+		it = g.OutArcs(ev.u)
 	}
-	for i, v := range adj {
-		w := 1.0
-		if ws != nil {
-			w = ws[i]
-		}
+	for it.Next() {
+		v, w := it.To(), it.Weight()
 		fn(v, w)
 	}
 }

@@ -172,7 +172,7 @@ type pendingAdd struct {
 // deltaState carries the sequential interpretation of a mutation log.
 type deltaState struct {
 	g        *Graph
-	n        int // current vertex count (grows with MutAddVertices)
+	n        int                 // current vertex count (grows with MutAddVertices)
 	removed  map[pairKey]bool    // all original arcs of the pair dropped
 	override map[pairKey]float64 // surviving original arcs reweighted
 	adds     []pendingAdd
@@ -238,11 +238,15 @@ func (st *deltaState) doSet(u, v VertexID, w float64) {
 // hashes the new structure instead of inheriting g's stale digest.
 //
 // If g had its reverse adjacency built, the result's is built too, so a
-// mutated graph can drop into any pipeline the original ran in.
+// mutated graph can drop into any pipeline the original ran in. The
+// representation is preserved: mutating a compact graph yields a compact
+// graph (the merge itself runs over a transient flat decode, and a
+// deferred reverse adjacency stays deferred).
 func ApplyDelta(g *Graph, d *Delta) (*Graph, *AppliedDelta, error) {
 	oldFP := g.Fingerprint() // before any structural change
+	flat := Flatten(g)       // no-op for flat graphs
 	st := &deltaState{
-		g:        g,
+		g:        flat,
 		n:        g.n,
 		removed:  make(map[pairKey]bool),
 		override: make(map[pairKey]float64),
@@ -290,7 +294,14 @@ func ApplyDelta(g *Graph, d *Delta) (*Graph, *AppliedDelta, error) {
 			}
 		}
 	}
-	return rebuild(g, st, oldFP)
+	ng, ad, err := rebuild(flat, st, oldFP)
+	if err == nil && g.IsCompact() {
+		ng = Compact(ng)
+		if g.HasReverse() && ng.directed && !ng.HasReverse() {
+			ng.BuildReverse() // re-arm the deferred reverse adjacency
+		}
+	}
+	return ng, ad, err
 }
 
 // rebuild merges the surviving original arcs with the live additions into

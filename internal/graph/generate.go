@@ -254,13 +254,14 @@ func WattsStrogatz(n, k int, beta float64, seed int64) *Graph {
 func WithRandomWeights(g *Graph, lo, hi float64, seed int64) *Graph {
 	rng := rand.New(rand.NewSource(seed))
 	bld := NewBuilder(g.n, g.directed)
+	bld.SetCompact(g.IsCompact())
 	for u := 0; u < g.n; u++ {
-		for _, v := range g.OutNeighbors(VertexID(u)) {
+		g.ForEachOutNeighbor(VertexID(u), func(v VertexID) {
 			if !g.directed && v < VertexID(u) {
-				continue // the mirrored arc is added by the builder
+				return // the mirrored arc is added by the builder
 			}
 			bld.AddWeightedEdge(VertexID(u), v, lo+rng.Float64()*(hi-lo))
-		}
+		})
 	}
 	return bld.Finalize()
 }

@@ -1,0 +1,413 @@
+package graph
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"unsafe"
+)
+
+// DVGRAF is the binary on-disk graph format. It stores exactly the
+// compact representation — arc offsets, gap-varint adjacency stream,
+// per-vertex byte offsets, optional weights — so a graph can be mapped
+// straight from the file without ever holding the edge list on the heap
+// twice. Layout (all integers little-endian):
+//
+//	magic   [6]byte  "DVGRAF"
+//	version u16      GraphFormatVersion
+//	flags   u64      bit 0 directed, bit 1 weighted
+//	n       u64      vertex count
+//	arcs    u64      stored adjacency entries (== outOff[n])
+//	cOutLen u64      gap-varint stream length in bytes
+//	outOff  (n+1)×i64   arc offsets
+//	cOutIdx (n+1)×u32   per-vertex byte offsets into the stream
+//	pad     0..7 zero bytes to an 8-byte boundary
+//	cOut    cOutLen bytes of gap-varint adjacency
+//	pad     0..7 zero bytes to an 8-byte boundary
+//	weights arcs×f64 (present iff the weighted flag is set)
+//	crc     u32      IEEE CRC-32 of every preceding byte
+//
+// Sections start on 8-byte boundaries so an mmap'd file can be aliased
+// directly as []int64/[]float64 slices on little-endian hosts. Only the
+// out-direction is stored; the reverse adjacency is derivable and
+// (re)built lazily after loading.
+
+// GraphFormatVersion is the current DVGRAF version. Decoding rejects any
+// other version.
+const GraphFormatVersion = 1
+
+// grafMagic prefixes every DVGRAF file.
+var grafMagic = [6]byte{'D', 'V', 'G', 'R', 'A', 'F'}
+
+// ErrGraphCorrupt is wrapped by every DVGRAF decoding error caused by
+// malformed input (truncation, bad magic, checksum mismatch, impossible
+// section lengths, invalid adjacency streams).
+var ErrGraphCorrupt = errors.New("graph: corrupt DVGRAF data")
+
+// ErrGraphVersion is wrapped when the input is a DVGRAF file of an
+// unsupported format version.
+var ErrGraphVersion = errors.New("graph: unsupported DVGRAF version")
+
+const (
+	grafHeaderLen = 40 // magic + version + flags + n + arcs + cOutLen
+	grafFlagDir   = 1 << 0
+	grafFlagWtd   = 1 << 1
+)
+
+// LoadMode selects the in-memory representation a DVGRAF graph is
+// decoded into.
+type LoadMode int
+
+const (
+	// LoadFlat decodes into the flat CSR: fastest iteration, largest
+	// footprint. The varint stream is decoded directly into the
+	// adjacency array — no intermediate edge list.
+	LoadFlat LoadMode = iota
+	// LoadCompact keeps the gap-varint form on the heap: ~2 bytes/arc
+	// for the adjacency instead of 4, decoded on the fly by ArcIter.
+	LoadCompact
+	// LoadMmap maps the file and aliases the compact representation
+	// straight into the mapping: load allocates almost nothing, and
+	// cold adjacency pages stay on disk until iterated. Falls back to
+	// LoadCompact when mapping is unavailable (non-unix, misaligned,
+	// or big-endian hosts). Only valid with ReadGraphFile.
+	LoadMmap
+)
+
+func (m LoadMode) String() string {
+	switch m {
+	case LoadFlat:
+		return "flat"
+	case LoadCompact:
+		return "compact"
+	case LoadMmap:
+		return "mmap"
+	}
+	return fmt.Sprintf("LoadMode(%d)", int(m))
+}
+
+// hostLittleEndian reports whether the host stores integers
+// little-endian, the precondition for aliasing file sections in place.
+var hostLittleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+func pad8(x uint64) uint64 { return (8 - x%8) % 8 }
+
+// EncodeGraph serializes g into the DVGRAF format. Both representations
+// encode identically: a flat graph is gap-encoded on the fly.
+func EncodeGraph(g *Graph) []byte {
+	cOut, cOutIdx := g.cOut, g.cOutIdx
+	if cOutIdx == nil {
+		cOut, cOutIdx = encodeAdj(g.outOff, g.outAdj)
+	}
+	n := uint64(g.n)
+	arcs := uint64(g.NumArcs())
+	cOutLen := uint64(len(cOut))
+	size := uint64(grafHeaderLen) + 8*(n+1) + 4*(n+1)
+	size += pad8(size)
+	size += cOutLen
+	size += pad8(size)
+	if g.weighted {
+		size += 8 * arcs
+	}
+	size += 4 // crc
+	buf := make([]byte, 0, size)
+
+	buf = append(buf, grafMagic[:]...)
+	buf = binary.LittleEndian.AppendUint16(buf, GraphFormatVersion)
+	var flags uint64
+	if g.directed {
+		flags |= grafFlagDir
+	}
+	if g.weighted {
+		flags |= grafFlagWtd
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, flags)
+	buf = binary.LittleEndian.AppendUint64(buf, n)
+	buf = binary.LittleEndian.AppendUint64(buf, arcs)
+	buf = binary.LittleEndian.AppendUint64(buf, cOutLen)
+	for _, o := range g.outOff {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(o))
+	}
+	for _, o := range cOutIdx {
+		buf = binary.LittleEndian.AppendUint32(buf, o)
+	}
+	for i := pad8(uint64(len(buf))); i > 0; i-- {
+		buf = append(buf, 0)
+	}
+	buf = append(buf, cOut...)
+	for i := pad8(uint64(len(buf))); i > 0; i-- {
+		buf = append(buf, 0)
+	}
+	if g.weighted {
+		for _, w := range g.outW {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(w))
+		}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return buf
+}
+
+// grafSections locates and fully validates every section of a DVGRAF
+// image: exact length, checksum, monotonic offset arrays, and a
+// complete walk of the varint stream (bounded gaps, in-range
+// neighbours, per-vertex byte ranges consumed exactly). After it
+// returns nil the adjacency stream is safe for the unchecked ArcIter
+// decoder.
+type grafSections struct {
+	directed, weighted bool
+	n                  int
+	arcs               uint64
+	outOff             []byte // raw LE section bytes
+	cOutIdx            []byte
+	cOut               []byte
+	weights            []byte // nil when unweighted
+}
+
+func parseGraf(b []byte) (*grafSections, error) {
+	bad := func(format string, a ...any) error {
+		return fmt.Errorf("%w: %s", ErrGraphCorrupt, fmt.Sprintf(format, a...))
+	}
+	if len(b) < 8 {
+		return nil, bad("truncated header (%d bytes)", len(b))
+	}
+	for i := range grafMagic {
+		if b[i] != grafMagic[i] {
+			return nil, bad("bad magic")
+		}
+	}
+	if v := binary.LittleEndian.Uint16(b[6:]); v != GraphFormatVersion {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrGraphVersion, v, GraphFormatVersion)
+	}
+	if len(b) < grafHeaderLen+4 {
+		return nil, bad("truncated header (%d bytes)", len(b))
+	}
+	flags := binary.LittleEndian.Uint64(b[8:])
+	if flags&^uint64(grafFlagDir|grafFlagWtd) != 0 {
+		return nil, bad("unknown flags %#x", flags)
+	}
+	n := binary.LittleEndian.Uint64(b[16:])
+	arcs := binary.LittleEndian.Uint64(b[24:])
+	cOutLen := binary.LittleEndian.Uint64(b[32:])
+	if n > math.MaxUint32 {
+		return nil, bad("vertex count %d exceeds the 32-bit ID space", n)
+	}
+	if arcs > cOutLen {
+		// Every arc takes at least one stream byte.
+		return nil, bad("%d arcs cannot fit in a %d-byte stream", arcs, cOutLen)
+	}
+	if cOutLen > uint64(len(b)) {
+		return nil, bad("stream length %d exceeds input", cOutLen)
+	}
+	weighted := flags&grafFlagWtd != 0
+	size := uint64(grafHeaderLen) + 8*(n+1) + 4*(n+1)
+	if size < uint64(grafHeaderLen) || size > uint64(len(b)) {
+		return nil, bad("offset sections for %d vertices exceed input", n)
+	}
+	offStart := uint64(grafHeaderLen)
+	idxStart := offStart + 8*(n+1)
+	size += pad8(size)
+	streamStart := size
+	size += cOutLen
+	size += pad8(size)
+	weightStart := size
+	if weighted {
+		size += 8 * arcs
+	}
+	size += 4
+	if size != uint64(len(b)) {
+		return nil, bad("size mismatch: have %d bytes, layout needs %d", len(b), size)
+	}
+	sum := crc32.ChecksumIEEE(b[:len(b)-4])
+	if got := binary.LittleEndian.Uint32(b[len(b)-4:]); got != sum {
+		return nil, bad("checksum mismatch: %08x != %08x", got, sum)
+	}
+
+	s := &grafSections{
+		directed: flags&grafFlagDir != 0,
+		weighted: weighted,
+		n:        int(n),
+		arcs:     arcs,
+		outOff:   b[offStart:idxStart],
+		cOutIdx:  b[idxStart : idxStart+4*(n+1)],
+		cOut:     b[streamStart : streamStart+cOutLen],
+	}
+	if weighted {
+		s.weights = b[weightStart : weightStart+8*arcs]
+	}
+
+	// Structural validation: the CRC guards against accidental damage,
+	// this guards against adversarial images with a valid checksum.
+	prevOff := uint64(0)
+	for u := uint64(0); u <= n; u++ {
+		o := binary.LittleEndian.Uint64(s.outOff[8*u:])
+		if o < prevOff || (u == 0 && o != 0) {
+			return nil, bad("arc offsets not monotone at vertex %d", u)
+		}
+		prevOff = o
+	}
+	if prevOff != arcs {
+		return nil, bad("arc offsets end at %d, header says %d arcs", prevOff, arcs)
+	}
+	prevIdx := uint64(0)
+	for u := uint64(0); u <= n; u++ {
+		o := uint64(binary.LittleEndian.Uint32(s.cOutIdx[4*u:]))
+		if o < prevIdx || (u == 0 && o != 0) {
+			return nil, bad("stream offsets not monotone at vertex %d", u)
+		}
+		prevIdx = o
+	}
+	if prevIdx != cOutLen {
+		return nil, bad("stream offsets end at %d, header says %d bytes", prevIdx, cOutLen)
+	}
+	p := uint64(0)
+	for u := uint64(0); u < n; u++ {
+		deg := binary.LittleEndian.Uint64(s.outOff[8*(u+1):]) - binary.LittleEndian.Uint64(s.outOff[8*u:])
+		end := uint64(binary.LittleEndian.Uint32(s.cOutIdx[4*(u+1):]))
+		prev := uint64(0)
+		for k := uint64(0); k < deg; k++ {
+			var x uint64
+			var shift uint
+			for {
+				if p >= end {
+					return nil, bad("vertex %d: adjacency stream truncated", u)
+				}
+				c := s.cOut[p]
+				p++
+				x |= uint64(c&0x7f) << shift
+				if c < 0x80 {
+					break
+				}
+				shift += 7
+				if shift > 32 {
+					return nil, bad("vertex %d: oversized varint", u)
+				}
+			}
+			prev += x
+			if prev >= n {
+				return nil, bad("vertex %d: neighbour %d out of range", u, prev)
+			}
+		}
+		if p != end {
+			return nil, bad("vertex %d: %d trailing stream bytes", u, end-p)
+		}
+	}
+	return s, nil
+}
+
+// DecodeGraph decodes a DVGRAF image into a graph with the requested
+// representation (LoadFlat or LoadCompact; LoadMmap needs a file — use
+// ReadGraphFile). The input is fully validated and never aliased, and
+// decoding never panics on malformed input: it returns an error
+// wrapping ErrGraphCorrupt or ErrGraphVersion.
+func DecodeGraph(b []byte, mode LoadMode) (*Graph, error) {
+	if mode == LoadMmap {
+		return nil, fmt.Errorf("graph: DecodeGraph: LoadMmap requires a file; use ReadGraphFile")
+	}
+	s, err := parseGraf(b)
+	if err != nil {
+		return nil, err
+	}
+	return s.build(mode, false)
+}
+
+// build assembles the Graph. With alias=true (mmap, or a private file
+// buffer) the compact sections reference the parsed bytes directly when
+// the host allows it; otherwise they are copied out.
+func (s *grafSections) build(mode LoadMode, alias bool) (*Graph, error) {
+	g := &Graph{n: s.n, directed: s.directed, weighted: s.weighted}
+	canAlias := alias && hostLittleEndian &&
+		uintptr(unsafe.Pointer(unsafe.SliceData(s.outOff)))%8 == 0 &&
+		(s.weights == nil || uintptr(unsafe.Pointer(unsafe.SliceData(s.weights)))%8 == 0)
+	if canAlias {
+		g.outOff = unsafe.Slice((*int64)(unsafe.Pointer(unsafe.SliceData(s.outOff))), s.n+1)
+		if s.weights != nil {
+			g.outW = unsafe.Slice((*float64)(unsafe.Pointer(unsafe.SliceData(s.weights))), s.arcs)
+		}
+	} else {
+		g.outOff = make([]int64, s.n+1)
+		for i := range g.outOff {
+			g.outOff[i] = int64(binary.LittleEndian.Uint64(s.outOff[8*i:]))
+		}
+		if s.weights != nil {
+			g.outW = make([]float64, s.arcs)
+			for i := range g.outW {
+				g.outW[i] = math.Float64frombits(binary.LittleEndian.Uint64(s.weights[8*i:]))
+			}
+		}
+	}
+	switch mode {
+	case LoadFlat:
+		g.outAdj = decodeAdj(g.outOff, s.cOut)
+	case LoadCompact, LoadMmap:
+		if canAlias {
+			// cOutIdx has 4-byte alignment requirements only.
+			g.cOutIdx = unsafe.Slice((*uint32)(unsafe.Pointer(unsafe.SliceData(s.cOutIdx))), s.n+1)
+			g.cOut = s.cOut
+		} else {
+			g.cOutIdx = make([]uint32, s.n+1)
+			for i := range g.cOutIdx {
+				g.cOutIdx[i] = binary.LittleEndian.Uint32(s.cOutIdx[4*i:])
+			}
+			g.cOut = append([]byte(nil), s.cOut...)
+		}
+	}
+	if !g.directed {
+		g.BuildReverse() // alias in-direction, both representations
+	}
+	return g, nil
+}
+
+// WriteGraphFile encodes g into path in the DVGRAF format.
+func WriteGraphFile(path string, g *Graph) error {
+	return os.WriteFile(path, EncodeGraph(g), 0o644)
+}
+
+// ReadGraphFile loads a DVGRAF file with the requested representation.
+// LoadMmap maps the file read-only — the returned graph aliases the
+// mapping, stays valid until Close, and must not be used afterwards;
+// validation reads every page once, then the pages are dropped back to
+// the file so the steady-state footprint is only what iteration
+// touches. When mapping is unavailable LoadMmap silently degrades to a
+// heap-backed compact load.
+func ReadGraphFile(path string, mode LoadMode) (*Graph, error) {
+	if mode == LoadMmap {
+		if g, handled, err := readGraphMmap(path); handled {
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", path, err)
+			}
+			return g, nil
+		}
+		mode = LoadCompact
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := parseGraf(b)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	// b is private to this call, so the compact form may alias it
+	// instead of copying the sections out.
+	return s.build(mode, mode == LoadCompact)
+}
+
+// IsGraphFile sniffs whether path starts with the DVGRAF magic.
+func IsGraphFile(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var hdr [6]byte
+	if _, err := f.Read(hdr[:]); err != nil {
+		return false
+	}
+	return hdr == grafMagic
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package graph
+
+// readGraphMmap is unavailable off unix; ReadGraphFile falls back to the
+// buffered compact loader.
+func readGraphMmap(path string) (*Graph, bool, error) {
+	return nil, false, nil
+}

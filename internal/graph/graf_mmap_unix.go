@@ -1,0 +1,57 @@
+//go:build unix
+
+package graph
+
+import (
+	"os"
+	"syscall"
+)
+
+// readGraphMmap maps path and builds a graph aliasing the mapping. It
+// reports handled=false (and no error) when the caller should fall back
+// to the buffered loader: mapping unsupported, empty file, big-endian
+// host, or a kernel that refuses the map.
+func readGraphMmap(path string) (*Graph, bool, error) {
+	if !hostLittleEndian {
+		return nil, false, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, true, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, true, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, false, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, false, nil // e.g. special files; use the buffered path
+	}
+	s, err := parseGraf(b)
+	if err != nil {
+		_ = syscall.Munmap(b)
+		return nil, true, err
+	}
+	g, err := s.build(LoadMmap, true)
+	if err != nil {
+		_ = syscall.Munmap(b)
+		return nil, true, err
+	}
+	if len(g.cOut) > 0 && &g.cOut[0] != &s.cOut[0] {
+		// build copied instead of aliasing (misaligned sections —
+		// impossible for a page-aligned mapping, but stay safe): the
+		// graph is heap-backed, so drop the mapping now.
+		_ = syscall.Munmap(b)
+		return g, true, nil
+	}
+	// Validation touched every page; give them back so the resident
+	// footprint starts at zero and only iterated pages fault back in.
+	_ = syscall.Madvise(b, syscall.MADV_DONTNEED)
+	g.unmap = func() error { return syscall.Munmap(b) }
+	return g, true, nil
+}

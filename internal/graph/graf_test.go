@@ -1,0 +1,267 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// grafEqual asserts that two graphs expose identical structure through
+// the public accessors, bit-identical weights included.
+func grafEqual(t *testing.T, want, got *Graph) {
+	t.Helper()
+	if got.NumVertices() != want.NumVertices() || got.NumArcs() != want.NumArcs() ||
+		got.Directed() != want.Directed() || got.Weighted() != want.Weighted() {
+		t.Fatalf("summary mismatch: %v vs %v", got, want)
+	}
+	for u := 0; u < want.NumVertices(); u++ {
+		id := VertexID(u)
+		checkSame(t, "out", want.OutNeighbors(id), got.OutNeighbors(id),
+			want.OutWeights(id), got.OutWeights(id))
+	}
+	if got.Fingerprint() != want.Fingerprint() {
+		t.Fatalf("fingerprint mismatch: %x vs %x", got.Fingerprint(), want.Fingerprint())
+	}
+}
+
+func TestGraphCodecRoundTrip(t *testing.T) {
+	for name, g := range compactCorpus(t) {
+		t.Run(name, func(t *testing.T) {
+			enc := EncodeGraph(g)
+			if enc2 := EncodeGraph(Compact(g)); !bytes.Equal(enc, enc2) {
+				t.Fatal("flat and compact graphs must encode identically")
+			}
+			for _, mode := range []LoadMode{LoadFlat, LoadCompact} {
+				dec, err := DecodeGraph(enc, mode)
+				if err != nil {
+					t.Fatalf("%v: %v", mode, err)
+				}
+				if dec.IsCompact() != (mode == LoadCompact) {
+					t.Fatalf("%v: got repr %s", mode, dec.Repr())
+				}
+				grafEqual(t, g, dec)
+				if !bytes.Equal(EncodeGraph(dec), enc) {
+					t.Fatalf("%v: re-encode differs", mode)
+				}
+			}
+		})
+	}
+}
+
+func TestGraphFileRoundTrip(t *testing.T) {
+	g := WithRandomWeights(RMAT(10, 8, 0.57, 0.19, 0.19, true, 3), 1, 10, 4)
+	path := filepath.Join(t.TempDir(), "g.dvg")
+	if err := WriteGraphFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	if !IsGraphFile(path) {
+		t.Fatal("IsGraphFile must recognize a DVGRAF file")
+	}
+	for _, mode := range []LoadMode{LoadFlat, LoadCompact, LoadMmap} {
+		dec, err := ReadGraphFile(path, mode)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		grafEqual(t, g, dec)
+		if mode == LoadMmap && runtime.GOOS == "linux" && !dec.Mapped() {
+			t.Fatal("LoadMmap on linux must produce a mapped graph")
+		}
+		if dec.Mapped() {
+			if dec.Repr() != "compact+mmap" {
+				t.Fatalf("mapped Repr = %q", dec.Repr())
+			}
+			if err := dec.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+		}
+	}
+}
+
+func TestMappedGraphRuns(t *testing.T) {
+	// A mapped graph must behave like any other compact graph end to
+	// end: reverse materialization, delta application, re-encoding.
+	g := RMAT(8, 6, 0.57, 0.19, 0.19, true, 12)
+	path := filepath.Join(t.TempDir(), "g.dvg")
+	if err := WriteGraphFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadGraphFile(path, LoadMmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	m.BuildReverse()
+	g.BuildReverse()
+	for u := 0; u < g.NumVertices(); u++ {
+		checkSame(t, "in", g.InNeighbors(VertexID(u)), m.InNeighbors(VertexID(u)), nil, nil)
+	}
+	d := &Delta{}
+	d.AddEdge(1, 2)
+	want, _, err := ApplyDelta(g, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ApplyDelta(m, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint() != want.Fingerprint() {
+		t.Fatal("delta on a mapped graph diverged")
+	}
+	if got.Mapped() {
+		t.Fatal("ApplyDelta result must be heap-backed")
+	}
+}
+
+func TestGraphDecodeRejectsEveryTruncation(t *testing.T) {
+	g := WithRandomWeights(Grid(6, 7, 5, 2), 1, 9, 3)
+	enc := EncodeGraph(g)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodeGraph(enc[:cut], LoadCompact); err == nil {
+			t.Fatalf("truncation to %d/%d bytes not rejected", cut, len(enc))
+		} else if !errors.Is(err, ErrGraphCorrupt) && !errors.Is(err, ErrGraphVersion) {
+			t.Fatalf("truncation to %d bytes: unexpected error class: %v", cut, err)
+		}
+	}
+}
+
+func TestGraphDecodeRejectsEveryBitflip(t *testing.T) {
+	g := RMAT(6, 4, 0.57, 0.19, 0.19, true, 8)
+	enc := EncodeGraph(g)
+	for i := range enc {
+		mut := append([]byte(nil), enc...)
+		mut[i] ^= 0xff
+		if _, err := DecodeGraph(mut, LoadFlat); err == nil {
+			t.Fatalf("flipped byte %d/%d not rejected", i, len(enc))
+		}
+	}
+}
+
+func TestGraphDecodeRejectsWrongVersion(t *testing.T) {
+	enc := EncodeGraph(Path(3, true))
+	enc[6] = 2 // version field
+	_, err := DecodeGraph(enc, LoadFlat)
+	if !errors.Is(err, ErrGraphVersion) {
+		t.Fatalf("want ErrGraphVersion, got %v", err)
+	}
+}
+
+func TestGraphDecodeRejectsForgedChecksum(t *testing.T) {
+	// Corrupt a stream byte and fix the CRC back up: the structural
+	// walk must still reject what the checksum would have admitted.
+	g := Star(40, true)
+	enc := EncodeGraph(g)
+	// Neighbour stream of the hub encodes 1,1,1,... (gaps); rewrite one
+	// gap to jump past n.
+	idx := bytes.LastIndexByte(enc[:len(enc)-4], 1)
+	if idx < grafHeaderLen {
+		t.Fatal("could not locate a stream byte")
+	}
+	enc[idx] = 0x7f
+	reseal(enc)
+	if _, err := DecodeGraph(enc, LoadFlat); !errors.Is(err, ErrGraphCorrupt) {
+		t.Fatalf("forged image not rejected: %v", err)
+	}
+}
+
+// reseal recomputes the trailing CRC after a deliberate mutation.
+func reseal(enc []byte) {
+	sum := crc32.ChecksumIEEE(enc[:len(enc)-4])
+	enc[len(enc)-4] = byte(sum)
+	enc[len(enc)-3] = byte(sum >> 8)
+	enc[len(enc)-2] = byte(sum >> 16)
+	enc[len(enc)-1] = byte(sum >> 24)
+}
+
+func TestGraphDecodeMmapModeRejected(t *testing.T) {
+	if _, err := DecodeGraph(EncodeGraph(Path(3, true)), LoadMmap); err == nil {
+		t.Fatal("DecodeGraph must reject LoadMmap")
+	}
+}
+
+func TestIsGraphFileRejectsOtherFiles(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "edges.el")
+	if err := os.WriteFile(path, []byte("0 1\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if IsGraphFile(path) {
+		t.Fatal("edge list misdetected as DVGRAF")
+	}
+	if IsGraphFile(filepath.Join(t.TempDir(), "missing.dvg")) {
+		t.Fatal("missing file misdetected as DVGRAF")
+	}
+}
+
+func TestGraphDecodeConvertFallback(t *testing.T) {
+	// Force the explicit little-endian conversion path (what big-endian
+	// hosts always run) and check it agrees with the aliasing path.
+	g := WithRandomWeights(RMAT(7, 5, 0.57, 0.19, 0.19, false, 9), 1, 4, 2)
+	enc := EncodeGraph(g)
+	s, err := parseGraf(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	converted, err := s.build(LoadCompact, false) // never aliases
+	if err != nil {
+		t.Fatal(err)
+	}
+	grafEqual(t, g, converted)
+	if converted.Weighted() {
+		for u := 0; u < g.NumVertices(); u++ {
+			for i, w := range converted.OutWeights(VertexID(u)) {
+				if math.Float64bits(w) != math.Float64bits(g.OutWeights(VertexID(u))[i]) {
+					t.Fatalf("weight bits diverged at %d/%d", u, i)
+				}
+			}
+		}
+	}
+}
+
+func FuzzGraphDecode(f *testing.F) {
+	for _, g := range []*Graph{
+		Path(4, true),
+		Star(6, false),
+		WithRandomWeights(Grid(3, 3, 5, 1), 1, 3, 1),
+		Compact(RMAT(5, 3, 0.57, 0.19, 0.19, true, 2)),
+		NewBuilder(0, true).Finalize(),
+	} {
+		f.Add(EncodeGraph(g))
+	}
+	f.Add([]byte("DVGRAF"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, mode := range []LoadMode{LoadFlat, LoadCompact} {
+			g, err := DecodeGraph(data, mode)
+			if err != nil {
+				continue
+			}
+			// Anything the decoder admits must be iterable and must
+			// survive a re-encode/decode round trip unchanged.
+			total := 0
+			for u := 0; u < g.NumVertices(); u++ {
+				it := g.OutArcs(VertexID(u))
+				for it.Next() {
+					if int(it.To()) >= g.NumVertices() {
+						t.Fatalf("decoded neighbour %d out of range", it.To())
+					}
+					total++
+				}
+			}
+			if total != g.NumArcs() {
+				t.Fatalf("iterated %d arcs, graph claims %d", total, g.NumArcs())
+			}
+			re, err := DecodeGraph(EncodeGraph(g), mode)
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if re.Fingerprint() != g.Fingerprint() {
+				t.Fatal("round trip changed the graph")
+			}
+		}
+	})
+}

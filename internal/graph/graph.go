@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"sync/atomic"
 )
 
@@ -45,6 +46,26 @@ type Graph struct {
 	inAdj []VertexID
 	inW   []float64
 
+	// Compact adjacency (see compact.go). When cOutIdx is non-nil the
+	// graph is compact: outAdj/inAdj are nil and neighbour lists decode
+	// from the gap-varint streams cOut/cIn, indexed per vertex by the
+	// byte offsets cOutIdx/cInIdx. The arc-offset and weight arrays
+	// above are present in both representations.
+	cOut    []byte
+	cOutIdx []uint32
+	cIn     []byte
+	cInIdx  []uint32
+
+	// lazyIn marks a compact directed graph whose BuildReverse has been
+	// requested but whose reverse CSR is materialized only on first
+	// in-side access; inOnce guards the materialization.
+	lazyIn bool
+	inOnce sync.Once
+
+	// unmap releases the file mapping backing a graph loaded with
+	// LoadMmap (nil for heap-backed graphs).
+	unmap func() error
+
 	// fp caches Fingerprint (0 = not yet computed; the hash is folded so
 	// it can never legitimately be 0).
 	fp atomic.Uint64
@@ -53,18 +74,28 @@ type Graph struct {
 // NumVertices returns |V|.
 func (g *Graph) NumVertices() int { return g.n }
 
-// NumEdges returns |E|: the number of directed arcs for a directed graph,
-// and the number of undirected edges for an undirected graph.
+// NumEdges returns the edge count: the number of stored arcs for a
+// directed graph, half of them for an undirected graph. An undirected
+// self-loop is stored as a single arc (see Builder), so it contributes
+// only half an edge here and the result rounds down; use NumArcs for an
+// exact count of stored adjacency entries.
 func (g *Graph) NumEdges() int {
 	if g.directed {
-		return len(g.outAdj)
+		return g.NumArcs()
 	}
-	return len(g.outAdj) / 2
+	return g.NumArcs() / 2
 }
 
-// NumArcs returns the number of stored adjacency entries. For a directed
-// graph this equals NumEdges; for an undirected graph it is 2·NumEdges.
-func (g *Graph) NumArcs() int { return len(g.outAdj) }
+// NumArcs returns the number of stored adjacency entries in the
+// out-direction, independent of representation. Every directed edge is
+// one arc; every undirected non-loop edge is two (one per direction)
+// and every undirected self-loop is one.
+func (g *Graph) NumArcs() int {
+	if len(g.outOff) == 0 {
+		return 0
+	}
+	return int(g.outOff[g.n])
+}
 
 // Directed reports whether the graph is directed.
 func (g *Graph) Directed() bool { return g.directed }
@@ -81,15 +112,20 @@ func (g *Graph) OutDegree(u VertexID) int {
 // adjacency must have been built (see BuildReverse); for undirected graphs
 // it equals OutDegree.
 func (g *Graph) InDegree(u VertexID) int {
-	if g.inOff == nil {
+	if !g.ensureIn() {
 		panic("graph: InDegree requires reverse adjacency; call BuildReverse")
 	}
 	return int(g.inOff[u+1] - g.inOff[u])
 }
 
-// OutNeighbors returns the out-adjacency list of u as a shared slice; the
-// caller must not modify it.
+// OutNeighbors returns the out-adjacency list of u. For flat graphs the
+// slice is shared and must not be modified; for compact graphs it is a
+// freshly allocated copy — hot paths should iterate with OutArcs or
+// ForEachOutNeighbor instead.
 func (g *Graph) OutNeighbors(u VertexID) []VertexID {
+	if g.cOutIdx != nil {
+		return decodeList(g.cOut[g.cOutIdx[u]:g.cOutIdx[u+1]], g.OutDegree(u))
+	}
 	return g.outAdj[g.outOff[u]:g.outOff[u+1]]
 }
 
@@ -102,11 +138,17 @@ func (g *Graph) OutWeights(u VertexID) []float64 {
 	return g.outW[g.outOff[u]:g.outOff[u+1]]
 }
 
-// InNeighbors returns the in-adjacency list of u as a shared slice. The
-// reverse adjacency must be available (BuildReverse for directed graphs).
+// InNeighbors returns the in-adjacency list of u. The reverse adjacency
+// must be available (BuildReverse for directed graphs). For flat graphs
+// the slice is shared and must not be modified; for compact graphs it
+// is a freshly allocated copy — hot paths should iterate with InArcs or
+// ForEachInNeighbor instead.
 func (g *Graph) InNeighbors(u VertexID) []VertexID {
-	if g.inOff == nil {
+	if !g.ensureIn() {
 		panic("graph: InNeighbors requires reverse adjacency; call BuildReverse")
+	}
+	if g.cInIdx != nil {
+		return decodeList(g.cIn[g.cInIdx[u]:g.cInIdx[u+1]], g.InDegree(u))
 	}
 	return g.inAdj[g.inOff[u]:g.inOff[u+1]]
 }
@@ -114,35 +156,62 @@ func (g *Graph) InNeighbors(u VertexID) []VertexID {
 // InWeights returns the weights parallel to InNeighbors(u), or nil when the
 // graph is unweighted.
 func (g *Graph) InWeights(u VertexID) []float64 {
+	if g.lazyIn && g.outW != nil {
+		g.inOnce.Do(g.materializeIn)
+	}
 	if g.inW == nil {
 		return nil
 	}
 	return g.inW[g.inOff[u]:g.inOff[u+1]]
 }
 
-// HasReverse reports whether the in-adjacency is available.
-func (g *Graph) HasReverse() bool { return g.inOff != nil }
+// HasReverse reports whether the in-adjacency is available (including a
+// compact graph's deferred reverse, which materializes on first use).
+func (g *Graph) HasReverse() bool { return g.inOff != nil || g.lazyIn }
 
-// OutEdge returns the i-th out-edge of u.
+// OutEdge returns the i-th out-edge of u. On compact graphs this decodes
+// u's stream from the start; iterate with OutArcs instead of calling
+// OutEdge in a loop.
 func (g *Graph) OutEdge(u VertexID, i int) Edge {
 	off := g.outOff[u] + int64(i)
 	w := 1.0
 	if g.outW != nil {
 		w = g.outW[off]
 	}
+	if g.cOutIdx != nil {
+		it := g.OutArcs(u)
+		for k := 0; k <= i; k++ {
+			if !it.Next() {
+				panic("graph: OutEdge index out of range")
+			}
+		}
+		return Edge{To: it.To(), Weight: w}
+	}
 	return Edge{To: g.outAdj[off], Weight: w}
 }
 
 // BuildReverse constructs the in-adjacency (reverse CSR) for a directed
-// graph. It is idempotent and a no-op for undirected graphs. It is not safe
+// graph. It is idempotent and a no-op for undirected graphs. On a
+// compact directed graph it only marks the reverse as requested; the
+// in-CSR is materialized (in compact form) on first in-side access, so
+// programs that never read in-adjacency never pay for it. It is not safe
 // to call concurrently with itself, but once built the graph is again
 // immutable and safe for concurrent reads.
 func (g *Graph) BuildReverse() {
-	if g.inOff != nil {
+	if g.inOff != nil || g.lazyIn {
 		return
 	}
 	if !g.directed {
-		g.inOff, g.inAdj, g.inW = g.outOff, g.outAdj, g.outW
+		g.inOff, g.inW = g.outOff, g.outW
+		if g.cOutIdx != nil {
+			g.cIn, g.cInIdx = g.cOut, g.cOutIdx
+		} else {
+			g.inAdj = g.outAdj
+		}
+		return
+	}
+	if g.cOutIdx != nil {
+		g.lazyIn = true
 		return
 	}
 	inOff := make([]int64, g.n+1)
@@ -178,9 +247,10 @@ func (g *Graph) BuildReverse() {
 // structure: vertex count, directedness, the out-CSR offsets and adjacency,
 // and the edge weights. Two graphs built from the same edges in the same
 // order hash identically across processes and runs (the hash is FNV-1a over
-// a fixed little-endian serialization), which is what lets an engine
-// snapshot refuse to resume against a different graph. The digest is
-// computed once and cached; it is never 0.
+// a fixed little-endian serialization), and the digest is
+// representation-independent: a compact graph hashes exactly like its
+// flat equivalent, so snapshots warm-start across representations. The
+// digest is computed once and cached; it is never 0.
 func (g *Graph) Fingerprint() uint64 {
 	if fp := g.fp.Load(); fp != 0 {
 		return fp
@@ -207,8 +277,17 @@ func (g *Graph) Fingerprint() uint64 {
 	for _, o := range g.outOff {
 		word(uint64(o))
 	}
-	for _, v := range g.outAdj {
-		word(uint64(v))
+	if g.cOutIdx != nil {
+		for u := 0; u < g.n; u++ {
+			it := g.OutArcs(VertexID(u))
+			for it.Next() {
+				word(uint64(it.To()))
+			}
+		}
+	} else {
+		for _, v := range g.outAdj {
+			word(uint64(v))
+		}
 	}
 	if g.outW != nil {
 		byte1(1)
@@ -223,6 +302,42 @@ func (g *Graph) Fingerprint() uint64 {
 	}
 	g.fp.Store(h)
 	return h
+}
+
+// Close releases the file mapping backing a graph loaded with LoadMmap.
+// It is a no-op (returning nil) for heap-backed graphs. A mapped graph
+// must not be used after Close.
+func (g *Graph) Close() error {
+	if g.unmap == nil {
+		return nil
+	}
+	f := g.unmap
+	g.unmap = nil
+	return f()
+}
+
+// decodeList decodes one gap-varint neighbour stream into a fresh slice.
+func decodeList(b []byte, deg int) []VertexID {
+	out := make([]VertexID, deg)
+	p := 0
+	prev := uint32(0)
+	for k := 0; k < deg; k++ {
+		var x uint32
+		var s uint
+		for {
+			c := b[p]
+			p++
+			if c < 0x80 {
+				x |= uint32(c) << s
+				break
+			}
+			x |= uint32(c&0x7f) << s
+			s += 7
+		}
+		prev += x
+		out[k] = prev
+	}
+	return out
 }
 
 // String returns a short human-readable summary.
@@ -247,6 +362,7 @@ type Builder struct {
 	dsts     []VertexID
 	ws       []float64
 	dedup    bool
+	compact  bool
 }
 
 // NewBuilder returns a Builder for a graph with n vertices.
@@ -256,6 +372,11 @@ func NewBuilder(n int, directed bool) *Builder {
 
 // SetDedup makes Finalize remove duplicate arcs (keeping the first weight).
 func (b *Builder) SetDedup(on bool) { b.dedup = on }
+
+// SetCompact makes Finalize return the graph in the compact gap-varint
+// representation (see Compact). The flat CSR still exists transiently
+// during Finalize.
+func (b *Builder) SetCompact(on bool) { b.compact = on }
 
 // AddEdge records an unweighted edge from u to v.
 func (b *Builder) AddEdge(u, v VertexID) { b.AddWeightedEdge(u, v, 1) }
@@ -325,6 +446,9 @@ func (b *Builder) Finalize() *Graph {
 	}
 	if !b.directed {
 		g.inOff, g.inAdj, g.inW = g.outOff, g.outAdj, g.outW
+	}
+	if b.compact {
+		return Compact(g)
 	}
 	return g
 }

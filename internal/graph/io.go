@@ -82,16 +82,17 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 	if _, err := fmt.Fprintf(bw, "# %s |V|=%d |E|=%d\n", kind, g.NumVertices(), g.NumEdges()); err != nil {
 		return err
 	}
+	weighted := g.Weighted()
 	for u := 0; u < g.NumVertices(); u++ {
-		adj := g.OutNeighbors(VertexID(u))
-		ws := g.OutWeights(VertexID(u))
-		for i, v := range adj {
+		it := g.OutArcs(VertexID(u))
+		for it.Next() {
+			v := it.To()
 			if !g.Directed() && v < VertexID(u) {
 				continue
 			}
 			var err error
-			if ws != nil {
-				_, err = fmt.Fprintf(bw, "%d %d %g\n", u, v, ws[i])
+			if weighted {
+				_, err = fmt.Fprintf(bw, "%d %d %g\n", u, v, it.Weight())
 			} else {
 				_, err = fmt.Fprintf(bw, "%d %d\n", u, v)
 			}

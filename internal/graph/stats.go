@@ -39,7 +39,10 @@ func Summarize(g *Graph) Stats {
 		}
 		if d == 0 {
 			iso := true
-			if g.HasReverse() && g.InDegree(VertexID(u)) > 0 {
+			// Consult the in-degree only when the reverse CSR is actually
+			// materialized: summarizing must not force a compact graph's
+			// deferred reverse adjacency into memory.
+			if g.inOff != nil && g.InDegree(VertexID(u)) > 0 {
 				iso = false
 			}
 			if iso {
@@ -99,22 +102,18 @@ func ConnectedComponents(g *Graph) ([]VertexID, int) {
 		root := VertexID(start)
 		stack = append(stack[:0], root)
 		label[start] = root
+		visit := func(v VertexID) {
+			if label[v] == VertexID(n) {
+				label[v] = root
+				stack = append(stack, v)
+			}
+		}
 		for len(stack) > 0 {
 			u := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for _, v := range g.OutNeighbors(u) {
-				if label[v] == VertexID(n) {
-					label[v] = root
-					stack = append(stack, v)
-				}
-			}
+			g.ForEachOutNeighbor(u, visit)
 			if g.Directed() {
-				for _, v := range g.InNeighbors(u) {
-					if label[v] == VertexID(n) {
-						label[v] = root
-						stack = append(stack, v)
-					}
-				}
+				g.ForEachInNeighbor(u, visit)
 			}
 		}
 	}

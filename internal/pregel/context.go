@@ -35,14 +35,24 @@ func (c *Context[V, M]) ValueOf(u VertexID) *V { return &c.eng.values[u] }
 func (c *Context[V, M]) Graph() *graph.Graph { return c.eng.g }
 
 // OutNeighbors returns this vertex's out-adjacency (neighbour set for
-// undirected graphs). The slice is shared; do not modify.
+// undirected graphs). On flat graphs the slice is shared — do not
+// modify it; on compact graphs it is a fresh copy, so hot paths should
+// iterate with OutArcs instead.
 func (c *Context[V, M]) OutNeighbors() []VertexID { return c.eng.g.OutNeighbors(c.id) }
 
 // OutWeights returns the weights parallel to OutNeighbors, or nil.
 func (c *Context[V, M]) OutWeights() []float64 { return c.eng.g.OutWeights(c.id) }
 
-// InNeighbors returns this vertex's in-adjacency.
+// InNeighbors returns this vertex's in-adjacency. The same sharing and
+// allocation caveats as OutNeighbors apply; prefer InArcs on hot paths.
 func (c *Context[V, M]) InNeighbors() []VertexID { return c.eng.g.InNeighbors(c.id) }
+
+// OutArcs returns an allocation-free cursor over this vertex's
+// out-edges, valid for both graph representations.
+func (c *Context[V, M]) OutArcs() graph.ArcIter { return c.eng.g.OutArcs(c.id) }
+
+// InArcs returns an allocation-free cursor over this vertex's in-edges.
+func (c *Context[V, M]) InArcs() graph.ArcIter { return c.eng.g.InArcs(c.id) }
 
 // InWeights returns the weights parallel to InNeighbors, or nil.
 func (c *Context[V, M]) InWeights() []float64 { return c.eng.g.InWeights(c.id) }
@@ -59,17 +69,35 @@ func (c *Context[V, M]) Send(to VertexID, m M) {
 	w.sent++
 }
 
-// BroadcastOut sends m along every out-edge.
+// BroadcastOut sends m along every out-edge. The flat path ranges over
+// the shared adjacency slice; the compact path decodes through an
+// ArcIter — neither allocates.
 func (c *Context[V, M]) BroadcastOut(m M) {
-	for _, v := range c.OutNeighbors() {
-		c.Send(v, m)
+	g := c.eng.g
+	if !g.IsCompact() {
+		for _, v := range g.OutNeighbors(c.id) {
+			c.Send(v, m)
+		}
+		return
+	}
+	it := g.OutArcs(c.id)
+	for it.Next() {
+		c.Send(it.To(), m)
 	}
 }
 
 // BroadcastIn sends m along every in-edge (to all in-neighbours).
 func (c *Context[V, M]) BroadcastIn(m M) {
-	for _, v := range c.InNeighbors() {
-		c.Send(v, m)
+	g := c.eng.g
+	if !g.IsCompact() {
+		for _, v := range g.InNeighbors(c.id) {
+			c.Send(v, m)
+		}
+		return
+	}
+	it := g.InArcs(c.id)
+	for it.Next() {
+		c.Send(it.To(), m)
 	}
 }
 

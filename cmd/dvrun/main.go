@@ -447,6 +447,14 @@ func run(ctx context.Context, cfg runConfig) error {
 	var res *vm.Result
 	var runErr error
 	if cfg.warmStart != "" {
+		// Fail fast at the CLI boundary when the mutation log grew the
+		// vertex set: the old snapshot has no state for the new vertices
+		// and the size mismatch would otherwise surface as a confusing
+		// decode error deep inside the warm restore.
+		if applied != nil && applied.NewVertices > 0 {
+			return fmt.Errorf("%w: -mutations added %d vertices, so the pre-mutation snapshot %s cannot seed them; drop -warm-start to rerun from scratch",
+				pregel.ErrSnapshotMismatch, applied.NewVertices, cfg.warmStart)
+		}
 		snap, err := pregel.ReadSnapshotFile(cfg.warmStart)
 		if err != nil {
 			return err

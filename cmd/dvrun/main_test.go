@@ -541,8 +541,9 @@ func TestRunMutationErrorPaths(t *testing.T) {
 	if err := run(ctx, cfg); err == nil {
 		t.Fatal("missing warm-start snapshot succeeded")
 	}
-	// Removing an edge loosens a min input: the planner must reject it
-	// with a pointer at the memo-table discussion.
+	// Removing an edge loosens a min input that sssp's self-clamping
+	// body (`dist = min dist d`) could never unwind: the planner must
+	// reject it with the rerun-from-scratch diagnostic.
 	dir := t.TempDir()
 	seed := base
 	seed.ckptDir = dir
@@ -555,8 +556,8 @@ func TestRunMutationErrorPaths(t *testing.T) {
 	cfg = base
 	cfg.mutations = del
 	cfg.warmStart = snapPath
-	if err := run(ctx, cfg); err == nil || !strings.Contains(err.Error(), "cannot retract") {
-		t.Fatalf("err = %v, want min-retraction rejection", err)
+	if err := run(ctx, cfg); err == nil || !strings.Contains(err.Error(), "pin the stale fixpoint") {
+		t.Fatalf("err = %v, want min-loosening rejection", err)
 	}
 }
 

@@ -1,0 +1,353 @@
+// Command dvserve keeps a ΔV program converged over a live graph and
+// serves reads while mutations stream in: the always-on counterpart of a
+// one-shot dvrun. It loads a graph, converges the program once, then
+// answers point reads from an immutable published version while POSTed
+// edge mutations accumulate into batches that are repaired in place with
+// delta recomputation (falling back to a from-scratch rerun when a batch
+// is outside the repairable class).
+//
+// Usage:
+//
+//	dvserve [-mode dv|dvstar|memotable] (-program name | -file prog.dv)
+//	        (-dataset name | -edges file [-directed] | -gen spec [-seed n])
+//	        [-graph-format auto|el|dvg] [-repr flat|compact|mmap]
+//	        [-param k=v]... [-workers N] [-queue] [-hash] [-combine]
+//	        [-epsilon e] [-addr host:port]
+//	        [-batch-interval d] [-max-batch N] [-max-pending N]
+//	        [-no-quarantine]
+//
+// Graph sources, generator specs, -graph-format and -repr behave exactly
+// as in dvrun. The HTTP API (see internal/serve):
+//
+//	GET  /healthz          liveness
+//	GET  /stats            counters + published version info
+//	GET  /value/{v}        one vertex's value (?field= selects which)
+//	GET  /neighbors/{v}    out-neighbors (+weights when weighted)
+//	POST /mutate           deltaio text (add/del/set/addv lines)
+//	POST /flush            apply the pending batch now
+//
+// Mutations are batched: every -batch-interval (default 3s), or as soon
+// as -max-batch entries are pending, the log is collapsed into one
+// graph delta and repaired. -max-pending bounds the log; beyond it
+// POST /mutate returns 503 until a batch drains. Vertex-program panics
+// are quarantined to the panicking vertex by default so a poisoned
+// vertex cannot take the daemon down; -no-quarantine restores
+// fail-stop behavior for debugging.
+//
+// On startup dvserve prints "dvserve: listening on http://ADDR" once the
+// socket is bound; SIGINT shuts down gracefully.
+//
+// Examples:
+//
+//	dvserve -program sssp -gen grid:50:50 -param src=0 -addr :7473
+//	curl localhost:7473/value/120
+//	printf 'add 3 120 1\n' | curl -s --data-binary @- localhost:7473/mutate
+//	curl -s -X POST localhost:7473/flush
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/pregel"
+	"repro/internal/programs"
+	"repro/internal/serve"
+)
+
+type paramFlags map[string]float64
+
+func (p paramFlags) String() string { return fmt.Sprint(map[string]float64(p)) }
+
+func (p paramFlags) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want name=value, got %q", s)
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return err
+	}
+	p[k] = f
+	return nil
+}
+
+// flagVals holds the parsed flag values; registerFlags binds them onto a
+// FlagSet so tests can enumerate the registered flags and check them
+// against the doc comment above.
+type flagVals struct {
+	mode, progName, file string
+	dataset, edges, gen  string
+	graphFormat, repr    string
+	directed             bool
+	seed                 int64
+	workers              int
+	queue, hash, combine bool
+	epsilon              float64
+	addr                 string
+	batchInterval        time.Duration
+	maxBatch, maxPending int
+	noQuarantine         bool
+	params               paramFlags
+}
+
+func registerFlags(fs *flag.FlagSet) *flagVals {
+	v := &flagVals{params: paramFlags{}}
+	fs.StringVar(&v.mode, "mode", "dv", "compile mode: dv, dvstar, memotable")
+	fs.StringVar(&v.progName, "program", "", "embedded program name")
+	fs.StringVar(&v.file, "file", "", "ΔV source file")
+	fs.StringVar(&v.dataset, "dataset", "", "stand-in dataset name")
+	fs.StringVar(&v.edges, "edges", "", "edge-list file")
+	fs.BoolVar(&v.directed, "directed", true, "treat -edges input as directed")
+	fs.StringVar(&v.gen, "gen", "", "generator spec (rmat:scale:ef, ba:n:k, er:n:m, grid:r:c, ws:n:k:beta)")
+	fs.StringVar(&v.graphFormat, "graph-format", "auto", "-edges file format: auto (sniff), el (text edge list), dvg (DVGRAF binary)")
+	fs.StringVar(&v.repr, "repr", "flat", "in-memory graph representation: flat, compact, mmap (mmap needs a DVGRAF -edges file)")
+	fs.Int64Var(&v.seed, "seed", 1, "generator seed")
+	fs.IntVar(&v.workers, "workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	fs.BoolVar(&v.queue, "queue", false, "use the work-queue (halt-by-default) scheduler")
+	fs.BoolVar(&v.hash, "hash", false, "use hash (v mod W) vertex placement instead of blocks")
+	fs.BoolVar(&v.combine, "combine", true, "enable message combiners")
+	fs.Float64Var(&v.epsilon, "epsilon", 0, "allowable-slop ε (§9)")
+	fs.StringVar(&v.addr, "addr", "127.0.0.1:7473", "HTTP listen address")
+	fs.DurationVar(&v.batchInterval, "batch-interval", 3*time.Second, "periodic mutation-batch repair cadence (0 = only -max-batch / POST /flush)")
+	fs.IntVar(&v.maxBatch, "max-batch", 0, "repair as soon as this many mutations are pending (0 = max-pending)")
+	fs.IntVar(&v.maxPending, "max-pending", 65536, "bound on the pending mutation log; POST /mutate returns 503 beyond it")
+	fs.BoolVar(&v.noQuarantine, "no-quarantine", false, "abort on vertex-program panics instead of quarantining the vertex")
+	fs.Var(v.params, "param", "program parameter override, name=value (repeatable)")
+	return v
+}
+
+func main() {
+	vals := registerFlags(flag.CommandLine)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if err := run(ctx, vals, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dvserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run builds the server and serves until ctx is cancelled. The listening
+// line is written to out once the socket is bound.
+func run(ctx context.Context, v *flagVals, out *os.File) error {
+	var mode core.Mode
+	switch v.mode {
+	case "dv":
+		mode = core.Incremental
+	case "dvstar":
+		mode = core.Baseline
+	case "memotable":
+		mode = core.MemoTable
+	default:
+		return fmt.Errorf("unknown mode %q", v.mode)
+	}
+	var src string
+	switch {
+	case v.progName != "":
+		s, err := programs.Source(v.progName)
+		if err != nil {
+			return err
+		}
+		src = s
+	case v.file != "":
+		b, err := os.ReadFile(v.file)
+		if err != nil {
+			return err
+		}
+		src = string(b)
+	default:
+		return fmt.Errorf("need -program or -file")
+	}
+	prog, err := core.Compile(src, core.Options{Mode: mode, Epsilon: v.epsilon})
+	if err != nil {
+		return err
+	}
+	g, err := loadGraph(v)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "graph: n=%d arcs=%d repr=%s bytes=%d\n",
+		g.NumVertices(), g.NumArcs(), g.Repr(), g.ArcBytes())
+
+	sched := pregel.ScanAll
+	if v.queue {
+		sched = pregel.WorkQueue
+	}
+	part := pregel.PartitionBlock
+	if v.hash {
+		part = pregel.PartitionHash
+	}
+	srv, err := serve.New(ctx, serve.Config{
+		Prog:          prog,
+		Graph:         g,
+		Params:        v.params,
+		Workers:       v.workers,
+		Scheduler:     sched,
+		Partition:     part,
+		Combine:       v.combine,
+		Quarantine:    !v.noQuarantine,
+		MaxPending:    v.maxPending,
+		MaxBatch:      v.maxBatch,
+		BatchInterval: v.batchInterval,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		g.Close()
+		return err
+	}
+	defer srv.Close()
+	st := srv.Stats()
+	fmt.Fprintf(out, "converged: superstep=%d fingerprint=%s fields=%v\n",
+		st.Superstep, st.Fingerprint, st.Fields)
+
+	ln, err := net.Listen("tcp", v.addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(out, "dvserve: listening on http://%s\n", ln.Addr())
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return hs.Shutdown(shutCtx)
+}
+
+// loadGraph resolves the one graph source, mirroring dvrun's rules.
+func loadGraph(v *flagVals) (*graph.Graph, error) {
+	var sources []string
+	if v.dataset != "" {
+		sources = append(sources, "-dataset")
+	}
+	if v.edges != "" {
+		sources = append(sources, "-edges")
+	}
+	if v.gen != "" {
+		sources = append(sources, "-gen")
+	}
+	switch len(sources) {
+	case 0:
+		return nil, fmt.Errorf("need one of -dataset, -edges, -gen")
+	case 1:
+	default:
+		return nil, fmt.Errorf("conflicting graph sources: %s — pick exactly one", strings.Join(sources, " and "))
+	}
+	var g *graph.Graph
+	switch {
+	case v.dataset != "":
+		d, err := graph.DatasetByName(v.dataset)
+		if err != nil {
+			return nil, err
+		}
+		g = d.Build()
+	case v.edges != "":
+		dvg, err := isDVGRAF(v.graphFormat, v.edges)
+		if err != nil {
+			return nil, err
+		}
+		if dvg {
+			mode, err := loadModeOf(v.repr)
+			if err != nil {
+				return nil, err
+			}
+			return graph.ReadGraphFile(v.edges, mode)
+		}
+		f, err := os.Open(v.edges)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		g, err = graph.ReadEdgeList(f, v.directed)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		g2, err := generate(v.gen, v.directed, v.seed)
+		if err != nil {
+			return nil, err
+		}
+		g = g2
+	}
+	switch v.repr {
+	case "", "flat":
+		return g, nil
+	case "compact":
+		return graph.Compact(g), nil
+	case "mmap":
+		return nil, fmt.Errorf("-repr mmap needs a DVGRAF -edges file (make one with dvrun -save-graph)")
+	}
+	return nil, fmt.Errorf("unknown representation %q (want flat, compact or mmap)", v.repr)
+}
+
+func isDVGRAF(format, path string) (bool, error) {
+	switch format {
+	case "", "auto":
+		return graph.IsGraphFile(path), nil
+	case "el":
+		return false, nil
+	case "dvg":
+		return true, nil
+	}
+	return false, fmt.Errorf("unknown -graph-format %q (want auto, el or dvg)", format)
+}
+
+func loadModeOf(repr string) (graph.LoadMode, error) {
+	switch repr {
+	case "", "flat":
+		return graph.LoadFlat, nil
+	case "compact":
+		return graph.LoadCompact, nil
+	case "mmap":
+		return graph.LoadMmap, nil
+	}
+	return 0, fmt.Errorf("unknown representation %q (want flat, compact or mmap)", repr)
+}
+
+func generate(spec string, directed bool, seed int64) (*graph.Graph, error) {
+	parts := strings.Split(spec, ":")
+	atoi := func(i int) int {
+		if i >= len(parts) {
+			return 0
+		}
+		n, _ := strconv.Atoi(parts[i])
+		return n
+	}
+	switch parts[0] {
+	case "rmat":
+		return graph.RMAT(atoi(1), atoi(2), 0.57, 0.19, 0.19, directed, seed), nil
+	case "ba":
+		return graph.PreferentialAttachment(atoi(1), atoi(2), seed), nil
+	case "er":
+		return graph.ErdosRenyi(atoi(1), atoi(2), directed, seed), nil
+	case "grid":
+		return graph.Grid(atoi(1), atoi(2), 10, seed), nil
+	case "ws":
+		beta := 0.1
+		if len(parts) > 3 {
+			if b, err := strconv.ParseFloat(parts[3], 64); err == nil {
+				beta = b
+			}
+		}
+		return graph.WattsStrogatz(atoi(1), atoi(2), beta, seed), nil
+	}
+	return nil, fmt.Errorf("unknown generator %q", parts[0])
+}

@@ -48,6 +48,67 @@ func SlotTopology(e ast.Expr) (readsInDeg, readsOutDeg, readsSize bool) {
 	return
 }
 
+// SelfFoldingFields lists the user vertex-state fields a phase body folds
+// with their own previous value — assignments like SSSP's
+// `dist = min dist d` where the assigned field is read inside its own
+// right-hand side. Such a field memoizes history beyond the aggregation
+// sites: even when a table site can retract a stale contribution exactly
+// (§4.2.1), the body's self-fold clamps the field to its converged value,
+// so a mutation that loosens an aggregate would leave the field pinned at
+// a fixpoint no from-scratch run reaches. The repair planner uses this to
+// admit only tightening transitions for clamped programs.
+//
+// userFields bounds the slots considered (Layout.UserFields): the
+// compiler's synthesized fields ($acc_*, $old_*, …) self-fold by
+// construction, and retractions against those are already policed by the
+// Δ-message machinery itself.
+func SelfFoldingFields(body ast.Expr, userFields int) []string {
+	var fields []string
+	seen := make(map[int]bool)
+	ast.Walk(body, func(x ast.Expr) bool {
+		a, ok := x.(*ast.Assign)
+		if !ok || !a.IsField || a.Slot >= userFields || seen[a.Slot] {
+			return true
+		}
+		ast.Walk(a.Value, func(y ast.Expr) bool {
+			if f, isField := y.(*ast.Field); isField && f.Slot == a.Slot {
+				seen[a.Slot] = true
+				fields = append(fields, a.Name)
+				return false
+			}
+			return true
+		})
+		return true
+	})
+	return fields
+}
+
+// ClampSafe reports whether moving one arc's ⊞-contribution from oldV to
+// newV (absent sides pass present=false) can only tighten an aggregate —
+// i.e. move it in the direction an idempotent or absorbing fold absorbs.
+// A self-folding body (see SelfFoldingFields) masks any loosening: the
+// clamped field keeps its converged value, so the planner only repairs
+// transitions where the new contribution subsumes the old one. Sum and
+// prod folds have no tightening direction, so with a clamping body every
+// value-changing transition is unsafe.
+func ClampSafe(op ast.AggOp, oldV float64, oldPresent bool, newV float64, newPresent bool) bool {
+	id := Identity(op)
+	if !oldPresent {
+		oldV = id
+	}
+	if !newPresent {
+		newV = id
+	}
+	if oldV == newV {
+		return true
+	}
+	switch op {
+	case ast.AggMin, ast.AggMax, ast.AggOr, ast.AggAnd:
+		return Apply(op, newV, oldV) == newV
+	}
+	return false
+}
+
 // ReadsFixpoint reports whether an until{} condition consults the fixpoint
 // aggregator. A delta repair is only meaningful for computations that stop
 // when they converge: an iteration-count bound would cut the repair wave

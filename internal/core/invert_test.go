@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/deltav/ast"
+)
+
+// TestSelfFoldingFields pins the clamp analysis against the stock corpus:
+// the monotone programs (sssp, wcc, cc, reach) fold their result field
+// with its own previous value, while pagerank recomputes its fields as
+// pure functions of the aggregates each round. Synthesized fields
+// ($acc_*, $old_*) must never be reported — the compiled incremental body
+// self-folds every accumulator by construction.
+func TestSelfFoldingFields(t *testing.T) {
+	cases := map[string][]string{
+		"sssp":     {"dist"},
+		"wcc":      {"cid"},
+		"cc":       {"cid"},
+		"reach":    {"reach"},
+		"pagerank": nil,
+	}
+	for _, mode := range []Mode{Incremental, MemoTable} {
+		for name, want := range cases {
+			p := compileT(t, name, mode)
+			got := SelfFoldingFields(p.Phases[0].Body, p.Layout.UserFields)
+			if len(got) != len(want) {
+				t.Errorf("%s/%s: SelfFoldingFields = %v, want %v", name, mode, got, want)
+				continue
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("%s/%s: SelfFoldingFields = %v, want %v", name, mode, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestClampSafe enumerates the transition classes: injections and
+// tightenings pass for idempotent and absorbing operators, retractions
+// and loosenings fail, and sum/prod (no tightening direction) only pass
+// value-preserving transitions.
+func TestClampSafe(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		name             string
+		op               ast.AggOp
+		oldV             float64
+		oldPresent       bool
+		newV             float64
+		newPresent, want bool
+	}{
+		{"min-inject", ast.AggMin, 0, false, 3, true, true},
+		{"min-tighten", ast.AggMin, 5, true, 3, true, true},
+		{"min-loosen", ast.AggMin, 3, true, 5, true, false},
+		{"min-remove", ast.AggMin, 3, true, 0, false, false},
+		{"min-remove-identity", ast.AggMin, inf, true, 0, false, true},
+		{"max-tighten", ast.AggMax, 3, true, 5, true, true},
+		{"max-loosen", ast.AggMax, 5, true, 3, true, false},
+		{"or-gain-true", ast.AggOr, 0, true, 1, true, true},
+		{"or-lose-true", ast.AggOr, 1, true, 0, false, false},
+		{"and-gain-false", ast.AggAnd, 1, true, 0, true, true},
+		{"and-lose-false", ast.AggAnd, 0, true, 1, true, false},
+		{"sum-same", ast.AggSum, 2, true, 2, true, true},
+		{"sum-change", ast.AggSum, 2, true, 3, true, false},
+		{"sum-remove-zero", ast.AggSum, 0, true, 0, false, true},
+		{"prod-remove-one", ast.AggProd, 1, true, 1, false, true},
+		{"prod-change", ast.AggProd, 2, true, 4, true, false},
+	}
+	for _, tc := range cases {
+		if got := ClampSafe(tc.op, tc.oldV, tc.oldPresent, tc.newV, tc.newPresent); got != tc.want {
+			t.Errorf("%s: ClampSafe = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -28,6 +28,13 @@ import (
 // (the table update replaces the stale entry), and pairs whose last arc
 // disappeared are surgically deleted with the receiver kept active for the
 // next refold.
+//
+// Repairs only reach the accumulators. A body that folds a field with its
+// own previous value (SSSP's `dist = min dist d`) memoizes history the
+// plan cannot rewrite: the clamp would pin the stale fixpoint even after a
+// perfect table repair, so for such programs the planner admits only
+// provable tightenings (core.SelfFoldingFields / core.ClampSafe) and
+// rejects everything else with a rerun-from-scratch error.
 
 // DeltaRunOptions configure a delta-recomputation run. The machine's graph
 // must be the *mutated* graph (the output of graph.ApplyDelta); Snapshot
@@ -141,7 +148,11 @@ func (m *Machine) validateDelta(opts *DeltaRunOptions) error {
 			len(m.prog.Phases))
 	}
 	if opts.Changes.NewVertices > 0 {
-		return fmt.Errorf("vm: delta adds %d vertices, which need init{}; rerun from scratch", opts.Changes.NewVertices)
+		// Wrap ErrSnapshotMismatch so long-lived callers (dvserve, dvrun
+		// -warm-start) can detect the added-vertex case programmatically
+		// and fall back to a from-scratch run instead of dying.
+		return fmt.Errorf("vm: %w: delta adds %d vertices, which need init{} state the snapshot cannot supply; rerun from scratch",
+			pregel.ErrSnapshotMismatch, opts.Changes.NewVertices)
 	}
 	if opts.Snapshot.Fingerprint != opts.Changes.OldFingerprint {
 		return fmt.Errorf("vm: %w: snapshot was taken on graph %016x, the delta was applied to %016x",
@@ -192,8 +203,9 @@ func (m *Machine) planRepair(ch *graph.AppliedDelta) (*repairPlan, error) {
 	}
 	ev := &evaluator{m: m}
 	ev.lets = make([]float64, m.prog.MaxLetDepth)
+	clamped := core.SelfFoldingFields(m.prog.Phases[0].Body, m.prog.Layout.UserFields)
 	for _, gid := range m.prog.Phases[0].Groups {
-		if err := m.planGroup(plan, ev, m.prog.Groups[gid], ch, inDelta, outDelta); err != nil {
+		if err := m.planGroup(plan, ev, m.prog.Groups[gid], ch, inDelta, outDelta, clamped); err != nil {
 			return nil, err
 		}
 	}
@@ -230,8 +242,9 @@ func (m *Machine) planRepair(ch *graph.AppliedDelta) (*repairPlan, error) {
 	return plan, nil
 }
 
-// planGroup plans one send group's repair.
-func (m *Machine) planGroup(plan *repairPlan, ev *evaluator, g *core.SendGroup, ch *graph.AppliedDelta, inDelta, outDelta map[graph.VertexID]int) error {
+// planGroup plans one send group's repair. clamped names the body's
+// self-folding fields (empty for pure-function bodies).
+func (m *Machine) planGroup(plan *repairPlan, ev *evaluator, g *core.SendGroup, ch *graph.AppliedDelta, inDelta, outDelta map[graph.VertexID]int, clamped []string) error {
 	sites := make([]*core.AggSite, len(g.Sites))
 	readsIn, readsOut := false, false
 	for i, sid := range g.Sites {
@@ -287,6 +300,9 @@ func (m *Machine) planGroup(plan *repairPlan, ev *evaluator, g *core.SendGroup, 
 	usesW := m.groupUsesWeight(g.ID)
 	for _, s := range senders {
 		ev.u, ev.base = s, int(s)*m.stride
+		if err := m.checkClampedLoosening(ev, sites, perSender[s], resweep[s], clamped); err != nil {
+			return err
+		}
 		cur := m.pushArcs(ev, g.PushDir)
 		if g.Strategy == core.StrategyTable {
 			m.planTableSender(plan, ev, g, sites, cur, sortedDests(perSender[s]), resweep[s])
@@ -394,6 +410,44 @@ func (m *Machine) degreeOf(u graph.VertexID, in bool) int {
 		return m.g.InDegree(u)
 	}
 	return m.g.OutDegree(u)
+}
+
+// checkClampedLoosening rejects the transitions a self-folding body would
+// mask. A field like SSSP's `dist = min dist d` memoizes its converged
+// value outside every repairable accumulator: table surgery can delete a
+// removed arc's entry and the refold then yields the corrected aggregate,
+// but the body clamps the field to the stale (tighter) value, silently
+// pinning a fixpoint no from-scratch run reaches. For clamped programs
+// only transitions whose new contribution subsumes the old one — provable
+// tightenings — are admitted; everything else reruns from scratch.
+func (m *Machine) checkClampedLoosening(ev *evaluator, sites []*core.AggSite, pd map[graph.VertexID][]graph.ArcChange, resweep bool, clamped []string) error {
+	if len(clamped) == 0 {
+		return nil
+	}
+	if resweep {
+		return fmt.Errorf("vm: a degree change moves every contribution of vertex %d, and the body folds field %q with its own previous value; the clamp could pin a loosened aggregate — rerun from scratch",
+			ev.u, clamped[0])
+	}
+	for _, dest := range sortedDests(pd) {
+		for _, a := range pd[dest] {
+			for _, s := range sites {
+				var oldV, newV float64
+				oldPresent := a.Kind != graph.ArcAdd
+				newPresent := a.Kind != graph.ArcRemove
+				if oldPresent {
+					oldV = m.repairSlotVal(ev, s, a.OldW, nil)
+				}
+				if newPresent {
+					newV = m.repairSlotVal(ev, s, a.NewW, nil)
+				}
+				if !core.ClampSafe(s.Op, oldV, oldPresent, newV, newPresent) {
+					return fmt.Errorf("vm: mutated arc %d->%d loosens a %s contribution, and the body folds field %q with its own previous value; the clamp would pin the stale fixpoint — rerun from scratch",
+						ev.u, dest, s.Op, clamped[0])
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // planChangedArcs handles a sender whose contributions are

@@ -261,6 +261,88 @@ func TestDeltaRecomputeWeightedSum(t *testing.T) {
 	}
 }
 
+// nminSrc is a weighted one-hop min whose output field is a pure function
+// of the aggregate — no `m = min m t` self-fold. That keeps loosening
+// mutations inside the memo-table repairable class: surgery deletes the
+// retracted entry and the refold re-derives the min exactly.
+const nminSrc = `
+init {
+  local x : float = 1.0 + 1.0 * id;
+  local m : float = infty
+};
+iter k {
+  let t : float = min [ u.x + ew | u <- #in ] in
+  m = t
+} until { fixpoint }
+`
+
+// TestDeltaRecomputeUnclampedMinRemoval: edge removal against a min site
+// is repairable in memo-table mode when the body does not clamp — the
+// positive counterpart of the TestDeltaClampedLoosening rejections.
+func TestDeltaRecomputeUnclampedMinRemoval(t *testing.T) {
+	g0 := randWeighted(60, 150, 11)
+	u, v := firstArc(t, g0)
+	d := &graph.Delta{}
+	d.RemoveEdge(u, v) // clears all parallel arcs: memo-table surgery
+	d.AddWeightedEdge(7, 3, 1.25)
+	tc := &deltaCase{src: nminSrc, mode: core.MemoTable, fields: []string{"m"}, bitwise: true}
+	tc.run(t, g0, d)
+
+	// The same removal in incremental mode still hits the accumulator
+	// retraction wall (no table to delete from), with advice that is only
+	// honest because the body is unclamped.
+	opts := RunOptions{Workers: 4}
+	prog, err := core.Compile(nminSrc, core.Options{Mode: core.Incremental})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := terminalVMSnapshot(t, prog, g0, opts)
+	g1, ad, err := graph.ApplyDelta(g0, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err = core.Compile(nminSrc, core.Options{Mode: core.Incremental})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunDelta(prog, g1, DeltaRunOptions{RunOptions: opts, Snapshot: snap, Changes: ad})
+	wantErr(t, err, "cannot retract")
+}
+
+// TestDeltaClampedLoosening: SSSP's `dist = min dist d` folds the field
+// with its own previous value, so a loosening mutation would leave dist
+// pinned at the stale (tighter) fixpoint even though the memo table can
+// retract the contribution itself. dvserve surfaced this: before the
+// planner guard, RunDelta reported success and the daemon served stale
+// distances forever. Both mutation shapes that can loosen — removal and a
+// weight increase — must be rejected so callers fall back to scratch.
+func TestDeltaClampedLoosening(t *testing.T) {
+	g0 := graph.Grid(12, 12, 10, 5)
+	opts := RunOptions{Workers: 3, Params: map[string]float64{"src": 0}, Combine: true}
+	snap, _ := terminalVMSnapshot(t, mustCompile("sssp", core.MemoTable), g0, opts)
+	cases := []struct {
+		name string
+		mut  func(*graph.Delta)
+	}{
+		{"remove", func(d *graph.Delta) { d.RemoveEdge(0, 1) }},
+		{"loosen-reweight", func(d *graph.Delta) { d.SetWeight(0, 1, 99) }},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			d := &graph.Delta{}
+			tt.mut(d)
+			g1, ad, err := graph.ApplyDelta(g0, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = RunDelta(mustCompile("sssp", core.MemoTable), g1, DeltaRunOptions{
+				RunOptions: opts, Snapshot: snap, Changes: ad,
+			})
+			wantErr(t, err, "pin the stale fixpoint")
+		})
+	}
+}
+
 func TestDeltaRecomputePageRankField(t *testing.T) {
 	g0 := graph.RMAT(7, 3, 0.57, 0.19, 0.19, true, 42)
 	u, v := firstArc(t, g0)
@@ -380,14 +462,16 @@ func TestDeltaRunValidation(t *testing.T) {
 		wantErr(t, err, "needs the applied delta")
 	})
 	t.Run("min-retraction", func(t *testing.T) {
-		// Removing an arc loosens a min input: the memoized accumulator
-		// cannot forget the folded-in value, and the self-clamping program
-		// could not converge to the scratch answer even if it could.
+		// Removing an arc loosens a min input. SSSP's body clamps dist
+		// with its own previous value, so even a mode whose accumulator
+		// could retract the contribution (memo tables) would publish a
+		// pinned stale fixpoint; the planner rejects the loosening before
+		// strategy dispatch in both modes.
 		d := &graph.Delta{}
 		d.RemoveEdge(10, 11)
 		g1, ad := apply(t, d)
 		_, err := RunDelta(mustCompile("sssp", core.Incremental), g1, DeltaRunOptions{Snapshot: snap, Changes: ad})
-		wantErr(t, err, "cannot retract")
+		wantErr(t, err, "pin the stale fixpoint")
 	})
 	t.Run("non-terminal-snapshot", func(t *testing.T) {
 		dir := t.TempDir()

@@ -79,6 +79,11 @@ type RunOptions struct {
 	// payload and the engine state are both validated before the run
 	// continues at the snapshot's superstep + 1.
 	Resume *pregel.Snapshot
+	// Quarantine contains a panic inside a single vertex's evaluation to
+	// that vertex (skip + remove + record in Stats.Quarantined) instead
+	// of aborting the run — the resident-server posture. See
+	// pregel.Options.Quarantine.
+	Quarantine bool
 }
 
 // ErrUnknownField is wrapped by the error returned when a field name does
@@ -319,6 +324,7 @@ func (m *Machine) execute(ctx context.Context, opts RunOptions, warm *pregel.War
 		Checkpoint:    ckpt,
 		Resume:        opts.Resume,
 		WarmStart:     warm,
+		Quarantine:    opts.Quarantine,
 	})
 	eng.SetMessageSize(m.msgBytes)
 	eng.SetValueCodec(vstateCodec{})

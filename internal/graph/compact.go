@@ -184,9 +184,13 @@ func (g *Graph) AppendOutNeighbors(u VertexID, buf []VertexID) []VertexID {
 // gap-varint form.
 func (g *Graph) IsCompact() bool { return g.cOutIdx != nil }
 
-// Mapped reports whether the graph's storage aliases a file mapping
-// (see ReadGraphFile with LoadMmap).
-func (g *Graph) Mapped() bool { return g.unmap != nil }
+// Mapped reports whether the graph's storage aliases a live file mapping
+// (see ReadGraphFile with LoadMmap). It turns false once the mapping has
+// actually been released, which a Close can defer past outstanding
+// Retain pins.
+func (g *Graph) Mapped() bool {
+	return g.unmap != nil && g.refs.Load()&graphUnmappedBit == 0
+}
 
 // Repr names the adjacency representation: "flat", "compact", or
 // "compact+mmap" for a file-mapped compact graph.

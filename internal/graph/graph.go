@@ -63,8 +63,18 @@ type Graph struct {
 	inOnce sync.Once
 
 	// unmap releases the file mapping backing a graph loaded with
-	// LoadMmap (nil for heap-backed graphs).
+	// LoadMmap (nil for heap-backed graphs). It is invoked at most once,
+	// through the refs lifecycle below — never directly.
 	unmap func() error
+
+	// refs guards the mapping's lifetime against concurrent readers. The
+	// low bits count outstanding Retain pins; closedBit marks that Close
+	// was called (further Retains fail); unmappedBit marks that the
+	// mapping has actually been released. Close unmaps immediately only
+	// when no pins are outstanding, otherwise the last Release unmaps —
+	// so a reader holding an ArcIter over mapped memory can never have
+	// the pages pulled out from under it by a concurrent Close.
+	refs atomic.Int64
 
 	// fp caches Fingerprint (0 = not yet computed; the hash is folded so
 	// it can never legitimately be 0).
@@ -304,16 +314,71 @@ func (g *Graph) Fingerprint() uint64 {
 	return h
 }
 
-// Close releases the file mapping backing a graph loaded with LoadMmap.
-// It is a no-op (returning nil) for heap-backed graphs. A mapped graph
-// must not be used after Close.
+// Graph lifetime state bits held in Graph.refs alongside the pin count.
+const (
+	graphClosedBit   = int64(1) << 62
+	graphUnmappedBit = int64(1) << 61
+)
+
+// Retain pins the graph's backing storage so it survives a concurrent
+// Close: while the pin is held, a graph loaded with LoadMmap keeps its
+// mapping even if Close is called, and the unmap happens at the final
+// Release instead. Retain reports false once Close has been called — the
+// caller must not touch the graph and should fall back to a newer
+// version. Heap-backed graphs accept pins too (making caller code
+// representation-agnostic); the pins are then bookkeeping only.
+//
+// Every successful Retain must be paired with exactly one Release.
+func (g *Graph) Retain() bool {
+	for {
+		r := g.refs.Load()
+		if r&graphClosedBit != 0 {
+			return false
+		}
+		if g.refs.CompareAndSwap(r, r+1) {
+			return true
+		}
+	}
+}
+
+// Release undoes one Retain. The Release that drops the last pin after a
+// Close performs the deferred unmap.
+func (g *Graph) Release() {
+	if r := g.refs.Add(-1); r == graphClosedBit {
+		// Close ran while pins were outstanding and this was the last
+		// one; exactly one goroutine observes this state.
+		g.doUnmap()
+	}
+}
+
+// Close retires the graph: subsequent Retains fail, and the file mapping
+// backing a graph loaded with LoadMmap is released — immediately when no
+// Retain pins are outstanding, otherwise by the last Release. It returns
+// nil for heap-backed graphs and on repeated calls. A mapped graph must
+// not be used after Close except through a Retain pin taken before it.
 func (g *Graph) Close() error {
+	for {
+		r := g.refs.Load()
+		if r&graphClosedBit != 0 {
+			return nil
+		}
+		if g.refs.CompareAndSwap(r, r|graphClosedBit) {
+			if r == 0 {
+				return g.doUnmap()
+			}
+			return nil // last Release unmaps
+		}
+	}
+}
+
+// doUnmap releases the mapping. The refs protocol (Close with zero pins,
+// or the final Release after Close) guarantees exactly one caller.
+func (g *Graph) doUnmap() error {
+	g.refs.Add(graphUnmappedBit)
 	if g.unmap == nil {
 		return nil
 	}
-	f := g.unmap
-	g.unmap = nil
-	return f()
+	return g.unmap()
 }
 
 // decodeList decodes one gap-varint neighbour stream into a fresh slice.

@@ -1,0 +1,138 @@
+package graph
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestRetainDefersUnmapPastReaders is the regression test for the serving
+// use-after-unmap: readers holding ArcIter cursors over a file-mapped
+// graph while another goroutine retires it with Close. Before the refs
+// guard, Close unmapped immediately and the readers faulted on the dead
+// mapping (a crash, not a -race report — the kernel sees the access first);
+// with it, Close defers the unmap to the last Release and every read
+// completes against live pages.
+func TestRetainDefersUnmapPastReaders(t *testing.T) {
+	g := WithRandomWeights(RMAT(9, 8, 0.57, 0.19, 0.19, true, 7), 1, 10, 4)
+	path := filepath.Join(t.TempDir(), "g.dvg")
+	if err := WriteGraphFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadGraphFile(path, LoadMmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSum := degreeSum(g)
+
+	const readers = 8
+	var wg sync.WaitGroup
+	pinned := make(chan struct{}, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			first := true
+			for {
+				if !m.Retain() {
+					if first {
+						// Every reader must win at least one pin before
+						// Close is allowed to run; see the barrier below.
+						panic("retire_test: first Retain failed before Close")
+					}
+					return
+				}
+				if got := degreeSum(m); got != wantSum {
+					m.Release()
+					panic("retire_test: torn read from retired mapping")
+				}
+				if first {
+					first = false
+					pinned <- struct{}{}
+				}
+				m.Release()
+			}
+		}()
+	}
+	// Wait until every reader holds (or has held) a pin, then retire the
+	// graph out from under them.
+	for i := 0; i < readers; i++ {
+		<-pinned
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	wg.Wait()
+
+	if m.Retain() {
+		t.Fatal("Retain succeeded after Close")
+	}
+	if m.Mapped() {
+		t.Fatal("mapping still live after Close and all Releases")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// degreeSum walks every arc through the copy-free cursor, touching the
+// mapped pages the way the serving read path does.
+func degreeSum(g *Graph) int64 {
+	var sum int64
+	for u := 0; u < g.NumVertices(); u++ {
+		it := g.OutArcs(VertexID(u))
+		for it.Next() {
+			sum += int64(it.To())
+		}
+	}
+	return sum
+}
+
+// TestRetainHeapGraph: pins on a heap-backed graph are bookkeeping only,
+// but the closed-after-Close contract must hold for every representation
+// so serving code can stay representation-agnostic.
+func TestRetainHeapGraph(t *testing.T) {
+	g := Cycle(10, true)
+	if !g.Retain() {
+		t.Fatal("Retain on open heap graph failed")
+	}
+	g.Release()
+	if err := g.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if g.Retain() {
+		t.Fatal("Retain succeeded after Close on heap graph")
+	}
+}
+
+// TestCloseWithPinnedReaderKeepsMapping: the mapping must remain readable
+// between Close and the final Release.
+func TestCloseWithPinnedReaderKeepsMapping(t *testing.T) {
+	g := RMAT(8, 6, 0.57, 0.19, 0.19, true, 3)
+	path := filepath.Join(t.TempDir(), "g.dvg")
+	if err := WriteGraphFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadGraphFile(path, LoadMmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped := m.Mapped()
+	if !m.Retain() {
+		t.Fatal("Retain failed")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close with pin: %v", err)
+	}
+	if mapped && !m.Mapped() {
+		t.Fatal("Close unmapped despite an outstanding pin")
+	}
+	// Reads through the pin still see every arc.
+	if got, want := degreeSum(m), degreeSum(g); got != want {
+		t.Fatalf("pinned read after Close: sum %d, want %d", got, want)
+	}
+	m.Release()
+	if mapped && m.Mapped() {
+		t.Fatal("final Release did not unmap")
+	}
+}

@@ -110,6 +110,14 @@ type worker[V, M any] struct {
 	// vertex loop; the master reads it after the compute barrier.
 	timedOut bool
 
+	// Quarantine scratch (Options.Quarantine only): sendMark records the
+	// per-destination outbox lengths before each vertex call so a
+	// panicking vertex's partial sends can be rolled back, and
+	// quarantined collects the vertices recovered this superstep (the
+	// master drains it after the compute barrier).
+	sendMark    []int
+	quarantined []VertexID
+
 	// Per-superstep partial stats.
 	sent       int
 	ran        int
@@ -366,6 +374,9 @@ func (e *Engine[V, M]) RunContext(ctx context.Context, prog Program[V, M]) (*Sta
 			wk.combSlot = make([]int32, e.block)
 			wk.combStamp = make([]uint32, e.block)
 		}
+		if e.opts.Quarantine {
+			wk.sendMark = make([]int, e.opts.Workers)
+		}
 	}
 	e.stats.Steps = make([]StepStats, 0, min(e.opts.MaxSupersteps, 4096))
 
@@ -445,6 +456,9 @@ func (e *Engine[V, M]) RunContext(ctx context.Context, prog Program[V, M]) (*Sta
 		broadcast(cmdCompute)
 		if re := e.workerPanic(); re != nil {
 			return abort(re)
+		}
+		if e.opts.Quarantine {
+			e.drainQuarantined()
 		}
 		if e.workerTimedOut() {
 			// The compute phase was cut short mid-loop: outboxes and the
@@ -534,6 +548,20 @@ func (e *Engine[V, M]) checkAbort(ctx context.Context, deadline time.Time, stepS
 		return fmt.Errorf("%w (superstep %d ran > %v)", ErrStepTimeout, e.superstep, st)
 	}
 	return nil
+}
+
+// drainQuarantined folds the vertices each worker quarantined during the
+// compute phase that just completed into the run statistics. Safe to call
+// only after the barrier's WaitGroup wait.
+func (e *Engine[V, M]) drainQuarantined() {
+	for _, wk := range e.workers {
+		if len(wk.quarantined) == 0 {
+			continue
+		}
+		e.stats.Quarantined += len(wk.quarantined)
+		e.stats.QuarantinedVertices = append(e.stats.QuarantinedVertices, wk.quarantined...)
+		wk.quarantined = wk.quarantined[:0]
+	}
 }
 
 // workerTimedOut reports whether any worker's cooperative StepTimeout
@@ -676,6 +704,7 @@ func (w *worker[V, M]) compute(prog Program[V, M]) {
 	// the zero-alloc steady state is untouched.
 	w.timedOut = false
 	deadline := e.stepDeadline
+	quarantine := e.opts.Quarantine
 	runVertex := func(u, slot int) {
 		if !deadline.IsZero() && w.ran&31 == 0 && time.Now().After(deadline) {
 			w.timedOut = true
@@ -687,7 +716,14 @@ func (w *worker[V, M]) compute(prog Program[V, M]) {
 		ctx.votedHalt = false
 		ctx.removeSelf = false
 		w.inVertex = true
-		if e.superstep == 0 {
+		if quarantine {
+			if w.runGuarded(prog, slot) {
+				// The vertex panicked and was quarantined: its sends were
+				// rolled back and it is removed; nothing else to update.
+				w.inVertex = false
+				return
+			}
+		} else if e.superstep == 0 {
 			prog.Init(ctx)
 		} else {
 			lo := w.msgOff[slot-w.lo]
@@ -740,6 +776,46 @@ func (w *worker[V, M]) compute(prog Program[V, M]) {
 	if e.combiner != nil && !w.timedOut {
 		w.combineOut()
 	}
+}
+
+// runGuarded invokes the vertex program under Options.Quarantine: a panic
+// raised by Init/Compute is recovered here — at vertex granularity rather
+// than at the superstep barrier — the vertex's partial sends are rolled
+// back to the marks taken before the call, its message count is restored,
+// and the vertex is removed from the computation. The worker loop then
+// continues with the next vertex, so one poisoned vertex cannot abort a
+// resident run. Returns whether the vertex panicked.
+func (w *worker[V, M]) runGuarded(prog Program[V, M], slot int) (panicked bool) {
+	e := w.eng
+	for d := range w.outTo {
+		w.sendMark[d] = len(w.outTo[d])
+	}
+	sent := w.sent
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		panicked = true
+		u := w.ctx.id
+		for d := range w.outTo {
+			w.outTo[d] = w.outTo[d][:w.sendMark[d]]
+			w.outMsg[d] = w.outMsg[d][:w.sendMark[d]]
+		}
+		w.sent = sent
+		e.removed[u] = true
+		e.active[u] = false
+		w.quarantined = append(w.quarantined, u)
+	}()
+	ctx := &w.ctx
+	if e.superstep == 0 {
+		prog.Init(ctx)
+	} else {
+		lo := w.msgOff[slot-w.lo]
+		hi := w.msgOff[slot-w.lo+1]
+		prog.Compute(ctx, w.msgBuf[lo:hi])
+	}
+	return false
 }
 
 func (w *worker[V, M]) hasMsgs(slot int) bool {

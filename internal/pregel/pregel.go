@@ -142,6 +142,22 @@ type Options struct {
 	// begins at superstep 1 with empty inboxes. Mutually exclusive with
 	// Resume. See WarmStartOptions.
 	WarmStart *WarmStartOptions
+	// Quarantine contains a panic raised inside a single vertex's
+	// Init/Compute to that vertex instead of aborting the run: the panic
+	// is recovered at the call site, every message the vertex sent during
+	// the panicking call is retracted (its outbox marks are rolled back,
+	// so a half-emitted broadcast cannot corrupt downstream
+	// accumulators), the vertex is removed from the computation exactly
+	// as if it had called RemoveSelf, and the superstep continues.
+	// Quarantined vertices are recorded in Stats.Quarantined /
+	// Stats.QuarantinedVertices; their values freeze (any writes the
+	// panicking call made before the panic persist, like RemoveSelf)
+	// and pending or future messages addressed to them are dropped. Panics outside a vertex program — combiners, the
+	// exchange phase, master hooks — are not attributable to one vertex
+	// and still abort the run with a *RunError. This is the resident-
+	// server posture: a poisoned vertex program must not take down a
+	// long-lived serving process (see DESIGN.md "Serving").
+	Quarantine bool
 }
 
 // WarmStartOptions seed a run from the terminal snapshot of a previous,
@@ -218,12 +234,22 @@ type Stats struct {
 	// last periodic snapshot, which may be many supersteps behind the
 	// abort point — resume from this superstep, not from Supersteps.
 	CheckpointSuperstep int
+	// Quarantined counts vertices whose Init/Compute panicked under
+	// Options.Quarantine and were skipped + removed instead of aborting
+	// the run; QuarantinedVertices lists them in the order they were
+	// recorded (worker order within a superstep, supersteps in run
+	// order). Both stay zero when Quarantine is off.
+	Quarantined         int
+	QuarantinedVertices []VertexID
 }
 
 // String summarizes the run statistics.
 func (s Stats) String() string {
 	base := fmt.Sprintf("supersteps=%d msgs=%d combined=%d bytes=%d active=%d time=%v",
 		s.Supersteps, s.MessagesSent, s.CombinedMessages, s.MessageBytes, s.TotalActive, s.Duration)
+	if s.Quarantined > 0 {
+		base += fmt.Sprintf(" quarantined=%d", s.Quarantined)
+	}
 	if s.Aborted {
 		base += fmt.Sprintf(" aborted=%q", s.AbortReason)
 	}

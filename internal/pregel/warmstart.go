@@ -32,6 +32,14 @@ func (e *Engine[V, M]) warmRestore(ws *WarmStartOptions) error {
 			ErrSnapshotMismatch, s.Superstep)
 	}
 	if s.NumVertices != n {
+		if n > s.NumVertices {
+			// The usual way here: an edge delta added vertices and the
+			// caller fed the pre-mutation snapshot. Name the count and
+			// the remedy instead of letting the size mismatch surface as
+			// a confusing decode failure downstream.
+			return fmt.Errorf("%w: graph gained %d vertices since the snapshot (%d now, %d at capture); added vertices have no converged state to seed — rerun from scratch instead of warm-starting",
+				ErrSnapshotMismatch, n-s.NumVertices, n, s.NumVertices)
+		}
 		return fmt.Errorf("%w: graph has %d vertices, snapshot has %d",
 			ErrSnapshotMismatch, n, s.NumVertices)
 	}
@@ -80,7 +88,8 @@ func (e *Engine[V, M]) warmRestore(ws *WarmStartOptions) error {
 	}
 	for _, v := range ws.Activate {
 		if int(v) >= n {
-			return fmt.Errorf("pregel: warm start activates vertex %d, graph has %d vertices", v, n)
+			return fmt.Errorf("%w: warm start activates vertex %d, graph has %d vertices",
+				ErrSnapshotMismatch, v, n)
 		}
 		if e.removed[v] {
 			continue

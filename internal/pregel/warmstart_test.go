@@ -203,11 +203,19 @@ func TestWarmStartValidation(t *testing.T) {
 	if err := run(g, &WarmStartOptions{Snapshot: done, ExpectFingerprint: 12345}, nil); err == nil || !errors.Is(err, ErrSnapshotMismatch) {
 		t.Errorf("wrong expected fingerprint: err = %v, want ErrSnapshotMismatch", err)
 	}
-	if err := run(graph.Path(11, true), &WarmStartOptions{Snapshot: done}, nil); err == nil || !errors.Is(err, ErrSnapshotMismatch) {
-		t.Errorf("vertex count mismatch: err = %v, want ErrSnapshotMismatch", err)
+	// A grown graph (delta added vertices, caller fed the old snapshot)
+	// must be named precisely — added-vertex count plus the remedy — not
+	// surface as a generic size or decode failure.
+	if err := run(graph.Path(12, true), &WarmStartOptions{Snapshot: done}, nil); err == nil || !errors.Is(err, ErrSnapshotMismatch) ||
+		!strings.Contains(err.Error(), "gained 2 vertices") || !strings.Contains(err.Error(), "rerun from scratch") {
+		t.Errorf("grown graph: err = %v, want ErrSnapshotMismatch naming 2 added vertices", err)
 	}
-	if err := run(g, &WarmStartOptions{Snapshot: done, Activate: []VertexID{99}}, nil); err == nil || !strings.Contains(err.Error(), "activates vertex") {
-		t.Errorf("out-of-range activation: err = %v", err)
+	if err := run(graph.Path(9, true), &WarmStartOptions{Snapshot: done}, nil); err == nil || !errors.Is(err, ErrSnapshotMismatch) {
+		t.Errorf("shrunk graph: err = %v, want ErrSnapshotMismatch", err)
+	}
+	if err := run(g, &WarmStartOptions{Snapshot: done, Activate: []VertexID{99}}, nil); err == nil || !errors.Is(err, ErrSnapshotMismatch) ||
+		!strings.Contains(err.Error(), "activates vertex") {
+		t.Errorf("out-of-range activation: err = %v, want ErrSnapshotMismatch", err)
 	}
 	if err := run(g, &WarmStartOptions{Snapshot: done}, done); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
 		t.Errorf("Resume+WarmStart: err = %v", err)

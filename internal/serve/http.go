@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/graph"
+)
+
+// Handler returns the server's HTTP API:
+//
+//	GET  /healthz            liveness ("ok")
+//	GET  /stats              operational counters + published-version info
+//	GET  /value/{v}          one vertex's value; ?field= selects the user
+//	                         field (default: the program's first)
+//	GET  /neighbors/{v}      out-neighbors (+weights on weighted graphs)
+//	POST /mutate             deltaio text body (add/del/set/addv lines),
+//	                         enqueued for the next repair batch
+//	POST /flush              force the pending batch through now
+//
+// Every read reply carries the epoch, graph fingerprint and superstep of
+// the version it was served from, so clients can correlate reads across
+// an epoch swap.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /value/{v}", s.handleValue)
+	mux.HandleFunc("GET /neighbors/{v}", s.handleNeighbors)
+	mux.HandleFunc("POST /mutate", s.handleMutate)
+	mux.HandleFunc("POST /flush", s.handleFlush)
+	return mux
+}
+
+// versionMeta is the epoch correlation block every read reply embeds.
+type versionMeta struct {
+	Epoch       int64  `json:"epoch"`
+	Fingerprint string `json:"fingerprint"`
+	Superstep   int    `json:"superstep"`
+}
+
+func metaOf(v *Version) versionMeta {
+	return versionMeta{
+		Epoch:       v.Epoch,
+		Fingerprint: fmt.Sprintf("%016x", v.Fingerprint),
+		Superstep:   v.Superstep,
+	}
+}
+
+type valueReply struct {
+	versionMeta
+	Vertex graph.VertexID `json:"vertex"`
+	Field  string         `json:"field"`
+	Value  float64        `json:"value"`
+}
+
+func (s *Server) handleValue(w http.ResponseWriter, r *http.Request) {
+	v := s.Current()
+	u, ok := s.vertexArg(w, r, v)
+	if !ok {
+		return
+	}
+	field := r.URL.Query().Get("field")
+	if field == "" {
+		field = s.fields[0]
+	}
+	vec, ok := v.Field(field)
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown field %q (have %v)", field, s.fields))
+		return
+	}
+	writeJSON(w, http.StatusOK, valueReply{
+		versionMeta: metaOf(v),
+		Vertex:      u,
+		Field:       field,
+		Value:       vec[u],
+	})
+}
+
+type neighborsReply struct {
+	versionMeta
+	Vertex    graph.VertexID   `json:"vertex"`
+	Degree    int              `json:"degree"`
+	Neighbors []graph.VertexID `json:"neighbors"`
+	Weights   []float64        `json:"weights,omitempty"`
+}
+
+func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
+	// Adjacency iteration aliases the version's (possibly file-mapped)
+	// storage, so unlike value reads it needs a lifetime pin. A failed
+	// Retain means the version was superseded and retired between the
+	// pointer load and here; one reload reaches a version that cannot
+	// have been retired yet, because retirement only happens to a version
+	// that has already been replaced as current.
+	v := s.Current()
+	if !v.g.Retain() {
+		v = s.Current()
+		if !v.g.Retain() {
+			writeError(w, http.StatusServiceUnavailable, "graph version churn; retry")
+			return
+		}
+	}
+	defer v.g.Release()
+	u, ok := s.vertexArg(w, r, v)
+	if !ok {
+		return
+	}
+	reply := neighborsReply{
+		versionMeta: metaOf(v),
+		Vertex:      u,
+		Degree:      v.g.OutDegree(u),
+	}
+	reply.Neighbors = make([]graph.VertexID, 0, reply.Degree)
+	weighted := v.g.Weighted()
+	if weighted {
+		reply.Weights = make([]float64, 0, reply.Degree)
+	}
+	it := v.g.OutArcs(u)
+	for it.Next() {
+		reply.Neighbors = append(reply.Neighbors, it.To())
+		if weighted {
+			reply.Weights = append(reply.Weights, it.Weight())
+		}
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+type mutateReply struct {
+	Accepted int   `json:"accepted"`
+	Pending  int   `json:"pending"`
+	Epoch    int64 `json:"epoch"`
+}
+
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	d, err := graph.ReadDeltaLog(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if d.Len() == 0 {
+		writeError(w, http.StatusBadRequest, "empty mutation log")
+		return
+	}
+	pending, err := s.Enqueue(d.Muts)
+	if err != nil {
+		code := http.StatusServiceUnavailable
+		writeError(w, code, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, mutateReply{
+		Accepted: d.Len(),
+		Pending:  pending,
+		Epoch:    s.current.Load().Epoch,
+	})
+}
+
+type flushReply struct {
+	versionMeta
+	Repaired bool `json:"repaired"`
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	v, err := s.Flush(r.Context())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, flushReply{versionMeta: metaOf(v), Repaired: v.Repaired})
+}
+
+// vertexArg parses the {v} path segment and bounds-checks it against the
+// version being served.
+func (s *Server) vertexArg(w http.ResponseWriter, r *http.Request, v *Version) (graph.VertexID, bool) {
+	raw := r.PathValue("v")
+	u, err := strconv.ParseUint(raw, 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad vertex id %q", raw))
+		return 0, false
+	}
+	if int(u) >= v.g.NumVertices() {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("vertex %d out of range (graph has %d)", u, v.g.NumVertices()))
+		return 0, false
+	}
+	return graph.VertexID(u), true
+}
+
+func writeJSON(w http.ResponseWriter, code int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

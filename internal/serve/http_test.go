@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// getJSON issues a request against the test server and decodes the JSON
+// reply into out, asserting the status code.
+func getJSON(t *testing.T, ts *httptest.Server, method, path, body string, wantCode int, out any) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, ts.URL+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantCode {
+		t.Fatalf("%s %s = %d, want %d (body: %s)", method, path, resp.StatusCode, wantCode, raw)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("%s %s: decode %q: %v", method, path, raw, err)
+		}
+	}
+}
+
+// TestHTTPDaemonRoundTrip is the end-to-end serving test the daemon is
+// built around: start, query, mutate over the wire, flush, query again,
+// and check the repaired values against a from-scratch rerun on an
+// identically mutated reference graph.
+func TestHTTPDaemonRoundTrip(t *testing.T) {
+	s, prog := ssspServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Liveness and the converged first version.
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	var before valueReply
+	getJSON(t, ts, "GET", "/value/1", "", http.StatusOK, &before)
+	if before.Epoch != 1 || before.Field != "dist" {
+		t.Fatalf("initial value reply = %+v", before)
+	}
+
+	// Mutate over the wire: a tightening batch the repair path accepts.
+	muts := "# tighten the corner\nadd 0 16 0.25\nset 0 1 0.5\n"
+	var acc mutateReply
+	getJSON(t, ts, "POST", "/mutate", muts, http.StatusAccepted, &acc)
+	if acc.Accepted != 2 || acc.Pending != 2 || acc.Epoch != 1 {
+		t.Fatalf("mutate reply = %+v", acc)
+	}
+	var fl flushReply
+	getJSON(t, ts, "POST", "/flush", "", http.StatusOK, &fl)
+	if fl.Epoch != 2 || !fl.Repaired {
+		t.Fatalf("flush reply = %+v", fl)
+	}
+
+	// The served values now match a from-scratch rerun on an identically
+	// mutated graph, vertex by vertex over the wire.
+	d, err := graph.ReadDeltaLog(strings.NewReader(muts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _, err := graph.ApplyDelta(graph.Grid(15, 15, 10, 3), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := scratchVector(t, prog, ref, map[string]float64{"src": 0}, "dist")
+	for _, u := range []int{0, 1, 16, 17, 100, 224} {
+		var got valueReply
+		getJSON(t, ts, "GET", fmt.Sprintf("/value/%d?field=dist", u), "", http.StatusOK, &got)
+		if got.Epoch != 2 {
+			t.Fatalf("vertex %d served from epoch %d, want 2", u, got.Epoch)
+		}
+		if got.Value != want[u] {
+			t.Fatalf("vertex %d = %v over the wire, want %v (from-scratch)", u, got.Value, want[u])
+		}
+	}
+
+	// Adjacency reads see the mutated topology.
+	var nb neighborsReply
+	getJSON(t, ts, "GET", "/neighbors/0", "", http.StatusOK, &nb)
+	if nb.Epoch != 2 || nb.Degree != len(nb.Neighbors) || len(nb.Weights) != nb.Degree {
+		t.Fatalf("neighbors reply = %+v", nb)
+	}
+	found := false
+	for i, v := range nb.Neighbors {
+		if v == 16 && nb.Weights[i] == 0.25 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("mutated arc 0->16 (w 0.25) missing from neighbors reply %+v", nb)
+	}
+
+	// Stats reflect the round trip.
+	var st Stats
+	getJSON(t, ts, "GET", "/stats", "", http.StatusOK, &st)
+	if st.Epoch != 2 || st.MutationsAccepted != 2 || st.RepairedBatches != 1 || st.Pending != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestHTTPErrorPaths covers every client-error reply the handlers produce.
+func TestHTTPErrorPaths(t *testing.T) {
+	s, _ := ssspServer(t, Config{MaxPending: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var e map[string]string
+	getJSON(t, ts, "GET", "/value/abc", "", http.StatusBadRequest, &e)
+	if !strings.Contains(e["error"], "bad vertex id") {
+		t.Fatalf("error = %q", e["error"])
+	}
+	getJSON(t, ts, "GET", "/value/225", "", http.StatusNotFound, &e)
+	if !strings.Contains(e["error"], "out of range") {
+		t.Fatalf("error = %q", e["error"])
+	}
+	getJSON(t, ts, "GET", "/value/3?field=nope", "", http.StatusBadRequest, &e)
+	if !strings.Contains(e["error"], `unknown field "nope"`) {
+		t.Fatalf("error = %q", e["error"])
+	}
+	getJSON(t, ts, "GET", "/neighbors/-1", "", http.StatusBadRequest, &e)
+	getJSON(t, ts, "POST", "/mutate", "frobnicate 1 2\n", http.StatusBadRequest, &e)
+	if !strings.Contains(e["error"], "unknown verb") {
+		t.Fatalf("error = %q", e["error"])
+	}
+	getJSON(t, ts, "POST", "/mutate", "# comments only\n", http.StatusBadRequest, &e)
+	if !strings.Contains(e["error"], "empty mutation log") {
+		t.Fatalf("error = %q", e["error"])
+	}
+	// Overflowing the bounded ingest log is a 503 (back-pressure), not a 4xx.
+	getJSON(t, ts, "POST", "/mutate", "add 1 2\nadd 2 3\nadd 3 4\n", http.StatusServiceUnavailable, &e)
+	if !strings.Contains(e["error"], "mutation log full") {
+		t.Fatalf("error = %q", e["error"])
+	}
+	// A method mismatch falls through to the mux's 405.
+	resp, err := ts.Client().Get(ts.URL + "/mutate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /mutate = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestHTTPReadsAcrossEpochSwap drives value reads over the wire while
+// mutation batches swap versions underneath, checking that every reply is
+// internally consistent (epoch monotone per client, value always matching
+// the epoch's published vector).
+func TestHTTPReadsAcrossEpochSwap(t *testing.T) {
+	s, _ := ssspServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	lastEpoch := int64(0)
+	for i := 0; i < 4; i++ {
+		if i > 0 {
+			muts := []graph.Mutation{{Op: graph.MutAddEdge, U: graph.VertexID(i), V: graph.VertexID(200 + i), W: 0.1}}
+			if _, err := s.Enqueue(muts); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Flush(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var got valueReply
+		getJSON(t, ts, "GET", "/value/42", "", http.StatusOK, &got)
+		if got.Epoch < lastEpoch {
+			t.Fatalf("epoch went backwards over the wire: %d after %d", got.Epoch, lastEpoch)
+		}
+		lastEpoch = got.Epoch
+		cur := s.Current()
+		vec, _ := cur.Field("dist")
+		if got.Epoch == cur.Epoch && got.Value != vec[42] {
+			t.Fatalf("epoch %d reply %v does not match published vector %v", got.Epoch, got.Value, vec[42])
+		}
+	}
+	if lastEpoch != 4 {
+		t.Fatalf("final epoch = %d, want 4", lastEpoch)
+	}
+}

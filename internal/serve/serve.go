@@ -1,0 +1,512 @@
+// Package serve turns a one-shot ΔV run into a resident serving process:
+// load a graph, converge a compiled program once, then answer point reads
+// from an immutable published version while edge mutations stream into a
+// bounded log that is periodically collapsed into a delta-recomputation
+// repair (vm.RunDelta) — the paper's incrementalization payoff applied to
+// the always-on setting where queries must never wait on recomputation.
+//
+// # Version lifecycle
+//
+// A Version is an immutable {vertex values, graph, fingerprint, superstep}
+// published through one atomic pointer. Readers load the pointer and are
+// thereby pinned to that epoch: everything they touch — value vectors,
+// adjacency — belongs to one converged fixpoint, bit-stable for as long
+// as they hold it. Repair runs entirely off to the side on the next
+// graph; only when the repaired fixpoint is complete does a single
+// pointer swap publish epoch N+1 (double buffering, generalized: old
+// readers finish on N while new readers start on N+1). The old version's
+// graph is then retired with graph.Close, whose Retain/Release refcount
+// defers the actual unmap past any reader still iterating mapped
+// adjacency.
+//
+// # Repair batching policy
+//
+// Mutations accepted by Enqueue accumulate in a bounded in-memory log
+// (MaxPending; beyond it Enqueue fails with ErrLogFull — backpressure,
+// not silent dropping). A background flush collapses the log into one
+// graph.Delta and applies it as a single batch every BatchInterval, or as
+// soon as MaxBatch entries are pending, whichever comes first; Flush
+// forces the same synchronously. Batching preserves log order within and
+// across batches, so "add u v; del u v" semantics survive the batch
+// boundary. Each batch tries the cheap path first — vm.RunDelta from the
+// previous version's terminal snapshot — and falls back to a from-scratch
+// rerun when the delta is outside the repairable class (added vertices,
+// snapshot mismatch, non-single-phase programs, …). A batch that fails
+// both paths is discarded with its error counted and logged: the
+// published version always remains a true fixpoint of some graph.
+//
+// # Quarantine semantics
+//
+// With Config.Quarantine set (the default in dvserve), a vertex program
+// that panics during a repair or rerun is contained to that vertex
+// (pregel.Options.Quarantine): its partial sends are retracted, the
+// vertex is removed from the computation, and the run — and therefore the
+// server — survives. The cumulative count is exposed in Stats.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/deltav/vm"
+	"repro/internal/graph"
+	"repro/internal/pregel"
+)
+
+// ErrLogFull is returned by Enqueue when accepting the mutations would
+// exceed Config.MaxPending.
+var ErrLogFull = errors.New("serve: mutation log full")
+
+// ErrClosed is returned by operations on a closed server.
+var ErrClosed = errors.New("serve: server closed")
+
+// Config configures a Server. Prog and Graph are required; the server
+// takes ownership of Graph (it is Closed when its version is retired).
+type Config struct {
+	// Prog is the compiled program to keep converged.
+	Prog *core.Program
+	// Graph is the initial graph. Ownership passes to the server.
+	Graph *graph.Graph
+
+	// Params override program parameter defaults by name.
+	Params map[string]float64
+	// Workers, Scheduler, Partition and Combine configure every run the
+	// server performs, exactly as in vm.RunOptions.
+	Workers   int
+	Scheduler pregel.Scheduler
+	Partition pregel.Partition
+	Combine   bool
+	// Quarantine contains vertex-program panics to the panicking vertex
+	// instead of failing the batch (see pregel.Options.Quarantine).
+	Quarantine bool
+
+	// MaxPending bounds the mutation log; Enqueue fails with ErrLogFull
+	// beyond it. Default 65536 entries.
+	MaxPending int
+	// MaxBatch triggers an immediate flush once this many mutations are
+	// pending. Default: MaxPending.
+	MaxBatch int
+	// BatchInterval is the periodic flush cadence. Zero disables the
+	// timer; flushes then happen only via MaxBatch or explicit Flush.
+	BatchInterval time.Duration
+
+	// Logf receives operational log lines (batch failures, fallbacks).
+	// Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Version is one published, immutable serving epoch: the converged field
+// values of one graph, plus the terminal snapshot that seeds the next
+// repair. All exported fields are read-only after publication.
+type Version struct {
+	// Epoch numbers published versions from 1 (the initial convergence).
+	Epoch int64
+	// Fingerprint identifies the graph this fixpoint belongs to.
+	Fingerprint uint64
+	// Superstep is the superstep count at which the fixpoint converged.
+	Superstep int
+	// Repaired is true when this version was produced by delta repair
+	// (vm.RunDelta), false for from-scratch runs (epoch 1, fallbacks).
+	Repaired bool
+	// Stats is the run that produced this version.
+	Stats *pregel.Stats
+
+	g      *graph.Graph
+	fields map[string][]float64
+	snap   *pregel.Snapshot
+}
+
+// Graph returns the version's graph. Callers iterating adjacency while
+// the version may be superseded must pin it with Graph().Retain().
+func (v *Version) Graph() *graph.Graph { return v.g }
+
+// Field returns the published vector of the named user field.
+func (v *Version) Field(name string) ([]float64, bool) {
+	vec, ok := v.fields[name]
+	return vec, ok
+}
+
+// Server is a resident serving process for one compiled program.
+type Server struct {
+	cfg    Config
+	fields []string // published user-field names, layout order
+
+	current atomic.Pointer[Version]
+
+	mu      sync.Mutex // guards pending
+	pending []graph.Mutation
+
+	repairMu sync.Mutex // serializes batch application
+
+	wake     chan struct{}
+	stop     chan struct{}
+	loopDone chan struct{}
+	stopOnce sync.Once
+	closed   atomic.Bool
+
+	// Counters exposed through Stats.
+	reads       atomic.Int64
+	mutAccepted atomic.Int64
+	mutRejected atomic.Int64
+	batches     atomic.Int64
+	repairs     atomic.Int64
+	fallbacks   atomic.Int64
+	failed      atomic.Int64
+	quarantined atomic.Int64
+}
+
+// hookMidRepair, when non-nil, runs inside Flush after the replacement
+// version is fully computed but before it is published — the widest
+// deterministic window in which a repair is in flight. Tests use it to
+// prove reads neither block on the repair lock nor observe torn state.
+var hookMidRepair func(old *Version)
+
+// New converges cfg.Prog on cfg.Graph from scratch, publishes epoch 1,
+// and starts the background flush loop. On error the caller keeps
+// ownership of cfg.Graph.
+func New(ctx context.Context, cfg Config) (*Server, error) {
+	if cfg.Prog == nil || cfg.Graph == nil {
+		return nil, fmt.Errorf("serve: Config needs Prog and Graph")
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 65536
+	}
+	if cfg.MaxBatch <= 0 || cfg.MaxBatch > cfg.MaxPending {
+		cfg.MaxBatch = cfg.MaxPending
+	}
+	s := &Server{
+		cfg:      cfg,
+		wake:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	for _, f := range cfg.Prog.Layout.Fields[:cfg.Prog.Layout.UserFields] {
+		s.fields = append(s.fields, f.Name)
+	}
+	res, snap, err := s.runScratch(ctx, cfg.Graph)
+	if err != nil {
+		return nil, fmt.Errorf("serve: initial convergence: %w", err)
+	}
+	v, err := s.buildVersion(1, cfg.Graph, res, snap, false)
+	if err != nil {
+		return nil, err
+	}
+	s.current.Store(v)
+	go s.loop()
+	return s, nil
+}
+
+// Current returns the published version. The pointer pins the caller to
+// that epoch: its vectors never change and its graph survives (for
+// adjacency iteration, take Graph().Retain()).
+func (s *Server) Current() *Version {
+	s.reads.Add(1)
+	return s.current.Load()
+}
+
+// FieldNames returns the published user-field names in layout order.
+func (s *Server) FieldNames() []string { return s.fields }
+
+// Enqueue appends mutations to the pending log, reporting the new log
+// length. It fails with ErrLogFull when the log cannot take them and
+// ErrClosed after Close; partial batches are never enqueued.
+func (s *Server) Enqueue(muts []graph.Mutation) (pending int, err error) {
+	if s.closed.Load() {
+		return 0, ErrClosed
+	}
+	s.mu.Lock()
+	if len(s.pending)+len(muts) > s.cfg.MaxPending {
+		n := len(s.pending)
+		s.mu.Unlock()
+		s.mutRejected.Add(int64(len(muts)))
+		return n, fmt.Errorf("%w: %d pending + %d new > %d", ErrLogFull, n, len(muts), s.cfg.MaxPending)
+	}
+	s.pending = append(s.pending, muts...)
+	pending = len(s.pending)
+	s.mu.Unlock()
+	s.mutAccepted.Add(int64(len(muts)))
+	if pending >= s.cfg.MaxBatch {
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+	}
+	return pending, nil
+}
+
+// Pending reports the current mutation-log length.
+func (s *Server) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// Flush synchronously collapses the pending log into one batch, repairs
+// (or recomputes) the fixpoint, and publishes the next version. With an
+// empty log it returns the current version unchanged. Concurrent flushes
+// serialize; reads are never blocked by a flush in progress.
+func (s *Server) Flush(ctx context.Context) (*Version, error) {
+	if s.closed.Load() {
+		return s.current.Load(), ErrClosed
+	}
+	s.repairMu.Lock()
+	defer s.repairMu.Unlock()
+
+	s.mu.Lock()
+	muts := s.pending
+	s.pending = nil
+	s.mu.Unlock()
+
+	cur := s.current.Load()
+	if len(muts) == 0 {
+		return cur, nil
+	}
+	s.batches.Add(1)
+
+	next, err := s.applyBatch(ctx, cur, muts)
+	if err != nil {
+		s.failed.Add(1)
+		s.logf("serve: batch of %d mutations discarded: %v", len(muts), err)
+		return cur, err
+	}
+	if hookMidRepair != nil {
+		hookMidRepair(cur)
+	}
+	s.current.Store(next)
+	// Retire the superseded graph; Retain/Release defers the unmap past
+	// readers still pinned to the old epoch.
+	cur.g.Close()
+	return next, nil
+}
+
+// applyBatch computes the replacement version for cur + muts without
+// touching any published state.
+func (s *Server) applyBatch(ctx context.Context, cur *Version, muts []graph.Mutation) (*Version, error) {
+	g, applied, err := graph.ApplyDelta(cur.g, &graph.Delta{Muts: muts})
+	if err != nil {
+		return nil, fmt.Errorf("applying delta: %w", err)
+	}
+	repaired := true
+	res, snap, err := s.runDelta(ctx, g, cur.snap, applied)
+	if err != nil {
+		// Outside the repairable class (added vertices, mode limits, …)
+		// or the repair itself aborted: fall back to a from-scratch run
+		// on the mutated graph. Correctness never depends on the repair
+		// path being available.
+		repaired = false
+		s.fallbacks.Add(1)
+		s.logf("serve: delta repair unavailable (%v); recomputing from scratch", err)
+		res, snap, err = s.runScratch(ctx, g)
+		if err != nil {
+			g.Close()
+			return nil, fmt.Errorf("from-scratch fallback: %w", err)
+		}
+	} else {
+		s.repairs.Add(1)
+	}
+	next, err := s.buildVersion(cur.Epoch+1, g, res, snap, repaired)
+	if err != nil {
+		g.Close()
+		return nil, err
+	}
+	return next, nil
+}
+
+// runScratch converges the program from scratch on g, capturing the
+// terminal snapshot for the next repair.
+func (s *Server) runScratch(ctx context.Context, g *graph.Graph) (*vm.Result, *pregel.Snapshot, error) {
+	var sink lastSink
+	res, err := vm.RunContext(ctx, s.cfg.Prog, g, s.runOpts(&sink))
+	if err != nil {
+		return nil, nil, err
+	}
+	snap, err := sink.snapshot()
+	if err != nil {
+		return nil, nil, err
+	}
+	s.noteRun(res)
+	return res, snap, nil
+}
+
+// runDelta repairs the fixpoint in snap for the mutated graph g.
+func (s *Server) runDelta(ctx context.Context, g *graph.Graph, snap *pregel.Snapshot, applied *graph.AppliedDelta) (*vm.Result, *pregel.Snapshot, error) {
+	var sink lastSink
+	res, err := vm.RunDeltaContext(ctx, s.cfg.Prog, g, vm.DeltaRunOptions{
+		RunOptions: s.runOpts(&sink),
+		Snapshot:   snap,
+		Changes:    applied,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	next, err := sink.snapshot()
+	if err != nil {
+		return nil, nil, err
+	}
+	s.noteRun(res)
+	return res, next, nil
+}
+
+func (s *Server) runOpts(sink *lastSink) vm.RunOptions {
+	return vm.RunOptions{
+		Params:     s.cfg.Params,
+		Workers:    s.cfg.Workers,
+		Scheduler:  s.cfg.Scheduler,
+		Partition:  s.cfg.Partition,
+		Combine:    s.cfg.Combine,
+		Quarantine: s.cfg.Quarantine,
+		Checkpoint: pregel.CheckpointOptions{Sink: sink},
+	}
+}
+
+func (s *Server) noteRun(res *vm.Result) {
+	if res != nil && res.Stats != nil {
+		s.quarantined.Add(int64(res.Stats.Quarantined))
+	}
+}
+
+// buildVersion freezes a finished run into an immutable Version.
+func (s *Server) buildVersion(epoch int64, g *graph.Graph, res *vm.Result, snap *pregel.Snapshot, repaired bool) (*Version, error) {
+	fields := make(map[string][]float64, len(s.fields))
+	for _, name := range s.fields {
+		vec, err := res.FieldVector(name)
+		if err != nil {
+			return nil, err
+		}
+		fields[name] = vec
+	}
+	return &Version{
+		Epoch:       epoch,
+		Fingerprint: g.Fingerprint(),
+		Superstep:   snap.Superstep,
+		Repaired:    repaired,
+		Stats:       res.Stats,
+		g:           g,
+		fields:      fields,
+		snap:        snap,
+	}, nil
+}
+
+// loop is the background flusher: ticker-driven when BatchInterval is
+// set, wake-driven when MaxBatch fills the log.
+func (s *Server) loop() {
+	defer close(s.loopDone)
+	var tick <-chan time.Time
+	if s.cfg.BatchInterval > 0 {
+		t := time.NewTicker(s.cfg.BatchInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick:
+		case <-s.wake:
+		}
+		// Errors are already counted and logged by Flush; a failed batch
+		// must not stop the loop.
+		_, _ = s.Flush(context.Background())
+	}
+}
+
+// Close stops the flush loop and retires the published version's graph.
+// Pending mutations are not flushed; call Flush first for a clean drain.
+func (s *Server) Close() error {
+	s.stopOnce.Do(func() {
+		s.closed.Store(true)
+		close(s.stop)
+		<-s.loopDone
+		// Serialize with any in-flight Flush before retiring the graph.
+		s.repairMu.Lock()
+		defer s.repairMu.Unlock()
+		if v := s.current.Load(); v != nil {
+			v.g.Close()
+		}
+	})
+	return nil
+}
+
+// Stats is a point-in-time operational summary.
+type Stats struct {
+	Epoch       int64    `json:"epoch"`
+	Fingerprint string   `json:"fingerprint"`
+	Superstep   int      `json:"superstep"`
+	Repaired    bool     `json:"repaired"`
+	NumVertices int      `json:"vertices"`
+	NumArcs     int      `json:"arcs"`
+	Repr        string   `json:"repr"`
+	Fields      []string `json:"fields"`
+
+	Pending           int   `json:"pending_mutations"`
+	Reads             int64 `json:"reads"`
+	MutationsAccepted int64 `json:"mutations_accepted"`
+	MutationsRejected int64 `json:"mutations_rejected"`
+	Batches           int64 `json:"batches"`
+	RepairedBatches   int64 `json:"repaired_batches"`
+	FallbackBatches   int64 `json:"fallback_batches"`
+	FailedBatches     int64 `json:"failed_batches"`
+	Quarantined       int64 `json:"quarantined_vertices"`
+}
+
+// Stats snapshots the server's counters and the published version.
+func (s *Server) Stats() Stats {
+	v := s.current.Load()
+	return Stats{
+		Epoch:             v.Epoch,
+		Fingerprint:       fmt.Sprintf("%016x", v.Fingerprint),
+		Superstep:         v.Superstep,
+		Repaired:          v.Repaired,
+		NumVertices:       v.g.NumVertices(),
+		NumArcs:           v.g.NumArcs(),
+		Repr:              v.g.Repr(),
+		Fields:            s.fields,
+		Pending:           s.Pending(),
+		Reads:             s.reads.Load(),
+		MutationsAccepted: s.mutAccepted.Load(),
+		MutationsRejected: s.mutRejected.Load(),
+		Batches:           s.batches.Load(),
+		RepairedBatches:   s.repairs.Load(),
+		FallbackBatches:   s.fallbacks.Load(),
+		FailedBatches:     s.failed.Load(),
+		Quarantined:       s.quarantined.Load(),
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// lastSink keeps the bytes of the most recent snapshot Write. The engine
+// writes each barrier snapshot as exactly one Write call, and with no
+// periodic interval configured a converged run writes only the terminal
+// snapshot — which is precisely the seed the next repair needs.
+type lastSink struct {
+	buf []byte
+}
+
+func (k *lastSink) Write(p []byte) (int, error) {
+	k.buf = append(k.buf[:0], p...)
+	return len(p), nil
+}
+
+func (k *lastSink) snapshot() (*pregel.Snapshot, error) {
+	if len(k.buf) == 0 {
+		return nil, fmt.Errorf("serve: run produced no terminal snapshot")
+	}
+	snap, rest, err := pregel.DecodeSnapshot(k.buf)
+	if err != nil {
+		return nil, fmt.Errorf("serve: decoding terminal snapshot: %w", err)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("serve: %d trailing snapshot bytes", len(rest))
+	}
+	return snap, nil
+}

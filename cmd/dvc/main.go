@@ -5,7 +5,7 @@
 //
 //	dvc [-mode dv|dvstar|memotable] [-emit source|compiled|layout|go]
 //	    [-epsilon ε] [-vet=false] (-program name | file.dv)
-//	dvc vet [-mode m] [-epsilon ε] [-json] [-severity warn|error]
+//	dvc vet [-mode m] [-epsilon ε] [-json] [-severity info|warn|error]
 //	    [-analyzers a,b,...] (-program name | file.dv)
 //	dvc -list
 //
@@ -18,10 +18,12 @@
 // The vet subcommand runs the static-analysis suite of
 // internal/deltav/analysis and prints every finding (syntax and type
 // errors included) as position-anchored diagnostics, human-readable by
-// default or as a JSON report with -json. -severity warn|error sets the
-// minimum severity shown; -analyzers selects a comma-separated subset of
-// passes. The exit status is 1 when any error-severity finding exists, 0
-// otherwise (warnings do not fail the run), 2 on usage or I/O problems.
+// default or as a JSON report with -json. -severity info|warn|error sets
+// the minimum severity shown (info adds the repairability capability
+// matrix); -analyzers selects a comma-separated subset of passes. The
+// exit status is 1 when any error-severity finding exists, 0 otherwise
+// (info findings and warnings do not fail the run), 2 on usage or I/O
+// problems.
 //
 // Compiling with -emit compiled or -emit go vets the program first:
 // error findings abort the compile (bypass with -vet=false), warnings go
@@ -82,7 +84,7 @@ func registerVetFlags(fs *flag.FlagSet) *vetFlags {
 		epsilon:   fs.Float64("epsilon", 0, "allowable-slop ε the program will run with (§9)"),
 		progName:  fs.String("program", "", "embedded benchmark program name (instead of a file)"),
 		jsonOut:   fs.Bool("json", false, "emit the findings as a JSON report"),
-		severity:  fs.String("severity", "warn", "minimum severity to show: warn, error"),
+		severity:  fs.String("severity", "warn", "minimum severity to show: info, warn, error"),
 		analyzers: fs.String("analyzers", "", "comma-separated analyzer subset (default: all)"),
 	}
 }
@@ -212,7 +214,9 @@ func run(f *mainFlags, args []string) error {
 		if diags.HasErrors() {
 			return fmt.Errorf("vet rejected the program (bypass with -vet=false):\n%s", diags.Error())
 		}
-		for _, d := range diags {
+		// Info findings (the repairability matrix) are vet-only output;
+		// compiling prints warnings and up.
+		for _, d := range diags.Filter(diag.Warning) {
 			fmt.Fprintln(os.Stderr, "dvc vet:", d.String())
 		}
 	}

@@ -1,0 +1,46 @@
+// Command dvlint runs the repo's determinism linter (internal/lint) over
+// package directories: it forbids map-range iteration and time.Now on the
+// deterministic fold/repair paths unless the site carries a
+// "//lint:allow maprange|timenow — reason" annotation.
+//
+// Usage:
+//
+//	dvlint dir...
+//
+// Each dir must hold exactly one Go package (tests are skipped). Findings
+// print as "file:line:col: check: message"; the exit status is 1 when
+// anything is found, 2 on usage or parse errors.
+//
+// Example:
+//
+//	dvlint ./internal/core ./internal/deltav/vm ./internal/pregel ./internal/serve
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: dvlint dir...")
+		os.Exit(2)
+	}
+	found := false
+	for _, dir := range os.Args[1:] {
+		findings, err := lint.Package(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dvlint:", err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			found = true
+			fmt.Println(f)
+		}
+	}
+	if found {
+		os.Exit(1)
+	}
+}

@@ -34,8 +34,12 @@
 // vertex cannot take the daemon down; -no-quarantine restores
 // fail-stop behavior for debugging.
 //
-// On startup dvserve prints "dvserve: listening on http://ADDR" once the
-// socket is bound; SIGINT shuts down gracefully.
+// On startup dvserve prints the program's static repairability matrix
+// (one "repairability MODE: class=verdict ..." line — which mutation
+// classes the batcher can repair in place and which are admitted straight
+// to the from-scratch path; see dvc vet's repairability analyzer for the
+// reasons), then "dvserve: listening on http://ADDR" once the socket is
+// bound; SIGINT shuts down gracefully.
 //
 // Examples:
 //
@@ -174,6 +178,7 @@ func run(ctx context.Context, v *flagVals, out *os.File) error {
 	if err != nil {
 		return err
 	}
+	fmt.Fprintln(out, prog.Repairability())
 	g, err := loadGraph(v)
 	if err != nil {
 		return err

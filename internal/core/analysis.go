@@ -60,7 +60,7 @@ func bodyStable(body ast.Expr, iterVar string) bool {
 	stable := map[string]bool{}
 	for changed := true; changed; {
 		changed = false
-		for field, recs := range a.records {
+		for field, recs := range a.records { //lint:allow maprange — monotone fixpoint; converges to the same set in any order
 			if stable[field] {
 				continue
 			}
@@ -86,7 +86,7 @@ func bodyStable(body ast.Expr, iterVar string) bool {
 			}
 		}
 	}
-	for field := range a.records {
+	for field := range a.records { //lint:allow maprange — all-quantified check, any order
 		if !stable[field] {
 			return false
 		}
@@ -106,7 +106,7 @@ func (r *readSet) merge(o readSet) {
 	if o.iterRead {
 		r.iterRead = true
 	}
-	for f, outside := range o.fields {
+	for f, outside := range o.fields { //lint:allow maprange — commutative OR-merge
 		r.fields[f] = r.fields[f] || outside
 	}
 }
@@ -184,7 +184,7 @@ func (a *stabilityAnalysis) classify(e ast.Expr, conds []readSet) {
 			rs.merge(c)
 		}
 		rec := assignRecord{unstable: rs.iterRead}
-		for y, outsideIdem := range rs.fields {
+		for y, outsideIdem := range rs.fields { //lint:allow maprange — fills a set consumed by all-quantifiers
 			switch {
 			case y == n.Name && !a.done[y]:
 				// Pre-assignment self-read: the previous superstep's

@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/deltav/ast"
 	"repro/internal/deltav/parser"
+	"repro/internal/deltav/token"
 	"repro/internal/deltav/typer"
 	"repro/internal/deltav/types"
 )
@@ -142,6 +143,10 @@ type AggSite struct {
 	NNSlot     int // $nn   (multiplicative, memoized)
 	NullsSlot  int // $nulls (multiplicative, memoized)
 	LastNNSlot int // $lastnn (product, memoized: last non-null sent value)
+
+	// Pos/End anchor the site's source aggregation expression, for
+	// repairability diagnostics.
+	Pos, End token.Pos
 }
 
 // Multiplicative reports whether the site needs §6.4.1 nullary tracking.

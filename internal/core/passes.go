@@ -181,6 +181,7 @@ func (c *compiler) newSite(agg *ast.Agg, phase int) *AggSite {
 		Strategy: c.strategyFor(agg.Op),
 		Phase:    phase,
 		AccSlot:  -1, NNSlot: -1, NullsSlot: -1, LastNNSlot: -1,
+		Pos: agg.Pos(), End: agg.End(),
 	}
 	agg.Site = s.ID
 

@@ -1,0 +1,462 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/deltav/ast"
+	"repro/internal/deltav/token"
+)
+
+// This file computes the RepairProfile: the per-program delta-capability
+// matrix. Whether a streaming graph mutation can be repaired in place is a
+// *static* property of the compiled program — invertibility of the fold,
+// memo-table eligibility, self-folding clamps, topology reads — yet the
+// predicates that decide it (Invertible, SelfFoldingFields, ClampSafe,
+// ReadsFixpoint, ReadsIterVar, the scratch-site and single-phase checks)
+// historically lived scattered across the planner. The profile folds them
+// into one declarative table with three consumers: the `repairability`
+// analyzer renders it through `dvc vet`, vm.RunDelta's validation looks
+// rejections up in it instead of rediscovering them one runtime attempt at
+// a time, and dvserve short-circuits statically doomed batches straight to
+// the from-scratch fallback.
+
+// DeltaClass partitions graph mutations by how they perturb an aggregation
+// input. Weight changes are classified by their effect on the fold, not by
+// the raw weight direction: a transition tightens when the new contribution
+// subsumes the old one under every weight-reading site's operator (the
+// ClampSafe direction), and loosens otherwise.
+type DeltaClass int
+
+// Delta classes, in matrix order.
+const (
+	// DeltaArcAdd is a new arc: its contribution is injected.
+	DeltaArcAdd DeltaClass = iota
+	// DeltaArcRemove is a deleted arc: its contribution is retracted.
+	DeltaArcRemove
+	// DeltaWeightTighten is a reweight whose new contribution subsumes the
+	// old one on every weight-reading site (e.g. a lowered SSSP weight).
+	DeltaWeightTighten
+	// DeltaWeightLoosen is a reweight that relaxes at least one folded-in
+	// contribution (e.g. a raised SSSP weight).
+	DeltaWeightLoosen
+	// DeltaVertexAdd grows the vertex set, which needs init{} state no
+	// snapshot can supply.
+	DeltaVertexAdd
+
+	// NumDeltaClasses sizes per-class tables.
+	NumDeltaClasses int = iota
+)
+
+// String names the class as rendered in the capability matrix.
+func (c DeltaClass) String() string {
+	switch c {
+	case DeltaArcAdd:
+		return "arc-add"
+	case DeltaArcRemove:
+		return "arc-remove"
+	case DeltaWeightTighten:
+		return "weight-tighten"
+	case DeltaWeightLoosen:
+		return "weight-loosen"
+	case DeltaVertexAdd:
+		return "vertex-add"
+	}
+	return fmt.Sprintf("DeltaClass(%d)", int(c))
+}
+
+// Capability is the static verdict for one delta class.
+type Capability int
+
+// Capabilities, ordered from best to worst.
+const (
+	// Repairable: the planner repairs the class in place with the verdict's
+	// strategy. Value-level guards (a zero-crossing product contribution)
+	// may still reject individual deltas at runtime.
+	Repairable Capability = iota
+	// FallbackRequired: the program supports delta repair, but this class
+	// must rerun from scratch; the planner rejects it with the verdict's
+	// reason so callers fall back.
+	FallbackRequired
+	// Unsupported: delta repair never applies to this program × mode — the
+	// planner rejects every delta, whatever its class.
+	Unsupported
+)
+
+// String names the capability as rendered in the matrix.
+func (c Capability) String() string {
+	switch c {
+	case Repairable:
+		return "repairable"
+	case FallbackRequired:
+		return "fallback"
+	}
+	return "unsupported"
+}
+
+// ClassVerdict is the matrix entry for one delta class.
+type ClassVerdict struct {
+	Class DeltaClass
+	Cap   Capability
+	// Strategy names the repair mechanism (Repairable only): "delta-inject",
+	// "delta-retract", "delta-transition", "table-update", "table-surgery",
+	// or "no-op" when the class cannot touch any aggregation input.
+	Strategy string
+	// Reason explains a FallbackRequired/Unsupported verdict in the same
+	// words the planner uses when it rejects the class.
+	Reason string
+	// Unconditional marks a non-repairable verdict the planner enforces
+	// without evaluating the mutation's values: every delta of the class is
+	// rejected (or short-circuited) up front. When false, the planner's
+	// per-value guards may still admit degenerate members of the class
+	// (a transition whose contributions are value-identical, a retraction
+	// of an identity contribution).
+	Unconditional bool
+	// Pos/End anchor the verdict to the program construct that caused it
+	// (the aggregation site, the clamping assignment, the until{} clause);
+	// invalid for program-wide facts such as the compilation mode.
+	Pos, End token.Pos
+}
+
+// Blocker is one program-wide reason delta repair is unavailable in any
+// class, in the order the planner reports them.
+type Blocker struct {
+	Reason   string
+	Pos, End token.Pos
+}
+
+// RepairProfile is the delta-capability matrix of one compiled program.
+type RepairProfile struct {
+	Mode    Mode
+	Classes [NumDeltaClasses]ClassVerdict
+	// Clamped lists the user fields the body folds with their own previous
+	// value (see SelfFoldingFields), the source of every clamp verdict.
+	Clamped []string
+	// Blockers holds the program-wide gates that fail, first-reported
+	// first; non-empty exactly when every class is Unsupported.
+	Blockers []Blocker
+}
+
+// Verdict returns the matrix entry for a class.
+func (rp *RepairProfile) Verdict(c DeltaClass) ClassVerdict { return rp.Classes[c] }
+
+// Blocked returns the first program-wide blocker, or nil when the program
+// admits delta repair for at least some class.
+func (rp *RepairProfile) Blocked() *Blocker {
+	if len(rp.Blockers) == 0 {
+		return nil
+	}
+	return &rp.Blockers[0]
+}
+
+// String renders the matrix on one line, the form dvserve logs at boot:
+//
+//	repairability dV: arc-add=repairable(delta-inject) arc-remove=fallback ...
+func (rp *RepairProfile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "repairability %s:", rp.Mode)
+	for _, v := range rp.Classes {
+		fmt.Fprintf(&b, " %s=%s", v.Class, v.Cap)
+		if v.Strategy != "" {
+			fmt.Fprintf(&b, "(%s)", v.Strategy)
+		}
+	}
+	return b.String()
+}
+
+// clampedField is a self-folding assignment with its source anchor.
+type clampedField struct {
+	name     string
+	pos, end token.Pos
+}
+
+// selfFoldingAssigns is SelfFoldingFields with source ranges: the Assign
+// nodes whose right-hand side reads the assigned user field.
+func selfFoldingAssigns(body ast.Expr, userFields int) []clampedField {
+	var fields []clampedField
+	seen := make(map[int]bool)
+	ast.Walk(body, func(x ast.Expr) bool {
+		a, ok := x.(*ast.Assign)
+		if !ok || !a.IsField || a.Slot >= userFields || seen[a.Slot] {
+			return true
+		}
+		ast.Walk(a.Value, func(y ast.Expr) bool {
+			if f, isField := y.(*ast.Field); isField && f.Slot == a.Slot {
+				seen[a.Slot] = true
+				fields = append(fields, clampedField{name: a.Name, pos: a.Pos(), end: a.End()})
+				return false
+			}
+			return true
+		})
+		return true
+	})
+	return fields
+}
+
+// topologyAnchor locates the first degree-reading node of an expression,
+// for anchoring init-topology verdicts.
+func topologyAnchor(e ast.Expr) (pos, end token.Pos) {
+	ast.Walk(e, func(x ast.Expr) bool {
+		if pos.IsValid() {
+			return false
+		}
+		if c, ok := x.(*ast.Cardinality); ok {
+			pos, end = c.Pos(), c.End()
+			return false
+		}
+		return true
+	})
+	return
+}
+
+// staleInitTopologyFields finds the fields whose init{} value reads a
+// degree and that the body of phase 0 never freshly recomputes — either it
+// does not assign them at all, or every assignment folds in the field's
+// own previous value, keeping the baked-in topology alive.
+func staleInitTopologyFields(p *Program) []clampedField {
+	assigned := map[int]bool{}   // field slots the body assigns
+	selfFolded := map[int]bool{} // field slots some body assignment folds with themselves
+	ast.Walk(p.Phases[0].Body, func(x ast.Expr) bool {
+		a, ok := x.(*ast.Assign)
+		if !ok || !a.IsField || a.Slot >= p.Layout.UserFields {
+			return true
+		}
+		assigned[a.Slot] = true
+		ast.Walk(a.Value, func(y ast.Expr) bool {
+			if f, isField := y.(*ast.Field); isField && f.Slot == a.Slot {
+				selfFolded[a.Slot] = true
+				return false
+			}
+			return true
+		})
+		return true
+	})
+	var stale []clampedField
+	ast.Walk(p.Init, func(x ast.Expr) bool {
+		l, ok := x.(*ast.Local)
+		if !ok || l.Slot >= p.Layout.UserFields {
+			return true
+		}
+		if ri, ro, _ := SlotTopology(l.Init); !ri && !ro {
+			return true
+		}
+		if assigned[l.Slot] && !selfFolded[l.Slot] {
+			return true
+		}
+		pos, end := topologyAnchor(l.Init)
+		stale = append(stale, clampedField{name: l.Name, pos: pos, end: end})
+		return true
+	})
+	return stale
+}
+
+// Repairability computes the program's delta-capability matrix. The result
+// depends only on the compiled program, so callers may compute it once
+// (dvserve does, at boot) and share it.
+func (p *Program) Repairability() *RepairProfile {
+	rp := &RepairProfile{Mode: p.Mode}
+	for c := DeltaClass(0); int(c) < NumDeltaClasses; c++ {
+		rp.Classes[c] = ClassVerdict{Class: c, Cap: Repairable}
+	}
+
+	// Program-wide gates, in the order the planner reports them. Any
+	// failure makes every class Unsupported: no delta of any shape can be
+	// repaired against this program × mode.
+	if p.Mode == Baseline {
+		rp.block(Blocker{Reason: fmt.Sprintf(
+			"%s re-sends full values every superstep and keeps no repairable state; delta runs need mode %s or %s",
+			Baseline, Incremental, MemoTable)})
+	}
+	if len(p.Phases) != 1 {
+		rp.block(Blocker{Reason: fmt.Sprintf(
+			"delta run supports single-phase programs, this one has %d phases (earlier phases' effects are baked into the snapshot and cannot be replayed)",
+			len(p.Phases))})
+	}
+	for _, s := range p.Sites {
+		if s.Strategy == StrategyScratch {
+			rp.block(Blocker{Reason: fmt.Sprintf(
+				"aggregation site %d refolds from scratch each superstep; its receivers cannot be repaired in place", s.ID),
+				Pos: s.Pos, End: s.End})
+		}
+	}
+	if len(rp.Blockers) > 0 {
+		return rp
+	}
+	ph := &p.Phases[0]
+	rp.Clamped = SelfFoldingFields(ph.Body, p.Layout.UserFields)
+	if ReadsIterVar(ph.Body) {
+		rp.block(Blocker{Reason: "delta run cannot warm-start an iteration-dependent body (the repair restarts the iteration counter)"})
+	}
+	if ph.Kind == PhaseIter && ph.Until != nil && !ReadsFixpoint(ph.Until) {
+		rp.block(Blocker{Reason: "delta run needs a convergence-detecting until{} (fixpoint); an iteration-count bound describes a prefix of the computation, not its fixpoint",
+			Pos: ph.Until.Pos(), End: ph.Until.End()})
+	}
+	if len(rp.Blockers) > 0 {
+		return rp
+	}
+
+	// Vertex additions need init{} state no pre-mutation snapshot holds.
+	rp.worsen(DeltaVertexAdd, ClassVerdict{
+		Cap:           FallbackRequired,
+		Unconditional: true,
+		Reason:        "new vertices need init{} state the snapshot cannot supply; rerun from scratch",
+	})
+
+	// init{} runs exactly once, in a from-scratch execution. A degree read
+	// there (degreesum's `local deg : int = |#out|`) bakes pre-mutation
+	// topology into vertex state — and if the body never freshly
+	// recomputes that field, no repair superstep re-derives it, so every
+	// topology-changing class must fall back. (A field the body overwrites
+	// without folding in its own previous value, like stock PageRank's
+	// `pr = vl / |#out|`, is re-derived by the repair wave: the planner
+	// re-wakes every degree-changed vertex.)
+	if stale := staleInitTopologyFields(p); len(stale) > 0 {
+		v := ClassVerdict{
+			Cap:           FallbackRequired,
+			Unconditional: true,
+			Reason: fmt.Sprintf(
+				"init{} bakes a vertex degree into field %q, which the body never freshly recomputes; a topology change leaves it stale (init{} only runs from scratch)",
+				stale[0].name),
+			Pos: stale[0].pos, End: stale[0].end,
+		}
+		rp.worsen(DeltaArcAdd, v)
+		rp.worsen(DeltaArcRemove, v)
+	}
+
+	clamps := selfFoldingAssigns(ph.Body, p.Layout.UserFields)
+	for _, s := range p.Sites {
+		rp.analyzeSite(p, s, clamps)
+	}
+
+	// A class no site constrained is repairable; name its mechanism.
+	usesWeight := false
+	for _, s := range p.Sites {
+		usesWeight = usesWeight || s.UsesWeight
+	}
+	table := p.Mode == MemoTable
+	defaults := map[DeltaClass]string{
+		DeltaArcAdd:        pick(table, "table-update", "delta-inject"),
+		DeltaArcRemove:     pick(table, "table-surgery", "delta-retract"),
+		DeltaWeightTighten: pick(table, "table-update", "delta-transition"),
+		DeltaWeightLoosen:  pick(table, "table-update", "delta-transition"),
+	}
+	if !usesWeight {
+		// No slot expression reads ew: a reweight cannot move any
+		// contribution and the planner drops it as a no-op.
+		defaults[DeltaWeightTighten] = "no-op"
+		defaults[DeltaWeightLoosen] = "no-op"
+	}
+	for c, strat := range defaults { //lint:allow maprange — writes one distinct class entry per key
+		if rp.Classes[c].Cap == Repairable {
+			rp.Classes[c].Strategy = strat
+		}
+	}
+	return rp
+}
+
+func pick(cond bool, a, b string) string {
+	if cond {
+		return a
+	}
+	return b
+}
+
+// analyzeSite worsens the per-class verdicts with one aggregation site's
+// constraints, mirroring the planner's per-sender checks: the clamp guard
+// (checkClampedLoosening) first, then the Δ-encoding limits (repairSlot).
+func (rp *RepairProfile) analyzeSite(p *Program, s *AggSite, clamps []clampedField) {
+	ri, ro, _ := SlotTopology(s.SlotExpr)
+	if len(clamps) > 0 {
+		cl := clamps[0]
+		if ri || ro {
+			// A topology change moves the degree-reading site's contribution
+			// on every incident arc; re-sending them all under a clamping
+			// body could pin a loosened aggregate, so the planner rejects
+			// the whole resweep up front.
+			v := ClassVerdict{
+				Cap:           FallbackRequired,
+				Unconditional: true,
+				Reason: fmt.Sprintf(
+					"a topology change moves every contribution of a degree-reading %s site, and the body folds field %q with its own previous value; the clamp could pin a loosened aggregate",
+					s.Op, cl.name),
+				Pos: s.Pos, End: s.End,
+			}
+			rp.worsen(DeltaArcAdd, v)
+			rp.worsen(DeltaArcRemove, v)
+		}
+		clampFallback := func(c DeltaClass, what string) {
+			rp.worsen(c, ClassVerdict{
+				Cap: FallbackRequired,
+				Reason: fmt.Sprintf(
+					"%s loosens a %s contribution, and the body folds field %q with its own previous value; the clamp would pin the stale fixpoint — rerun from scratch",
+					what, s.Op, cl.name),
+				Pos: cl.pos, End: cl.end,
+			})
+		}
+		switch s.Op {
+		case ast.AggMin, ast.AggMax, ast.AggOr, ast.AggAnd:
+			// Injections and tightening transitions subsume the folded-in
+			// value (ClampSafe); retractions and loosenings do not.
+			clampFallback(DeltaArcRemove, "a removed arc")
+			if s.UsesWeight {
+				clampFallback(DeltaWeightLoosen, "a loosened arc weight")
+			}
+		default:
+			// Sum and prod folds have no tightening direction: with a
+			// clamping body every value-changing transition is unsafe.
+			clampFallback(DeltaArcAdd, "an added arc")
+			clampFallback(DeltaArcRemove, "a removed arc")
+			if s.UsesWeight {
+				clampFallback(DeltaWeightTighten, "a reweighted arc")
+				clampFallback(DeltaWeightLoosen, "a reweighted arc")
+			}
+		}
+	}
+
+	if s.Strategy == StrategyTable {
+		// Per-neighbour tables retract by surgery and transition by entry
+		// replacement; no Δ-encoding limits apply.
+		return
+	}
+	if !Invertible(s.Op) {
+		// Idempotent (min/max) accumulators destroy the information needed
+		// to undo a fold: retractions and loosening transitions hit the
+		// planner's Δ-encoding wall (injections and tightenings are exact).
+		reason := fmt.Sprintf(
+			"cannot retract a %s contribution from a memoized accumulator (mutation loosens a folded-in value); use mode %s or rerun from scratch",
+			s.Op, MemoTable)
+		rp.worsen(DeltaArcRemove, ClassVerdict{
+			Cap: FallbackRequired, Reason: reason, Pos: s.Pos, End: s.End,
+		})
+		if s.UsesWeight {
+			rp.worsen(DeltaWeightLoosen, ClassVerdict{
+				Cap: FallbackRequired, Reason: reason, Pos: s.Pos, End: s.End,
+			})
+		}
+	}
+}
+
+// worsen replaces a class verdict when the new one is strictly worse, or
+// equally bad but unconditional where the current one is value-dependent.
+// The first verdict at a given badness wins otherwise, matching the order
+// the planner reports rejections in.
+func (rp *RepairProfile) worsen(c DeltaClass, v ClassVerdict) {
+	v.Class = c
+	cur := &rp.Classes[c]
+	if v.Cap > cur.Cap || (v.Cap == cur.Cap && v.Unconditional && !cur.Unconditional) {
+		*cur = v
+	}
+}
+
+// block records a program-wide blocker and downgrades every class.
+func (rp *RepairProfile) block(b Blocker) {
+	rp.Blockers = append(rp.Blockers, b)
+	for c := range rp.Classes {
+		if rp.Classes[c].Cap < Unsupported {
+			rp.Classes[c] = ClassVerdict{
+				Class: DeltaClass(c), Cap: Unsupported, Unconditional: true,
+				Reason: b.Reason, Pos: b.Pos, End: b.End,
+			}
+		}
+	}
+}

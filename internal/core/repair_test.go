@@ -1,0 +1,206 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/programs"
+)
+
+// The expected capability row per program × mode, rendered through
+// RepairProfile.String (minus the "repairability <mode>:" prefix). These
+// are derived by hand from the program sources; the exhaustive
+// planner-agreement suite in internal/deltav/vm proves RunDelta's
+// accept/reject behaviour matches them.
+const (
+	rowUnsupported = "arc-add=unsupported arc-remove=unsupported weight-tighten=unsupported weight-loosen=unsupported vertex-add=unsupported"
+
+	// Clamped idempotent fold, weightless slot (bfs/cc/maxval/reach/wcc):
+	// injections are clamp-safe, retractions are not, reweights are no-ops.
+	rowClampedDV = "arc-add=repairable(delta-inject) arc-remove=fallback weight-tighten=repairable(no-op) weight-loosen=repairable(no-op) vertex-add=fallback"
+	rowClampedMT = "arc-add=repairable(table-update) arc-remove=fallback weight-tighten=repairable(no-op) weight-loosen=repairable(no-op) vertex-add=fallback"
+
+	// sssp reads ew: reweights split by direction under the clamp.
+	rowSsspDV = "arc-add=repairable(delta-inject) arc-remove=fallback weight-tighten=repairable(delta-transition) weight-loosen=fallback vertex-add=fallback"
+	rowSsspMT = "arc-add=repairable(table-update) arc-remove=fallback weight-tighten=repairable(table-update) weight-loosen=fallback vertex-add=fallback"
+
+	// degreesum's init{} reads |#out|: every topology change invalidates
+	// baked-in state, whatever the mode's repair machinery could do.
+	rowDegreesum = "arc-add=fallback arc-remove=fallback weight-tighten=repairable(no-op) weight-loosen=repairable(no-op) vertex-add=fallback"
+)
+
+// corpusMatrix is the golden delta-capability matrix of the program corpus.
+var corpusMatrix = map[string]map[Mode]string{
+	"allreach":  {Incremental: rowUnsupported, MemoTable: rowUnsupported},
+	"bfs":       {Incremental: rowClampedDV, MemoTable: rowClampedMT},
+	"cc":        {Incremental: rowClampedDV, MemoTable: rowClampedMT},
+	"degreesum": {Incremental: rowDegreesum, MemoTable: rowDegreesum},
+	"hits":      {Incremental: rowUnsupported, MemoTable: rowUnsupported},
+	"maxval":    {Incremental: rowClampedDV, MemoTable: rowClampedMT},
+	"pagerank":  {Incremental: rowUnsupported, MemoTable: rowUnsupported},
+	"prod":      {Incremental: rowUnsupported, MemoTable: rowUnsupported},
+	"reach":     {Incremental: rowClampedDV, MemoTable: rowClampedMT},
+	"sssp":      {Incremental: rowSsspDV, MemoTable: rowSsspMT},
+	"twophase":  {Incremental: rowUnsupported, MemoTable: rowUnsupported},
+	"wcc":       {Incremental: rowClampedDV, MemoTable: rowClampedMT},
+}
+
+func compileMode(t *testing.T, name string, mode Mode) *Program {
+	t.Helper()
+	p, err := Compile(programs.MustSource(name), Options{Mode: mode})
+	if err != nil {
+		t.Fatalf("compile %s (%s): %v", name, mode, err)
+	}
+	return p
+}
+
+func TestRepairabilityCorpusMatrix(t *testing.T) {
+	for _, name := range programs.Names() {
+		want, ok := corpusMatrix[name]
+		if !ok {
+			t.Errorf("%s: corpus program missing from the expected matrix", name)
+			continue
+		}
+		for _, mode := range []Mode{Incremental, Baseline, MemoTable} {
+			rp := compileMode(t, name, mode).Repairability()
+			wantRow := rowUnsupported // everything × dV* keeps no repairable state
+			if mode != Baseline {
+				wantRow = want[mode]
+			}
+			got := rp.String()
+			if wantGot := "repairability " + mode.String() + ": " + wantRow; got != wantGot {
+				t.Errorf("%s × %s:\n got  %s\n want %s", name, mode, got, wantGot)
+			}
+		}
+	}
+}
+
+func TestRepairabilityBlockersAndVerdicts(t *testing.T) {
+	t.Run("blocked-iff-all-unsupported", func(t *testing.T) {
+		for _, name := range programs.Names() {
+			for _, mode := range []Mode{Incremental, Baseline, MemoTable} {
+				rp := compileMode(t, name, mode).Repairability()
+				allUnsupported := true
+				for _, v := range rp.Classes {
+					if v.Cap != Unsupported {
+						allUnsupported = false
+					}
+				}
+				if (rp.Blocked() != nil) != allUnsupported {
+					t.Errorf("%s × %s: Blocked()=%v but allUnsupported=%v", name, mode, rp.Blocked(), allUnsupported)
+				}
+			}
+		}
+	})
+
+	t.Run("baseline-blocker-names-modes", func(t *testing.T) {
+		rp := compileMode(t, "sssp", Baseline).Repairability()
+		b := rp.Blocked()
+		if b == nil || !strings.Contains(b.Reason, "delta runs need mode dV or dV-memotable") {
+			t.Fatalf("baseline blocker = %+v", b)
+		}
+	})
+
+	t.Run("twophase-blocker", func(t *testing.T) {
+		b := compileMode(t, "twophase", Incremental).Repairability().Blocked()
+		if b == nil || !strings.Contains(b.Reason, "single-phase") {
+			t.Fatalf("twophase blocker = %+v", b)
+		}
+	})
+
+	t.Run("pagerank-until-blocker-has-position", func(t *testing.T) {
+		rp := compileMode(t, "pagerank", Incremental).Repairability()
+		b := rp.Blocked()
+		if b == nil || !strings.Contains(b.Reason, "fixpoint") {
+			t.Fatalf("pagerank blocker = %+v", b)
+		}
+		if !b.Pos.IsValid() {
+			t.Fatalf("pagerank until blocker should carry the until{} position, got %+v", b)
+		}
+	})
+
+	t.Run("prod-itervar-blocker", func(t *testing.T) {
+		// prod's body reads the iteration variable (w flips at k >= 3), so
+		// the iteration-dependence blocker fires before the until{} check —
+		// the same order validateDelta reports them in.
+		b := compileMode(t, "prod", Incremental).Repairability().Blocked()
+		if b == nil || !strings.Contains(b.Reason, "iteration-dependent body") {
+			t.Fatalf("prod blocker = %+v", b)
+		}
+	})
+
+	t.Run("degreesum-topology-unconditional", func(t *testing.T) {
+		rp := compileMode(t, "degreesum", Incremental).Repairability()
+		for _, c := range []DeltaClass{DeltaArcAdd, DeltaArcRemove} {
+			v := rp.Verdict(c)
+			if v.Cap != FallbackRequired || !v.Unconditional {
+				t.Errorf("degreesum %s: want unconditional fallback, got %+v", c, v)
+			}
+			if !strings.Contains(v.Reason, "init{}") || !v.Pos.IsValid() {
+				t.Errorf("degreesum %s: want init{}-anchored reason, got %+v", c, v)
+			}
+		}
+	})
+
+	t.Run("clamp-retraction-is-value-dependent", func(t *testing.T) {
+		// bfs removals are rejected per value (an identity contribution may
+		// still be dropped), so the verdict must not claim unconditional.
+		v := compileMode(t, "bfs", MemoTable).Repairability().Verdict(DeltaArcRemove)
+		if v.Cap != FallbackRequired || v.Unconditional {
+			t.Fatalf("bfs remove verdict = %+v", v)
+		}
+		if !strings.Contains(v.Reason, "pin the stale fixpoint") {
+			t.Fatalf("bfs remove reason = %q", v.Reason)
+		}
+		if !v.Pos.IsValid() {
+			t.Fatalf("clamp verdict should anchor the clamping assignment, got %+v", v)
+		}
+	})
+
+	t.Run("vertex-add-always-fallback", func(t *testing.T) {
+		for _, name := range programs.Names() {
+			rp := compileMode(t, name, Incremental).Repairability()
+			v := rp.Verdict(DeltaVertexAdd)
+			if v.Cap == Repairable {
+				t.Errorf("%s: vertex-add must never be repairable, got %+v", name, v)
+			}
+			if rp.Blocked() == nil && !v.Unconditional {
+				t.Errorf("%s: vertex-add fallback must be unconditional, got %+v", name, v)
+			}
+		}
+	})
+
+	t.Run("unclamped-min-retraction-names-memotable", func(t *testing.T) {
+		// A min fold without a self-folding clamp hits the Δ-encoding wall
+		// in dV mode and repairs by table surgery in memo-table mode.
+		const src = `
+init { local best : float = 1.0 * id };
+iter k {
+  best = min [ u.best | u <- #in ]
+} until { fixpoint }`
+		dv, err := Compile(src, Options{Mode: Incremental})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := dv.Repairability().Verdict(DeltaArcRemove)
+		if v.Cap != FallbackRequired || !strings.Contains(v.Reason, "use mode dV-memotable") {
+			t.Fatalf("unclamped dV min remove = %+v", v)
+		}
+		mt, err := Compile(src, Options{Mode: MemoTable})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := mt.Repairability().Verdict(DeltaArcRemove); v.Cap != Repairable || v.Strategy != "table-surgery" {
+			t.Fatalf("unclamped memotable min remove = %+v", v)
+		}
+	})
+
+	t.Run("site-positions-recorded", func(t *testing.T) {
+		p := compileMode(t, "sssp", Incremental)
+		for _, s := range p.Sites {
+			if !s.Pos.IsValid() || !s.End.IsValid() {
+				t.Fatalf("site %d missing source range: %+v", s.ID, s)
+			}
+		}
+	})
+}

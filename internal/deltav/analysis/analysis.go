@@ -12,7 +12,8 @@
 // must reject (today only invertibility, §4.2.2); a Warning marks a
 // program that compiles but likely does not do what its author intended
 // (degenerate incrementalization, disabled halt-by-default, dead state,
-// shadowing).
+// shadowing); an Info finding describes a healthy program (the
+// repairability capability matrix) and is hidden at the default severity.
 package analysis
 
 import (
@@ -81,6 +82,13 @@ func (p *Pass) WarnfAt(pos token.Pos, suggestion, format string, args ...any) {
 	p.reportAt(pos, token.Pos{}, diag.Warning, suggestion, format, args...)
 }
 
+// InformfAt reports an info-severity finding at an explicit range (for
+// program elements that only exist after compilation, such as aggregation
+// sites; the range may be invalid for program-wide facts).
+func (p *Pass) InformfAt(pos, end token.Pos, format string, args ...any) {
+	p.reportAt(pos, end, diag.Info, "", format, args...)
+}
+
 func (p *Pass) reportAt(pos, end token.Pos, sev diag.Severity, suggestion, format string, args ...any) {
 	p.Report(diag.Diagnostic{
 		Pos: pos, End: end, Severity: sev,
@@ -96,6 +104,7 @@ var registry = []*Analyzer{
 	deadfieldAnalyzer,
 	initonlyAnalyzer,
 	shadowAnalyzer,
+	repairabilityAnalyzer,
 }
 
 // All returns every registered analyzer, sorted by name.

@@ -168,8 +168,8 @@ func TestFixturesCompileUnderIntendedMode(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 6 {
-		t.Fatalf("analyzers = %d, want 6", len(all))
+	if len(all) != 7 {
+		t.Fatalf("analyzers = %d, want 7", len(all))
 	}
 	if !sort.SliceIsSorted(all, func(i, j int) bool { return all[i].Name < all[j].Name }) {
 		t.Fatal("All() not sorted by name")

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/deltav/diag"
+	"repro/internal/programs"
+)
+
+// TestRepairabilityMatrixShape pins that the analyzer emits exactly one
+// info finding per delta class for every corpus program × mode, so the
+// rendered matrix is always complete.
+func TestRepairabilityMatrixShape(t *testing.T) {
+	as, err := ByName([]string{"repairability"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range programs.Names() {
+		for _, mode := range []core.Mode{core.Incremental, core.Baseline, core.MemoTable} {
+			diags, err := VetSource(programs.MustSource(name), Config{Mode: mode}, as)
+			if err != nil {
+				t.Fatalf("%s × %s: front end rejected corpus program: %v", name, mode, err)
+			}
+			if len(diags) != int(core.NumDeltaClasses) {
+				t.Errorf("%s × %s: findings = %d, want %d:\n%v",
+					name, mode, len(diags), core.NumDeltaClasses, diags)
+			}
+			seen := map[string]bool{}
+			for _, d := range diags {
+				if d.Severity != diag.Info || d.Code != "repairability" {
+					t.Errorf("%s × %s: unexpected finding %v", name, mode, d)
+				}
+				cls := strings.SplitN(d.Message, ":", 2)[0]
+				if seen[cls] {
+					t.Errorf("%s × %s: duplicate class %q", name, mode, cls)
+				}
+				seen[cls] = true
+			}
+		}
+	}
+}
+
+// TestRepairabilityFindings pins message content and source anchoring for
+// a representative program.
+func TestRepairabilityFindings(t *testing.T) {
+	as, _ := ByName([]string{"repairability"})
+	diags, err := VetSource(programs.MustSource("sssp"), Config{Mode: core.MemoTable}, as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byClass := map[string]diag.Diagnostic{}
+	for _, d := range diags {
+		byClass[strings.SplitN(d.Message, ":", 2)[0]] = d
+	}
+	add := byClass["arc-add"]
+	if !strings.Contains(add.Message, "repairable (table-update)") {
+		t.Errorf("arc-add = %v", add)
+	}
+	rem := byClass["arc-remove"]
+	if !strings.Contains(rem.Message, "fallback required") ||
+		!strings.Contains(rem.Message, "pin the stale fixpoint") {
+		t.Errorf("arc-remove = %v", rem)
+	}
+	if !rem.Pos.IsValid() {
+		t.Errorf("arc-remove finding should anchor the clamping assignment: %v", rem)
+	}
+	if v := byClass["vertex-add"]; !strings.Contains(v.Message, "init{}") {
+		t.Errorf("vertex-add = %v", v)
+	}
+
+	// A blocked program reports the same blocker for every class.
+	diags, err = VetSource(programs.MustSource("pagerank"), Config{Mode: core.Incremental}, as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "unsupported") || !strings.Contains(d.Message, "fixpoint") {
+			t.Errorf("pagerank finding = %v", d)
+		}
+	}
+}

@@ -20,31 +20,39 @@ type Severity int
 
 // Severities, ordered so that higher is more severe.
 const (
+	// Info marks a descriptive finding about a healthy program (the
+	// repairability capability matrix); hidden at the default -severity.
+	Info Severity = iota
 	// Warning marks a program the compiler accepts but that likely does
 	// not mean what its author intended (degenerate incrementalization,
 	// shadowing, dead state, disabled halt-by-default).
-	Warning Severity = iota
+	Warning
 	// Error marks a program the driver refuses to compile.
 	Error
 )
 
 // String returns the surface spelling used by renderers and flags.
 func (s Severity) String() string {
-	if s == Error {
+	switch s {
+	case Error:
 		return "error"
+	case Warning:
+		return "warn"
 	}
-	return "warn"
+	return "info"
 }
 
 // ParseSeverity parses a -severity flag value.
 func ParseSeverity(s string) (Severity, error) {
 	switch s {
+	case "info":
+		return Info, nil
 	case "warn", "warning":
 		return Warning, nil
 	case "error":
 		return Error, nil
 	}
-	return 0, fmt.Errorf("unknown severity %q (want warn, error)", s)
+	return 0, fmt.Errorf("unknown severity %q (want info, warn, error)", s)
 }
 
 // Diagnostic is one finding, anchored to a source range.

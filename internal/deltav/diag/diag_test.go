@@ -102,7 +102,7 @@ func TestJSONShape(t *testing.T) {
 }
 
 func TestParseSeverity(t *testing.T) {
-	for in, want := range map[string]Severity{"warn": Warning, "warning": Warning, "error": Error} {
+	for in, want := range map[string]Severity{"info": Info, "warn": Warning, "warning": Warning, "error": Error} {
 		got, err := ParseSeverity(in)
 		if err != nil || got != want {
 			t.Errorf("ParseSeverity(%q) = %v, %v", in, got, err)

@@ -1,0 +1,131 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/programs"
+)
+
+// TestRepairProfilePlannerAgreement is the contract between the static
+// repairability matrix and the planner: for every corpus program × mode ×
+// delta class, RunDelta's accept/reject decision must equal the profile's
+// verdict — accept exactly the Repairable classes — and every accepted
+// repair must match a from-scratch run on the mutated graph bitwise. The
+// representative deltas are generic (no identity contributions, no
+// value-identical transitions), so conditional fallback verdicts reject
+// them too.
+func TestRepairProfilePlannerAgreement(t *testing.T) {
+	for _, name := range programs.Names() {
+		for _, mode := range allModes {
+			name, mode := name, mode
+			t.Run(name+"/"+mode.String(), func(t *testing.T) {
+				prog := func() *core.Program {
+					p, err := core.Compile(programs.MustSource(name), core.Options{Mode: mode})
+					if err != nil {
+						t.Fatalf("compile: %v", err)
+					}
+					return p
+				}
+				rp := prog().Repairability()
+				g0 := agreementGraph(name)
+				opts := RunOptions{Workers: 4, Params: agreementParams(name)}
+				snap, _ := terminalVMSnapshot(t, prog(), g0, opts)
+				for c := core.DeltaClass(0); int(c) < core.NumDeltaClasses; c++ {
+					c := c
+					t.Run(c.String(), func(t *testing.T) {
+						g1, ad, err := graph.ApplyDelta(g0, agreementDelta(name, c))
+						if err != nil {
+							t.Fatalf("ApplyDelta: %v", err)
+						}
+						g1.BuildReverse()
+						verdict := rp.Verdict(c)
+						res, err := RunDelta(prog(), g1, DeltaRunOptions{
+							RunOptions: opts, Snapshot: snap, Changes: ad,
+						})
+						if wantAccept := verdict.Cap == core.Repairable; (err == nil) != wantAccept {
+							t.Fatalf("planner disagrees with the matrix: verdict %s(%s) but RunDelta err = %v",
+								verdict.Cap, verdict.Strategy, err)
+						}
+						if err != nil {
+							// The rejection must carry the verdict's reason (or,
+							// for value-dependent verdicts, a per-value variant
+							// of it) so callers see the same vocabulary vet
+							// prints. Both vocabularies share these markers.
+							if !strings.Contains(err.Error(), "from scratch") &&
+								!strings.Contains(err.Error(), "delta run") &&
+								!strings.Contains(err.Error(), "re-sends full values") &&
+								!strings.Contains(err.Error(), "repaired in place") {
+								t.Fatalf("rejection does not speak the matrix vocabulary: %v", err)
+							}
+							return
+						}
+						scratch, err := Run(prog(), g1, opts)
+						if err != nil {
+							t.Fatalf("scratch run: %v", err)
+						}
+						compareUserFields(t, name, prog(), scratch, res, 0)
+					})
+				}
+			})
+		}
+	}
+}
+
+// agreementGraph picks a seed graph the program converges on: a weighted
+// undirected cycle for the #neighbors programs, a weighted directed chain
+// (with its reverse CSR, for #out pulls) otherwise.
+func agreementGraph(name string) *graph.Graph {
+	switch name {
+	case "cc", "maxval":
+		const n = 60
+		b := graph.NewBuilder(n, false)
+		for i := 0; i < n; i++ {
+			b.AddWeightedEdge(graph.VertexID(i), graph.VertexID((i+1)%n), 2)
+		}
+		return b.Finalize()
+	default:
+		g := weightedChain(40)
+		g.BuildReverse()
+		return g
+	}
+}
+
+func agreementParams(name string) map[string]float64 {
+	switch name {
+	case "sssp", "bfs", "reach":
+		return map[string]float64{"src": 0}
+	}
+	return nil
+}
+
+// agreementDelta builds one generic member of the class: mutated arcs sit
+// mid-graph where every contribution is finite/true, so no per-value guard
+// can admit them as degenerate.
+func agreementDelta(name string, c core.DeltaClass) *graph.Delta {
+	d := &graph.Delta{}
+	undirected := name == "cc" || name == "maxval"
+	switch c {
+	case core.DeltaArcAdd:
+		if undirected {
+			d.AddWeightedEdge(3, 30, 1.5)
+		} else {
+			d.AddWeightedEdge(2, 25, 1.5)
+		}
+	case core.DeltaArcRemove:
+		if undirected {
+			d.RemoveEdge(10, 11)
+		} else {
+			d.RemoveEdge(20, 21)
+		}
+	case core.DeltaWeightTighten:
+		d.SetWeight(10, 11, 1) // chain/cycle arcs start at weight 2
+	case core.DeltaWeightLoosen:
+		d.SetWeight(10, 11, 5)
+	case core.DeltaVertexAdd:
+		d.AddVertices(2)
+	}
+	return d
+}

@@ -16,10 +16,9 @@ import (
 // the uninterrupted one — bitwise-identical final fields, same remaining
 // supersteps, same per-phase iteration counts.
 //
-// The memo-table case uses sssp (a min fold): min is order-insensitive, so
-// the nondeterministic map iteration order of table folds cannot perturb
-// bits. Sum-fold memo tables are reproducible only up to float association,
-// which is exactly why the equivalence suite pins a min program there.
+// Table folds run in sorted sender order, so memo-table runs are bitwise
+// reproducible like the other modes; the sssp memo-table case pins that
+// through the snapshot round-trip.
 func TestDeltaVCheckpointResumeEquivalence(t *testing.T) {
 	g := directedTestGraph()
 	cases := []struct {

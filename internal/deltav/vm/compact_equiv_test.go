@@ -70,16 +70,10 @@ func TestCompactEquivCorpus(t *testing.T) {
 				if needsUndirected[name] {
 					f, c = undirFlat, undirCompact
 				}
-				// One worker keeps the send/apply schedule reproducible.
-				// The memo-table mode additionally folds its table in map
-				// iteration order, so its float products are not bitwise
-				// reproducible even against itself — compare those runs to
-				// a tight relative tolerance instead.
+				// One worker keeps the send/apply schedule reproducible; the
+				// memo-table fold runs in sorted sender order, so every mode
+				// is bitwise reproducible and must also match work exactly.
 				opts := RunOptions{Workers: 1, Params: equivParams(name)}
-				tol := 0.0
-				if mode == core.MemoTable {
-					tol = 1e-12
-				}
 				prog := compileT(t, name, mode)
 				want, err := Run(prog, f, opts)
 				if err != nil {
@@ -89,12 +83,9 @@ func TestCompactEquivCorpus(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				compareUserFields(t, name, prog, want, got, tol)
-				// The same nondeterministic sums feed exact-equality dirty
-				// checks, so memo-table message counts wobble between runs;
-				// only the reproducible modes must match work exactly.
-				if tol == 0 && (want.Stats.Supersteps != got.Stats.Supersteps ||
-					want.Stats.MessagesSent != got.Stats.MessagesSent) {
+				compareUserFields(t, name, prog, want, got, 0)
+				if want.Stats.Supersteps != got.Stats.Supersteps ||
+					want.Stats.MessagesSent != got.Stats.MessagesSent {
 					t.Fatalf("work diverged: %d steps/%d msgs vs %d/%d",
 						got.Stats.Supersteps, got.Stats.MessagesSent,
 						want.Stats.Supersteps, want.Stats.MessagesSent)

@@ -129,6 +129,11 @@ func (m *Machine) RunDeltaContext(ctx context.Context, opts DeltaRunOptions) (*R
 }
 
 // validateDelta rejects the combinations a warm repair cannot handle.
+// Every structural decision comes from the program's static RepairProfile —
+// the same matrix `dvc vet -analyzers repairability` renders and dvserve
+// admits batches with — so the planner and the published matrix can never
+// disagree. Only per-value guards (clamp safety of a particular transition,
+// zero-crossing product contributions) remain in the planning code below.
 func (m *Machine) validateDelta(opts *DeltaRunOptions) error {
 	if opts.Snapshot == nil {
 		return fmt.Errorf("vm: delta run needs a snapshot")
@@ -139,36 +144,38 @@ func (m *Machine) validateDelta(opts *DeltaRunOptions) error {
 	if opts.Resume != nil {
 		return fmt.Errorf("vm: Resume and a delta run are mutually exclusive")
 	}
-	if m.prog.Mode == core.Baseline {
-		return fmt.Errorf("vm: %s re-sends full values every superstep and keeps no repairable state; delta runs need mode %s or %s",
-			core.Baseline, core.Incremental, core.MemoTable)
-	}
-	if len(m.prog.Phases) != 1 {
-		return fmt.Errorf("vm: delta run supports single-phase programs, this one has %d phases (earlier phases' effects are baked into the snapshot and cannot be replayed)",
-			len(m.prog.Phases))
+	rp := m.prog.Repairability()
+	if b := rp.Blocked(); b != nil {
+		return fmt.Errorf("vm: %s", b.Reason)
 	}
 	if opts.Changes.NewVertices > 0 {
 		// Wrap ErrSnapshotMismatch so long-lived callers (dvserve, dvrun
 		// -warm-start) can detect the added-vertex case programmatically
 		// and fall back to a from-scratch run instead of dying.
-		return fmt.Errorf("vm: %w: delta adds %d vertices, which need init{} state the snapshot cannot supply; rerun from scratch",
-			pregel.ErrSnapshotMismatch, opts.Changes.NewVertices)
+		return fmt.Errorf("vm: %w: delta adds %d vertices: %s",
+			pregel.ErrSnapshotMismatch, opts.Changes.NewVertices, rp.Verdict(core.DeltaVertexAdd).Reason)
 	}
 	if opts.Snapshot.Fingerprint != opts.Changes.OldFingerprint {
 		return fmt.Errorf("vm: %w: snapshot was taken on graph %016x, the delta was applied to %016x",
 			pregel.ErrSnapshotMismatch, opts.Snapshot.Fingerprint, opts.Changes.OldFingerprint)
 	}
-	for _, s := range m.prog.Sites {
-		if s.Strategy == core.StrategyScratch {
-			return fmt.Errorf("vm: aggregation site %d refolds from scratch each superstep; its receivers cannot be repaired in place", s.ID)
+	// A class the profile rejects for every member is refused before any
+	// seed or plan work; value-dependent verdicts fall through to the
+	// planner's per-value guards. Reweights are always value-dependent
+	// (their class is a direction the plan evaluates per site).
+	for _, a := range opts.Changes.Arcs {
+		var class core.DeltaClass
+		switch a.Kind {
+		case graph.ArcAdd:
+			class = core.DeltaArcAdd
+		case graph.ArcRemove:
+			class = core.DeltaArcRemove
+		default:
+			continue
 		}
-	}
-	ph := &m.prog.Phases[0]
-	if core.ReadsIterVar(ph.Body) {
-		return fmt.Errorf("vm: delta run cannot warm-start an iteration-dependent body (the repair restarts the iteration counter)")
-	}
-	if ph.Kind == core.PhaseIter && ph.Until != nil && !core.ReadsFixpoint(ph.Until) {
-		return fmt.Errorf("vm: delta run needs a convergence-detecting until{} (fixpoint); an iteration-count bound describes a prefix of the computation, not its fixpoint")
+		if v := rp.Verdict(class); v.Cap != core.Repairable && v.Unconditional {
+			return fmt.Errorf("vm: cannot repair %s %d->%d: %s", v.Class, a.U, a.V, v.Reason)
+		}
 	}
 	return nil
 }
@@ -215,24 +222,24 @@ func (m *Machine) planRepair(ch *graph.AppliedDelta) (*repairPlan, error) {
 	// it; its own change checks then broadcast the correction.
 	bodyIn, bodyOut, _ := core.SlotTopology(m.prog.Phases[0].Body)
 	if bodyIn {
-		for v, d := range inDelta {
+		for v, d := range inDelta { //lint:allow maprange — fills the keepActive set; commutative
 			if d != 0 {
 				plan.keepActive[v] = true
 			}
 		}
 	}
 	if bodyOut {
-		for v, d := range outDelta {
+		for v, d := range outDelta { //lint:allow maprange — fills the keepActive set; commutative
 			if d != 0 {
 				plan.keepActive[v] = true
 			}
 		}
 	}
 	frontier := make([]graph.VertexID, 0, len(plan.sends)+len(plan.keepActive))
-	for u := range plan.sends {
+	for u := range plan.sends { //lint:allow maprange — frontier sorted below
 		frontier = append(frontier, u)
 	}
-	for u := range plan.keepActive {
+	for u := range plan.keepActive { //lint:allow maprange — frontier sorted below
 		if _, dup := plan.sends[u]; !dup {
 			frontier = append(frontier, u)
 		}
@@ -273,24 +280,24 @@ func (m *Machine) planGroup(plan *repairPlan, ev *evaluator, g *core.SendGroup, 
 	// on every incident edge and must re-send over its whole adjacency.
 	resweep := make(map[graph.VertexID]bool)
 	if readsIn {
-		for v, d := range inDelta {
+		for v, d := range inDelta { //lint:allow maprange — fills the resweep set; commutative
 			if d != 0 {
 				resweep[v] = true
 			}
 		}
 	}
 	if readsOut {
-		for v, d := range outDelta {
+		for v, d := range outDelta { //lint:allow maprange — fills the resweep set; commutative
 			if d != 0 {
 				resweep[v] = true
 			}
 		}
 	}
 	senders := make([]graph.VertexID, 0, len(perSender)+len(resweep))
-	for s := range perSender {
+	for s := range perSender { //lint:allow maprange — senders sorted below
 		senders = append(senders, s)
 	}
-	for s := range resweep {
+	for s := range resweep { //lint:allow maprange — senders sorted below
 		if _, dup := perSender[s]; !dup {
 			senders = append(senders, s)
 		}
@@ -333,7 +340,7 @@ func (m *Machine) pushArcs(ev *evaluator, dir ast.GraphDir) []pushArc {
 
 func sortedDests(pd map[graph.VertexID][]graph.ArcChange) []graph.VertexID {
 	dests := make([]graph.VertexID, 0, len(pd))
-	for d := range pd {
+	for d := range pd { //lint:allow maprange — dests sorted below
 		dests = append(dests, d)
 	}
 	sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })

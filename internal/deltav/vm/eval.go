@@ -3,6 +3,7 @@ package vm
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/deltav/ast"
@@ -37,6 +38,9 @@ type evaluator struct {
 	// Cardinality evaluation. The repair planner uses it to evaluate
 	// pre-mutation contributions against the mutated graph's CSR.
 	degOverride *vertexDegrees
+
+	// foldKeys is tableFold's reusable sender-sort scratch.
+	foldKeys []graph.VertexID
 
 	changed bool
 }
@@ -399,12 +403,22 @@ func (ev *evaluator) tableUpdate(group int) {
 
 // tableFold implements the §4.2.1 aggregation path: refold the entire
 // lookup table (the cost the paper calls out as making this approach
-// impractical).
+// impractical). The fold runs in ascending sender order — never map
+// iteration order — so non-associative float accumulation yields the same
+// bits on every run and memo-table results stay comparable bitwise against
+// the other modes' deterministic schedules.
 func (ev *evaluator) tableFold(site int) float64 {
 	s := ev.m.prog.Sites[site]
+	tbl := ev.m.tables[site][ev.u]
+	keys := ev.foldKeys[:0]
+	for sender := range tbl { //lint:allow maprange — senders sorted below before folding
+		keys = append(keys, sender)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	ev.foldKeys = keys
 	acc := core.Identity(s.Op)
-	for _, v := range ev.m.tables[site][ev.u] {
-		acc = core.Apply(s.Op, acc, v)
+	for _, sender := range keys {
+		acc = core.Apply(s.Op, acc, tbl[sender])
 	}
 	return acc
 }

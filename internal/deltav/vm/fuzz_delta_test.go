@@ -1,0 +1,133 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/programs"
+)
+
+// FuzzRunDeltaEquivalence is the differential harness behind the
+// repairability matrix: arbitrary mutation batches against every corpus
+// program must land in one of exactly two outcomes — RunDelta succeeds and
+// the repaired fields are bit-identical to a from-scratch run on the
+// mutated graph, or RunDelta returns a clean error. A wrong answer is
+// never acceptable, and a batch the matrix rules out statically
+// (program-wide blocker, added vertices, an unconditional arc verdict)
+// must be rejected, never silently accepted.
+func FuzzRunDeltaEquivalence(f *testing.F) {
+	names := programs.Names()
+	// One seed per corpus program plus shapes that exercise each mutation
+	// op, vertex growth, and out-of-range endpoints.
+	for i := range names {
+		f.Add(uint8(i), uint8(0), []byte{0, 2, 25, 4})
+	}
+	f.Add(uint8(0), uint8(1), []byte{1, 20, 21, 0})
+	f.Add(uint8(0), uint8(2), []byte{2, 10, 11, 1, 2, 10, 11, 15})
+	f.Add(uint8(3), uint8(0), []byte{3, 1, 0, 0, 0, 2, 25, 4})
+	f.Add(uint8(5), uint8(2), []byte{1, 200, 9, 0})
+	f.Fuzz(func(t *testing.T, progSel, modeSel uint8, ops []byte) {
+		name := names[int(progSel)%len(names)]
+		mode := allModes[int(modeSel)%len(allModes)]
+		prog := func() *core.Program {
+			p, err := core.Compile(programs.MustSource(name), core.Options{Mode: mode})
+			if err != nil {
+				t.Fatalf("corpus program %s failed to compile: %v", name, err)
+			}
+			return p
+		}
+		rp := prog().Repairability()
+		g0 := agreementGraph(name)
+		d := decodeFuzzDelta(ops, g0.NumVertices())
+		if d.Len() == 0 {
+			return
+		}
+		g1, ad, err := graph.ApplyDelta(g0, d)
+		if err != nil {
+			return // removing a missing arc, out-of-range endpoint, …
+		}
+		g1.BuildReverse()
+
+		// Workers:1 keeps the send/apply schedule reproducible so the
+		// success path can demand bitwise equality even for sum folds.
+		opts := RunOptions{Workers: 1, Params: agreementParams(name)}
+		snap, _ := terminalVMSnapshot(t, prog(), g0, opts)
+		res, err := RunDelta(prog(), g1, DeltaRunOptions{
+			RunOptions: opts, Snapshot: snap, Changes: ad,
+		})
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("RunDelta failed with an empty error")
+			}
+			return
+		}
+		if mustReject(rp, ad) {
+			t.Fatalf("%s/%s: matrix rules the batch out statically, but RunDelta accepted it (delta %v)",
+				name, mode, d.Muts)
+		}
+		scratch, err := Run(prog(), g1, opts)
+		if err != nil {
+			t.Fatalf("scratch run on the mutated graph: %v", err)
+		}
+		compareUserFields(t, name+"/"+mode.String(), prog(), scratch, res, 0)
+	})
+}
+
+// decodeFuzzDelta turns fuzz bytes into a bounded mutation log: groups of
+// four bytes (op, u, v, w). Endpoints are left unreduced in one of every
+// eight groups so out-of-range handling stays covered.
+func decodeFuzzDelta(ops []byte, n int) *graph.Delta {
+	d := &graph.Delta{}
+	for i := 0; i+3 < len(ops) && d.Len() < 6; i += 4 {
+		kind, bu, bv, bw := ops[i], ops[i+1], ops[i+2], ops[i+3]
+		u, v := graph.VertexID(int(bu)%n), graph.VertexID(int(bv)%n)
+		if bu%8 == 7 {
+			u = graph.VertexID(bu) // deliberately possibly out of range
+		}
+		w := 0.25 * float64(1+bw%16)
+		switch kind % 4 {
+		case 0:
+			d.AddWeightedEdge(u, v, w)
+		case 1:
+			d.RemoveEdge(u, v)
+		case 2:
+			d.SetWeight(u, v, w)
+		case 3:
+			d.AddVertices(1 + int(kind/4)%3)
+		}
+	}
+	return d
+}
+
+// mustReject reports whether the repairability matrix forbids accepting
+// the applied delta without looking at any values: a program-wide blocker,
+// new vertices, or a structural arc change whose class verdict is
+// statically unrepairable. (Reweights are classified by comparing old and
+// new weight; their conditional verdicts are value-dependent, so only
+// blockers make them mandatory rejections.)
+func mustReject(rp *core.RepairProfile, ad *graph.AppliedDelta) bool {
+	if rp.Blocked() != nil {
+		return true
+	}
+	if ad.NewVertices > 0 {
+		return true
+	}
+	static := func(c core.DeltaClass) bool {
+		v := rp.Verdict(c)
+		return v.Cap == core.Unsupported || (v.Cap == core.FallbackRequired && v.Unconditional)
+	}
+	for _, a := range ad.Arcs {
+		switch a.Kind {
+		case graph.ArcAdd:
+			if static(core.DeltaArcAdd) {
+				return true
+			}
+		case graph.ArcRemove:
+			if static(core.DeltaArcRemove) {
+				return true
+			}
+		}
+	}
+	return false
+}

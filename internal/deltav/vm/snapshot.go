@@ -85,7 +85,7 @@ func (m *Machine) encodeExtra(dst []byte, gl *globals) []byte {
 		for _, tbl := range per {
 			dst = pregel.AppendInt64(dst, int64(len(tbl)))
 			keys = keys[:0]
-			for k := range tbl {
+			for k := range tbl { //lint:allow maprange — keys sorted below before encoding
 				keys = append(keys, k)
 			}
 			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })

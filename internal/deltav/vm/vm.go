@@ -183,7 +183,7 @@ func NewMachine(prog *core.Program, g *graph.Graph, opts RunOptions) (*Machine, 
 			m.params[i] = v
 		}
 	}
-	for name := range opts.Params {
+	for name := range opts.Params { //lint:allow maprange — validation; any unknown name is an equivalent error
 		if _, ok := paramIndex(prog, name); !ok {
 			return nil, fmt.Errorf("vm: unknown param %q", name)
 		}

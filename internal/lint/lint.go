@@ -1,0 +1,170 @@
+// Package lint is a tiny stdlib-only static checker for the repo's
+// determinism-critical packages. The ΔV runtime promises bitwise
+// reproducible folds and repairs, and the two classic ways Go code breaks
+// that promise are iterating a map (randomized order) and reading the
+// wall clock. dvlint walks a package and reports:
+//
+//   - maprange: a range statement over a map. Sort the keys first, or
+//     annotate the line (or the line above) with
+//     "//lint:allow maprange — <why the fold is order-insensitive>".
+//   - timenow: a time.Now call. Wall-clock reads belong in stats, not in
+//     anything that feeds a fold; annotate stats-only timing with
+//     "//lint:allow timenow — <reason>".
+//
+// The checker type-checks each package in isolation with a stub importer:
+// cross-package named types resolve to invalid, so a range over a map
+// returned by another package can escape it (best-effort, no false
+// positives on slices), but every map declared or composed inside the
+// package — the shape all fold state takes — is seen.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation.
+type Finding struct {
+	Pos     token.Position
+	Check   string // "maprange" or "timenow"
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+}
+
+// Package lints every non-test .go file of the single package in dir and
+// returns the findings in file/line order.
+func Package(dir string) ([]Finding, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{
+		Error:    func(error) {}, // imports are stubs; their errors are expected
+		Importer: stubImporter{},
+	}
+	// The returned error repeats what the handler swallowed; intra-package
+	// declarations are fully checked regardless.
+	_, _ = conf.Check(dir, fset, files, info)
+
+	var out []Finding
+	for _, f := range files {
+		allowed := allowLines(fset, f)
+		report := func(pos token.Pos, check, msg string) {
+			p := fset.Position(pos)
+			if hasAllow(allowed, p.Line, check) || hasAllow(allowed, p.Line-1, check) {
+				return
+			}
+			out = append(out, Finding{Pos: p, Check: check, Message: msg})
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if tv, ok := info.Types[n.X]; ok && tv.Type != nil {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						report(n.Range, "maprange",
+							"map iteration order is nondeterministic; sort the keys first, or annotate //lint:allow maprange with why the consumer is order-insensitive")
+					}
+				}
+			case *ast.SelectorExpr:
+				if id, ok := n.X.(*ast.Ident); ok && n.Sel.Name == "Now" {
+					if pn, ok := info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "time" {
+						report(n.Sel.NamePos, "timenow",
+							"wall-clock reads are forbidden on deterministic fold/repair paths; annotate //lint:allow timenow for stats-only timing")
+					}
+				}
+			}
+			return true
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Pos.Column < out[j].Pos.Column
+	})
+	return out, nil
+}
+
+// allowLines collects "//lint:allow <check> ..." annotations by the line
+// the comment starts on.
+func allowLines(fset *token.FileSet, f *ast.File) map[int][]string {
+	m := make(map[int][]string)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			i := strings.Index(text, "lint:allow ")
+			if i < 0 {
+				continue
+			}
+			fields := strings.Fields(text[i+len("lint:allow "):])
+			if len(fields) == 0 {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			m[line] = append(m[line], fields[0])
+		}
+	}
+	return m
+}
+
+func hasAllow(m map[int][]string, line int, check string) bool {
+	for _, c := range m[line] {
+		if c == check {
+			return true
+		}
+	}
+	return false
+}
+
+// stubImporter satisfies every import with an empty marked-complete
+// package, so single-package type checking proceeds without a build
+// graph. Identifiers from those packages type as invalid, which the
+// checks treat as "not a map" / "not the time package".
+type stubImporter map[string]*types.Package
+
+func (si stubImporter) Import(path string) (*types.Package, error) {
+	if p, ok := si[path]; ok {
+		return p, nil
+	}
+	name := path
+	if i := strings.LastIndex(name, "/"); i >= 0 {
+		name = name[i+1:]
+	}
+	p := types.NewPackage(path, name)
+	p.MarkComplete()
+	si[path] = p
+	return p, nil
+}

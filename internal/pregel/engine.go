@@ -312,7 +312,7 @@ func (e *Engine[V, M]) RunContext(ctx context.Context, prog Program[V, M]) (*Sta
 		return nil, errors.New("pregel: Engine.Run called twice")
 	}
 	e.ran = true
-	start := time.Now()
+	start := time.Now() //lint:allow timenow — stats-only wall-clock timing
 	e.stats.CheckpointSuperstep = -1
 
 	ckptOn := e.opts.Checkpoint.enabled()
@@ -441,7 +441,7 @@ func (e *Engine[V, M]) RunContext(ctx context.Context, prog Program[V, M]) (*Sta
 	// cut is consistent — takes the final snapshot, and only then aborts.
 	var pendingAbort error
 	for e.superstep = startStep; e.superstep < e.opts.MaxSupersteps; e.superstep++ {
-		stepStart := time.Now()
+		stepStart := time.Now() //lint:allow timenow — step-timeout/stats timing, not fold input
 		if err := e.checkAbort(ctx, deadline, stepStart); err != nil {
 			if ckptOn && e.superstep > startStep {
 				// State sits at the previous superstep's barrier; persist it
@@ -541,7 +541,7 @@ func (e *Engine[V, M]) checkAbort(ctx context.Context, deadline time.Time, stepS
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	if !deadline.IsZero() && !time.Now().Before(deadline) {
+	if !deadline.IsZero() && !time.Now().Before(deadline) { //lint:allow timenow — deadline enforcement by design
 		return context.DeadlineExceeded
 	}
 	if st := e.opts.StepTimeout; st > 0 && time.Since(stepStart) > st {
@@ -706,7 +706,7 @@ func (w *worker[V, M]) compute(prog Program[V, M]) {
 	deadline := e.stepDeadline
 	quarantine := e.opts.Quarantine
 	runVertex := func(u, slot int) {
-		if !deadline.IsZero() && w.ran&31 == 0 && time.Now().After(deadline) {
+		if !deadline.IsZero() && w.ran&31 == 0 && time.Now().After(deadline) { //lint:allow timenow — deadline enforcement by design
 			w.timedOut = true
 			return
 		}

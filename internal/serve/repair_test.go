@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// TestServeStaticFallbackSkipsPlanner: a batch whose delta class the
+// repairability matrix marks unconditionally unrepairable (added vertices)
+// must be admitted straight to the from-scratch path — vm.RunDelta is
+// never invoked — and counted in the per-class static-fallback stats.
+func TestServeStaticFallbackSkipsPlanner(t *testing.T) {
+	planner := 0
+	hookDeltaRepair = func() { planner++ }
+	defer func() { hookDeltaRepair = nil }()
+
+	var logged []string
+	s, prog := ssspServer(t, Config{Logf: func(f string, a ...any) {
+		logged = append(logged, f)
+	}})
+	muts := []graph.Mutation{
+		{Op: graph.MutAddVertices, Count: 3},
+		{Op: graph.MutAddEdge, U: 0, V: 226, W: 1},
+	}
+	ref, _, err := graph.ApplyDelta(graph.Grid(15, 15, 10, 3), &graph.Delta{Muts: muts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Enqueue(muts); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Flush(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planner != 0 {
+		t.Fatalf("vm.RunDelta was invoked %d times for a statically-unrepairable batch", planner)
+	}
+	if v.Repaired || v.Epoch != 2 {
+		t.Fatalf("version = {Epoch:%d Repaired:%v}, want a from-scratch epoch 2", v.Epoch, v.Repaired)
+	}
+	got, _ := v.Field("dist")
+	sameVector(t, "dist after static fallback", got,
+		scratchVector(t, prog, ref, map[string]float64{"src": 0}, "dist"), 0)
+
+	st := s.Stats()
+	if st.FallbackBatches != 1 {
+		t.Fatalf("FallbackBatches = %d, want 1", st.FallbackBatches)
+	}
+	if st.StaticFallbacks["vertex-add"] != 1 {
+		t.Fatalf("StaticFallbacks = %v, want vertex-add: 1", st.StaticFallbacks)
+	}
+	if st.StaticFallbacks["arc-add"] != 0 {
+		t.Fatalf("arc-add is repairable for dv sssp, yet StaticFallbacks = %v", st.StaticFallbacks)
+	}
+	found := false
+	for _, l := range logged {
+		if strings.Contains(l, "cannot repair") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("static fallback not logged with its verdict: %q", logged)
+	}
+}
+
+// TestServeBlockedProgramAlwaysStatic: a program the matrix blocks outright
+// (pagerank's non-fixpoint until{} in dv mode) must send every mutation
+// batch — even a plain arc add — down the static from-scratch path.
+func TestServeBlockedProgramAlwaysStatic(t *testing.T) {
+	planner := 0
+	hookDeltaRepair = func() { planner++ }
+	defer func() { hookDeltaRepair = nil }()
+
+	prog := compile(t, "pagerank", core.Incremental)
+	if prog.Repairability().Blocked() == nil {
+		t.Fatal("pagerank/dv should be profile-blocked")
+	}
+	s, err := New(context.Background(), Config{
+		Prog: prog, Graph: graph.Grid(10, 10, 10, 3), Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Enqueue([]graph.Mutation{{Op: graph.MutAddEdge, U: 0, V: 55, W: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Flush(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planner != 0 {
+		t.Fatal("blocked program reached vm.RunDelta")
+	}
+	if v.Repaired {
+		t.Fatal("blocked program claimed the repair path")
+	}
+	if got := s.Stats().StaticFallbacks["arc-add"]; got != 1 {
+		t.Fatalf("StaticFallbacks[arc-add] = %d, want 1", got)
+	}
+}
+
+// TestServeStatsRepairabilityMatrix: Stats must expose the full matrix in
+// vet's vocabulary — strategies for repairable classes, reasons otherwise.
+func TestServeStatsRepairabilityMatrix(t *testing.T) {
+	s, _ := ssspServer(t, Config{})
+	st := s.Stats()
+	if len(st.Repairability) != core.NumDeltaClasses || len(st.StaticFallbacks) != core.NumDeltaClasses {
+		t.Fatalf("matrix has %d entries, static counters %d, want %d each",
+			len(st.Repairability), len(st.StaticFallbacks), core.NumDeltaClasses)
+	}
+	if got := st.Repairability["arc-add"]; got != "repairable (delta-inject)" {
+		t.Fatalf("arc-add = %q", got)
+	}
+	if got := st.Repairability["arc-remove"]; !strings.Contains(got, "fallback — ") {
+		t.Fatalf("arc-remove = %q, want a fallback verdict with a reason", got)
+	}
+	if got := st.Repairability["vertex-add"]; !strings.Contains(got, "init{}") {
+		t.Fatalf("vertex-add = %q, want the init{} reason", got)
+	}
+}

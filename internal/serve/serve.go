@@ -28,12 +28,17 @@
 // soon as MaxBatch entries are pending, whichever comes first; Flush
 // forces the same synchronously. Batching preserves log order within and
 // across batches, so "add u v; del u v" semantics survive the batch
-// boundary. Each batch tries the cheap path first — vm.RunDelta from the
-// previous version's terminal snapshot — and falls back to a from-scratch
-// rerun when the delta is outside the repairable class (added vertices,
-// snapshot mismatch, non-single-phase programs, …). A batch that fails
-// both paths is discarded with its error counted and logged: the
-// published version always remains a true fixpoint of some graph.
+// boundary. Admission consults the program's static repairability matrix
+// (core.RepairProfile, computed once at boot): a batch containing a delta
+// class the matrix marks statically unrepairable — Unsupported, or an
+// unconditional fallback such as added vertices — skips the planner
+// entirely and goes straight to a from-scratch rerun, counted per class
+// in Stats. Otherwise each batch tries the cheap path first — vm.RunDelta
+// from the previous version's terminal snapshot — and falls back to a
+// from-scratch rerun when a per-value guard rejects the delta (snapshot
+// mismatch, retracting a live contribution, …). A batch that fails both
+// paths is discarded with its error counted and logged: the published
+// version always remains a true fixpoint of some graph.
 //
 // # Quarantine semantics
 //
@@ -133,8 +138,9 @@ func (v *Version) Field(name string) ([]float64, bool) {
 
 // Server is a resident serving process for one compiled program.
 type Server struct {
-	cfg    Config
-	fields []string // published user-field names, layout order
+	cfg     Config
+	fields  []string // published user-field names, layout order
+	profile *core.RepairProfile
 
 	current atomic.Pointer[Version]
 
@@ -158,6 +164,10 @@ type Server struct {
 	fallbacks   atomic.Int64
 	failed      atomic.Int64
 	quarantined atomic.Int64
+	// staticFallbacks counts, per delta class, the batches that admission
+	// short-circuited to the from-scratch path because the repairability
+	// matrix rules the class out without looking at values.
+	staticFallbacks [core.NumDeltaClasses]atomic.Int64
 }
 
 // hookMidRepair, when non-nil, runs inside Flush after the replacement
@@ -165,6 +175,11 @@ type Server struct {
 // deterministic window in which a repair is in flight. Tests use it to
 // prove reads neither block on the repair lock nor observe torn state.
 var hookMidRepair func(old *Version)
+
+// hookDeltaRepair, when non-nil, runs at the top of every vm.RunDelta
+// attempt. Tests use it to prove that statically-unrepairable batches
+// never reach the planner.
+var hookDeltaRepair func()
 
 // New converges cfg.Prog on cfg.Graph from scratch, publishes epoch 1,
 // and starts the background flush loop. On error the caller keeps
@@ -181,6 +196,7 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg:      cfg,
+		profile:  cfg.Prog.Repairability(),
 		wake:     make(chan struct{}, 1),
 		stop:     make(chan struct{}),
 		loopDone: make(chan struct{}),
@@ -285,29 +301,43 @@ func (s *Server) Flush(ctx context.Context) (*Version, error) {
 }
 
 // applyBatch computes the replacement version for cur + muts without
-// touching any published state.
+// touching any published state. Admission consults the repairability
+// matrix first: a batch containing a statically-unrepairable delta class
+// goes straight to the from-scratch path without invoking the planner.
 func (s *Server) applyBatch(ctx context.Context, cur *Version, muts []graph.Mutation) (*Version, error) {
 	g, applied, err := graph.ApplyDelta(cur.g, &graph.Delta{Muts: muts})
 	if err != nil {
 		return nil, fmt.Errorf("applying delta: %w", err)
 	}
-	repaired := true
-	res, snap, err := s.runDelta(ctx, g, cur.snap, applied)
-	if err != nil {
-		// Outside the repairable class (added vertices, mode limits, …)
-		// or the repair itself aborted: fall back to a from-scratch run
-		// on the mutated graph. Correctness never depends on the repair
-		// path being available.
-		repaired = false
+	repaired := false
+	var res *vm.Result
+	var snap *pregel.Snapshot
+	if bad := s.admitBatch(muts); bad != nil {
+		// The matrix rules the batch out before any values are looked at;
+		// attempting the repair would only rediscover the same verdict.
 		s.fallbacks.Add(1)
-		s.logf("serve: delta repair unavailable (%v); recomputing from scratch", err)
+		s.logf("serve: batch holds %s mutations the program cannot repair (%s); recomputing from scratch",
+			bad.Class, bad.Reason)
 		res, snap, err = s.runScratch(ctx, g)
-		if err != nil {
-			g.Close()
-			return nil, fmt.Errorf("from-scratch fallback: %w", err)
-		}
 	} else {
-		s.repairs.Add(1)
+		res, snap, err = s.runDelta(ctx, g, cur.snap, applied)
+		if err != nil {
+			// A per-value guard rejected the batch (retracting a live
+			// contribution, loosening a clamped fixpoint, …) or the repair
+			// itself aborted: fall back to a from-scratch run on the
+			// mutated graph. Correctness never depends on the repair path
+			// being available.
+			s.fallbacks.Add(1)
+			s.logf("serve: delta repair unavailable (%v); recomputing from scratch", err)
+			res, snap, err = s.runScratch(ctx, g)
+		} else {
+			repaired = true
+			s.repairs.Add(1)
+		}
+	}
+	if err != nil {
+		g.Close()
+		return nil, fmt.Errorf("from-scratch fallback: %w", err)
 	}
 	next, err := s.buildVersion(cur.Epoch+1, g, res, snap, repaired)
 	if err != nil {
@@ -315,6 +345,45 @@ func (s *Server) applyBatch(ctx context.Context, cur *Version, muts []graph.Muta
 		return nil, err
 	}
 	return next, nil
+}
+
+// admitBatch checks every delta class present in the batch against the
+// repairability matrix. It returns the first verdict that is statically
+// unrepairable — Unsupported, or FallbackRequired with an Unconditional
+// reason — and bumps the per-class counter for each such class; nil means
+// the repair path is worth attempting. A weight rewrite's direction
+// (tighten vs loosen) depends on the old weight, so it conservatively
+// counts as both weight classes.
+func (s *Server) admitBatch(muts []graph.Mutation) *core.ClassVerdict {
+	var present [core.NumDeltaClasses]bool
+	for _, m := range muts {
+		switch m.Op {
+		case graph.MutAddEdge:
+			present[core.DeltaArcAdd] = true
+		case graph.MutRemoveEdge:
+			present[core.DeltaArcRemove] = true
+		case graph.MutSetWeight:
+			present[core.DeltaWeightTighten] = true
+			present[core.DeltaWeightLoosen] = true
+		case graph.MutAddVertices:
+			present[core.DeltaVertexAdd] = true
+		}
+	}
+	var first *core.ClassVerdict
+	for c := core.DeltaClass(0); int(c) < core.NumDeltaClasses; c++ {
+		if !present[c] {
+			continue
+		}
+		v := s.profile.Verdict(c)
+		if v.Cap == core.Repairable || (v.Cap == core.FallbackRequired && !v.Unconditional) {
+			continue
+		}
+		s.staticFallbacks[c].Add(1)
+		if first == nil {
+			first = &v
+		}
+	}
+	return first
 }
 
 // runScratch converges the program from scratch on g, capturing the
@@ -335,6 +404,9 @@ func (s *Server) runScratch(ctx context.Context, g *graph.Graph) (*vm.Result, *p
 
 // runDelta repairs the fixpoint in snap for the mutated graph g.
 func (s *Server) runDelta(ctx context.Context, g *graph.Graph, snap *pregel.Snapshot, applied *graph.AppliedDelta) (*vm.Result, *pregel.Snapshot, error) {
+	if hookDeltaRepair != nil {
+		hookDeltaRepair()
+	}
 	var sink lastSink
 	res, err := vm.RunDeltaContext(ctx, s.cfg.Prog, g, vm.DeltaRunOptions{
 		RunOptions: s.runOpts(&sink),
@@ -452,10 +524,29 @@ type Stats struct {
 	FallbackBatches   int64 `json:"fallback_batches"`
 	FailedBatches     int64 `json:"failed_batches"`
 	Quarantined       int64 `json:"quarantined_vertices"`
+
+	// Repairability is the program's static delta-capability matrix, one
+	// entry per delta class: "repairable (strategy)" or
+	// "fallback|unsupported — reason".
+	Repairability map[string]string `json:"repairability"`
+	// StaticFallbacks counts, per delta class, the batches that admission
+	// sent straight to the from-scratch path without attempting repair.
+	StaticFallbacks map[string]int64 `json:"static_fallback_batches"`
 }
 
 // Stats snapshots the server's counters and the published version.
 func (s *Server) Stats() Stats {
+	matrix := make(map[string]string, core.NumDeltaClasses)
+	statics := make(map[string]int64, core.NumDeltaClasses)
+	for c := core.DeltaClass(0); int(c) < core.NumDeltaClasses; c++ {
+		cv := s.profile.Verdict(c)
+		if cv.Cap == core.Repairable {
+			matrix[c.String()] = fmt.Sprintf("repairable (%s)", cv.Strategy)
+		} else {
+			matrix[c.String()] = fmt.Sprintf("%s — %s", cv.Cap, cv.Reason)
+		}
+		statics[c.String()] = s.staticFallbacks[c].Load()
+	}
 	v := s.current.Load()
 	return Stats{
 		Epoch:             v.Epoch,
@@ -475,6 +566,8 @@ func (s *Server) Stats() Stats {
 		FallbackBatches:   s.fallbacks.Load(),
 		FailedBatches:     s.failed.Load(),
 		Quarantined:       s.quarantined.Load(),
+		Repairability:     matrix,
+		StaticFallbacks:   statics,
 	}
 }
 

@@ -9,7 +9,8 @@
 //	      [-save-graph out.dvg]
 //	      [-param k=v]... [-workers N] [-queue] [-hash] [-combine] [-epsilon e]
 //	      [-show field] [-top N] [-trace] [-timeout d]
-//	      [-checkpoint-dir dir [-checkpoint-every N]] [-resume snapshot]
+//	      [-checkpoint-dir dir [-checkpoint-every N] [-checkpoint-incremental]]
+//	      [-resume snapshot-or-chain-dir]
 //	      [-mutations log.dvdelta [-warm-start snapshot]]
 //
 // Exactly one graph source (-dataset, -edges or -gen) must be given;
@@ -35,7 +36,12 @@
 // per checkpointed superstep (every -checkpoint-every supersteps, plus a
 // final snapshot at the terminal barrier and on any abort). The freshest
 // snapshot path and its superstep are printed as a "checkpoint:" line.
-// -resume continues a run from such a file — the same program, mode,
+// With -checkpoint-incremental the directory instead holds a checkpoint
+// chain: a full base snapshot, then one compact DVSNPD delta record per
+// barrier (rebased periodically), so steady-state checkpoint bytes scale
+// with what a superstep touched rather than with graph size.
+// -resume continues a run from a snapshot file or from such a chain
+// directory (the chain is replayed to its tip) — the same program, mode,
 // params, graph and scheduler flags must be given (the graph fingerprint
 // and scheduler are validated) — executing only the remaining supersteps.
 //
@@ -62,6 +68,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -115,6 +122,7 @@ type flagVals struct {
 	timeout              time.Duration
 	ckptDir              string
 	ckptEvery            int
+	ckptIncremental      bool
 	resume               string
 	mutations            string
 	warmStart            string
@@ -145,7 +153,8 @@ func registerFlags(fs *flag.FlagSet) *flagVals {
 	fs.DurationVar(&v.timeout, "timeout", 0, "abort the run after this duration (0 = no limit)")
 	fs.StringVar(&v.ckptDir, "checkpoint-dir", "", "write barrier snapshots into this directory")
 	fs.IntVar(&v.ckptEvery, "checkpoint-every", 0, "periodic snapshot interval in supersteps (0 = final/abort snapshots only)")
-	fs.StringVar(&v.resume, "resume", "", "resume from a snapshot file written by -checkpoint-dir")
+	fs.BoolVar(&v.ckptIncremental, "checkpoint-incremental", false, "write the checkpoints as an incremental chain (base + DVSNPD delta records) instead of full snapshots")
+	fs.StringVar(&v.resume, "resume", "", "resume from a snapshot file or a -checkpoint-incremental chain directory")
 	fs.StringVar(&v.mutations, "mutations", "", "apply this edge-mutation log (add/del/set/addv) to the graph before running")
 	fs.StringVar(&v.warmStart, "warm-start", "", "delta-recompute from this converged pre-mutation snapshot (needs -mutations)")
 	fs.Var(v.params, "param", "program parameter override, name=value (repeatable)")
@@ -160,7 +169,8 @@ func (v *flagVals) config() runConfig {
 		workers: v.workers, queue: v.queue, hash: v.hash, combine: v.combine,
 		epsilon: v.epsilon, show: v.show, top: v.top, trace: v.trace,
 		timeout: v.timeout, ckptDir: v.ckptDir, ckptEvery: v.ckptEvery,
-		resume: v.resume, mutations: v.mutations, warmStart: v.warmStart, params: v.params,
+		ckptIncremental: v.ckptIncremental,
+		resume:          v.resume, mutations: v.mutations, warmStart: v.warmStart, params: v.params,
 	}
 }
 
@@ -193,6 +203,7 @@ type runConfig struct {
 	timeout              time.Duration
 	ckptDir              string
 	ckptEvery            int
+	ckptIncremental      bool
 	resume               string
 	mutations            string
 	warmStart            string
@@ -420,18 +431,43 @@ func run(ctx context.Context, cfg runConfig) error {
 	if cfg.ckptEvery > 0 && cfg.ckptDir == "" {
 		return fmt.Errorf("-checkpoint-every needs -checkpoint-dir")
 	}
+	if cfg.ckptIncremental && cfg.ckptDir == "" {
+		return fmt.Errorf("-checkpoint-incremental needs -checkpoint-dir")
+	}
 	var ckpt pregel.CheckpointOptions
 	if cfg.ckptDir != "" {
 		if err := os.MkdirAll(cfg.ckptDir, 0o755); err != nil {
 			return err
 		}
-		ckpt = pregel.CheckpointOptions{Every: cfg.ckptEvery, Dir: cfg.ckptDir}
+		ckpt = pregel.CheckpointOptions{Every: cfg.ckptEvery, Dir: cfg.ckptDir, Incremental: cfg.ckptIncremental}
 	}
 	var resumeSnap *pregel.Snapshot
 	if cfg.resume != "" {
-		resumeSnap, err = pregel.ReadSnapshotFile(cfg.resume)
-		if err != nil {
-			return err
+		if pregel.IsChainDir(cfg.resume) {
+			st, err := pregel.LoadChain(cfg.resume)
+			if err != nil {
+				return err
+			}
+			// A chain written by dvserve also carries mutation logs; replay
+			// them so the tip snapshot meets the graph it was taken on.
+			for i, payload := range st.GraphDeltas {
+				d, err := graph.ReadDeltaLog(bytes.NewReader(payload))
+				if err != nil {
+					return fmt.Errorf("chain mutation log %d: %w", i, err)
+				}
+				g, _, err = graph.ApplyDelta(g, d)
+				if err != nil {
+					return fmt.Errorf("replaying chain mutation log %d: %w", i, err)
+				}
+			}
+			resumeSnap = st.Snapshot
+			fmt.Printf("resume: chain %s (superstep %d, %d records, %d mutation logs)\n",
+				cfg.resume, st.Snapshot.Superstep, len(st.Entries), len(st.GraphDeltas))
+		} else {
+			resumeSnap, err = pregel.ReadSnapshotFile(cfg.resume)
+			if err != nil {
+				return err
+			}
 		}
 	}
 
@@ -448,12 +484,16 @@ func run(ctx context.Context, cfg runConfig) error {
 	var runErr error
 	if cfg.warmStart != "" {
 		// Fail fast at the CLI boundary when the mutation log grew the
-		// vertex set: the old snapshot has no state for the new vertices
-		// and the size mismatch would otherwise surface as a confusing
-		// decode error deep inside the warm restore.
+		// vertex set and the program cannot repair growth in place (its
+		// init{} bakes in the graph size, say) — the size mismatch would
+		// otherwise surface as a confusing decode error deep inside the
+		// warm restore. Repairable programs proceed: the new vertices are
+		// initialized and primed by the delta run itself.
 		if applied != nil && applied.NewVertices > 0 {
-			return fmt.Errorf("%w: -mutations added %d vertices, so the pre-mutation snapshot %s cannot seed them; drop -warm-start to rerun from scratch",
-				pregel.ErrSnapshotMismatch, applied.NewVertices, cfg.warmStart)
+			if cv := prog.Repairability().Verdict(core.DeltaVertexAdd); cv.Cap != core.Repairable {
+				return fmt.Errorf("%w: -mutations added %d vertices but %s; drop -warm-start to rerun from scratch",
+					pregel.ErrSnapshotMismatch, applied.NewVertices, cv.Reason)
+			}
 		}
 		snap, err := pregel.ReadSnapshotFile(cfg.warmStart)
 		if err != nil {

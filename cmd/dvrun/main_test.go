@@ -502,6 +502,153 @@ func TestRunWarmStartDeltaRecompute(t *testing.T) {
 	}
 }
 
+// TestRunCheckpointIncrementalResume drives the chain-mode CLI path: a full
+// run with -checkpoint-incremental leaves a chain directory (base snapshot
+// plus delta records), and a second invocation resuming from the directory
+// itself — not any single snapshot file — replays the chain to its terminal
+// tip and reproduces the same values with zero supersteps left to execute.
+func TestRunCheckpointIncrementalResume(t *testing.T) {
+	dir := t.TempDir()
+	base := runConfig{
+		mode: "dv", progName: "pagerank", gen: "rmat:8:6", seed: 5,
+		workers: 2, combine: true, show: "vl", top: 5, params: paramFlags{},
+	}
+	full := base
+	full.ckptDir = dir
+	full.ckptEvery = 1
+	full.ckptIncremental = true
+	fullOut := capture(t, func() error { return run(context.Background(), full) })
+	if p := checkpointPathFrom(fullOut); !strings.HasPrefix(p, dir) {
+		t.Fatalf("checkpoint line %q does not point into the chain directory %q", p, dir)
+	}
+	if !pregel.IsChainDir(dir) {
+		t.Fatalf("%s holds no chain manifest after an incremental run", dir)
+	}
+	wantTop := topBlock(t, fullOut)
+
+	res := base
+	res.resume = dir
+	out := capture(t, func() error { return run(context.Background(), res) })
+	if !strings.Contains(out, "resume: chain "+dir) {
+		t.Fatalf("chain resume line missing:\n%s", out)
+	}
+	// The chain tip is the terminal barrier snapshot, so nothing is left to
+	// recompute: the replayed state alone must carry the final values.
+	if got := superstepsOf(t, out); got != 0 {
+		t.Errorf("resume from the chain tip took %d supersteps, want 0", got)
+	}
+	if got := topBlock(t, out); got != wantTop {
+		t.Errorf("chain-resumed values differ from the uninterrupted run:\ngot:\n%swant:\n%s", got, wantTop)
+	}
+
+	// Resuming mid-chain still works through the ordinary snapshot path once
+	// the chain is replayed externally, but pointing -resume at a random
+	// file inside the chain directory must fail decode, not silently load.
+	if _, err := captureErr(t, func() error {
+		bad := base
+		bad.resume = filepath.Join(dir, pregel.ChainManifestName)
+		return run(context.Background(), bad)
+	}); err == nil {
+		t.Fatal("resuming from the raw manifest file succeeded, want decode error")
+	}
+}
+
+// TestRunWarmStartVertexGrowth: a mutation log that grows the vertex set is
+// warm-startable when the program's repairability matrix admits vertex-add
+// (sssp does: init{} is local, so the newcomers are initialized and primed
+// by the repair superstep). The warm values must match a from-scratch run
+// on the grown graph.
+func TestRunWarmStartVertexGrowth(t *testing.T) {
+	el := filepath.Join(t.TempDir(), "chain.el")
+	fh, err := os.Create(el)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteEdgeList(fh, graph.Path(120, true)); err != nil {
+		t.Fatal(err)
+	}
+	fh.Close()
+
+	dir := t.TempDir()
+	base := runConfig{
+		mode: "dv", progName: "sssp", edges: el, directed: true,
+		workers: 2, combine: true, show: "dist", top: 5,
+		params: paramFlags{"src": 0},
+	}
+	seed := base
+	seed.ckptDir = dir
+	seedOut := capture(t, func() error { return run(context.Background(), seed) })
+	snapPath := checkpointPathFrom(seedOut)
+	if snapPath == "" {
+		t.Fatalf("seed run printed no checkpoint line:\n%s", seedOut)
+	}
+
+	// Two new vertices spliced onto the path's tail plus a shortcut.
+	mut := filepath.Join(t.TempDir(), "grow.dvdelta")
+	log := "addv 2\nadd 119 120\nadd 120 121\nadd 0 121 5\n"
+	if err := os.WriteFile(mut, []byte(log), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	scratch := base
+	scratch.mutations = mut
+	scratchOut := capture(t, func() error { return run(context.Background(), scratch) })
+	if !strings.Contains(scratchOut, "2 new vertices") {
+		t.Fatalf("scratch run missing the new-vertex count:\n%s", scratchOut)
+	}
+
+	warm := base
+	warm.mutations = mut
+	warm.warmStart = snapPath
+	warmOut := capture(t, func() error { return run(context.Background(), warm) })
+	if !strings.Contains(warmOut, "delta-recompute from "+snapPath) {
+		t.Fatalf("warm run missing delta-recompute marker:\n%s", warmOut)
+	}
+	if got, want := topBlock(t, warmOut), topBlock(t, scratchOut); got != want {
+		t.Errorf("grown warm-start values differ from scratch:\ngot:\n%swant:\n%s", got, want)
+	}
+	if ws, ss := superstepsOf(t, warmOut), superstepsOf(t, scratchOut); ws >= ss {
+		t.Errorf("warm start took %d supersteps, scratch %d — expected strictly fewer", ws, ss)
+	}
+}
+
+// TestRunWarmStartGrowthRejectedByVerdict: the same growth log must be
+// refused at the CLI boundary when the program bakes graphSize into every
+// vertex's init{} — the static vertex-add verdict, not a size heuristic,
+// is what gates the warm restart.
+func TestRunWarmStartGrowthRejectedByVerdict(t *testing.T) {
+	src := "init { local share : float = 1.0 / graphSize };\n" +
+		"iter k { share = max [ u.share | u <- #in ] } until { fixpoint }\n"
+	f := filepath.Join(t.TempDir(), "gsize.dv")
+	if err := os.WriteFile(f, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := runConfig{
+		mode: "dv", file: f, gen: "grid:8:8", seed: 1,
+		combine: true, params: paramFlags{},
+	}
+	dir := t.TempDir()
+	seed := base
+	seed.ckptDir = dir
+	seedOut := capture(t, func() error { return run(context.Background(), seed) })
+	snapPath := checkpointPathFrom(seedOut)
+	if snapPath == "" {
+		t.Fatalf("seed run printed no checkpoint line:\n%s", seedOut)
+	}
+
+	mut := filepath.Join(t.TempDir(), "grow.dvdelta")
+	if err := os.WriteFile(mut, []byte("addv 1\nadd 0 64\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.mutations = mut
+	cfg.warmStart = snapPath
+	_, err := captureErr(t, func() error { return run(context.Background(), cfg) })
+	if !errors.Is(err, pregel.ErrSnapshotMismatch) || !strings.Contains(err.Error(), "added 1 vertices") {
+		t.Fatalf("err = %v, want the vertex-add verdict rejection", err)
+	}
+}
+
 // TestRunMutationErrorPaths covers the new flag validation and the
 // planner's rejection surfacing through the CLI.
 func TestRunMutationErrorPaths(t *testing.T) {
@@ -571,6 +718,14 @@ func TestRunCheckpointErrorPaths(t *testing.T) {
 	})
 	if err == nil || !strings.Contains(err.Error(), "-checkpoint-dir") {
 		t.Fatalf("err = %v, want -checkpoint-dir requirement", err)
+	}
+	// -checkpoint-incremental without -checkpoint-dir likewise.
+	err = run(ctx, runConfig{
+		mode: "dv", progName: "pagerank", gen: "grid:3:3",
+		combine: true, ckptIncremental: true, params: paramFlags{},
+	})
+	if err == nil || !strings.Contains(err.Error(), "-checkpoint-dir") {
+		t.Fatalf("err = %v, want -checkpoint-dir requirement for -checkpoint-incremental", err)
 	}
 	// -resume with a missing file.
 	err = run(ctx, runConfig{

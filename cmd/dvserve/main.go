@@ -14,7 +14,7 @@
 //	        [-param k=v]... [-workers N] [-queue] [-hash] [-combine]
 //	        [-epsilon e] [-addr host:port]
 //	        [-batch-interval d] [-max-batch N] [-max-pending N]
-//	        [-no-quarantine]
+//	        [-no-quarantine] [-chain-dir dir] [-repair-budget f]
 //
 // Graph sources, generator specs, -graph-format and -repr behave exactly
 // as in dvrun. The HTTP API (see internal/serve):
@@ -33,6 +33,20 @@
 // are quarantined to the panicking vertex by default so a poisoned
 // vertex cannot take the daemon down; -no-quarantine restores
 // fail-stop behavior for debugging.
+//
+// -chain-dir persists every published version to a checkpoint chain: a
+// full base snapshot at boot, then per batch an atomic (mutation log +
+// incremental snapshot record) commit. Restarting dvserve with the same
+// -chain-dir and the same graph flags replays the chain and resumes
+// serving at the epoch the previous process reached — no superstep is
+// re-executed and no full vertex state is reread (the startup log says
+// "chain: seeded epoch N"). The chain stores mutations, not the boot
+// graph, so the graph flags must rebuild the graph the chain was started
+// from. -repair-budget bounds each repair to ceil(f × S) body supersteps
+// (S = supersteps of the fixpoint being repaired); past that the repair
+// has lost to the from-scratch rerun it was supposed to undercut, so the
+// batch falls back (counted as budget_fallback_batches in /stats). 0
+// disables the bound.
 //
 // On startup dvserve prints the program's static repairability matrix
 // (one "repairability MODE: class=verdict ..." line — which mutation
@@ -101,6 +115,8 @@ type flagVals struct {
 	batchInterval        time.Duration
 	maxBatch, maxPending int
 	noQuarantine         bool
+	chainDir             string
+	repairBudget         float64
 	params               paramFlags
 }
 
@@ -126,6 +142,8 @@ func registerFlags(fs *flag.FlagSet) *flagVals {
 	fs.IntVar(&v.maxBatch, "max-batch", 0, "repair as soon as this many mutations are pending (0 = max-pending)")
 	fs.IntVar(&v.maxPending, "max-pending", 65536, "bound on the pending mutation log; POST /mutate returns 503 beyond it")
 	fs.BoolVar(&v.noQuarantine, "no-quarantine", false, "abort on vertex-program panics instead of quarantining the vertex")
+	fs.StringVar(&v.chainDir, "chain-dir", "", "checkpoint-chain directory: persist every published version and resume from it on restart")
+	fs.Float64Var(&v.repairBudget, "repair-budget", 0, "abandon a repair past ceil(f × supersteps) body supersteps and recompute from scratch (0 = unbounded)")
 	fs.Var(v.params, "param", "program parameter override, name=value (repeatable)")
 	return v
 }
@@ -206,6 +224,8 @@ func run(ctx context.Context, v *flagVals, out *os.File) error {
 		MaxPending:    v.maxPending,
 		MaxBatch:      v.maxBatch,
 		BatchInterval: v.batchInterval,
+		ChainDir:      v.chainDir,
+		RepairBudget:  v.repairBudget,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

@@ -38,6 +38,12 @@ type DeltaRow struct {
 	DeltaSeconds  float64
 	DeltaMessages int64
 	DeltaSteps    int
+
+	// Checkpoint persistence cost after the repair: a full terminal
+	// snapshot of the repaired state vs the DVSNPD delta record an
+	// incremental checkpoint chain would append for the same barrier.
+	FullCkptBytes  int
+	DeltaCkptBytes int
 }
 
 // deltaMutations builds the deterministic small-delta workload for a
@@ -150,6 +156,30 @@ func MeasureDelta(ctx context.Context, program, dataset, variant string, runs in
 	}
 	row.ScratchSeconds = scratchTotal.Seconds() / float64(runs)
 	row.DeltaSeconds = deltaTotal.Seconds() / float64(runs)
+
+	// Checkpoint-bytes comparison, outside the timed loop so the snapshot
+	// sink never pollutes the wall-clock numbers: repair once more with a
+	// terminal-snapshot sink, then price persisting that barrier both ways.
+	prog, err = compile()
+	if err != nil {
+		return fail(err)
+	}
+	var rbuf bytes.Buffer
+	ckptOpts := opts
+	ckptOpts.Checkpoint = pregel.CheckpointOptions{Sink: &rbuf}
+	if _, err := vm.RunDeltaContext(ctx, prog, g1, vm.DeltaRunOptions{
+		RunOptions: ckptOpts,
+		Snapshot:   snap,
+		Changes:    ad,
+	}); err != nil {
+		return fail(err)
+	}
+	rsnap, err := pregel.ReadSnapshot(&rbuf)
+	if err != nil {
+		return fail(err)
+	}
+	row.FullCkptBytes = len(rsnap.AppendTo(nil))
+	row.DeltaCkptBytes = len(pregel.DiffSnapshots(snap, rsnap).AppendTo(nil))
 	return row, nil
 }
 
@@ -180,16 +210,17 @@ func DeltaRecompute(ctx context.Context, runs int) ([]DeltaRow, error) {
 // rerun/repair ratios that make the payoff visible at a glance.
 func RenderDelta(w io.Writer, rows []DeltaRow) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "Dataset\tProgram\tVariant\tΔarcs\tScratch (s)\tRepair (s)\tSpeedup\tScratch msgs\tRepair msgs\tScratch steps\tRepair steps")
+	fmt.Fprintln(tw, "Dataset\tProgram\tVariant\tΔarcs\tScratch (s)\tRepair (s)\tSpeedup\tScratch msgs\tRepair msgs\tScratch steps\tRepair steps\tFull ckpt (B)\tΔ ckpt (B)")
 	for _, r := range rows {
 		speedup := 0.0
 		if r.DeltaSeconds > 0 {
 			speedup = r.ScratchSeconds / r.DeltaSeconds
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%.4f\t%.4f\t%.1fx\t%d\t%d\t%d\t%d\n",
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%.4f\t%.4f\t%.1fx\t%d\t%d\t%d\t%d\t%d\t%d\n",
 			r.Dataset, r.Program, r.Variant, r.Arcs,
 			r.ScratchSeconds, r.DeltaSeconds, speedup,
-			r.ScratchMessages, r.DeltaMessages, r.ScratchSteps, r.DeltaSteps)
+			r.ScratchMessages, r.DeltaMessages, r.ScratchSteps, r.DeltaSteps,
+			r.FullCkptBytes, r.DeltaCkptBytes)
 	}
 	return tw.Flush()
 }

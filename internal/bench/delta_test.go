@@ -31,12 +31,26 @@ func TestDeltaRecomputeCheaper(t *testing.T) {
 			t.Errorf("%s/%s/%s: repair sent %d messages, scratch %d — expected strictly fewer",
 				r.Program, r.Dataset, r.Variant, r.DeltaMessages, r.ScratchMessages)
 		}
+		// The incremental-checkpoint claim: persisting the post-repair
+		// barrier as a DVSNPD delta record must cost a fraction of a full
+		// snapshot — the record scales with what the repair wave touched,
+		// not with graph size. The bound is pinned for the dv variant only:
+		// memotable state rewrites its memo sections wholesale when the
+		// repair renumbers supersteps, so its record is honestly large.
+		if r.FullCkptBytes == 0 || r.DeltaCkptBytes == 0 {
+			t.Errorf("%s/%s/%s: checkpoint-bytes columns missing: full=%d delta=%d",
+				r.Program, r.Dataset, r.Variant, r.FullCkptBytes, r.DeltaCkptBytes)
+		}
+		if r.Variant == VariantDV && r.DeltaCkptBytes*4 >= r.FullCkptBytes {
+			t.Errorf("%s/%s/%s: delta checkpoint record is %d bytes vs %d full — not O(touched)",
+				r.Program, r.Dataset, r.Variant, r.DeltaCkptBytes, r.FullCkptBytes)
+		}
 	}
 	var buf bytes.Buffer
 	if err := RenderDelta(&buf, rows); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"wikipedia-s", "facebook-s", "Repair msgs", "dV-memotable"} {
+	for _, want := range []string{"wikipedia-s", "facebook-s", "Repair msgs", "Full ckpt", "Δ ckpt", "dV-memotable"} {
 		if !strings.Contains(buf.String(), want) {
 			t.Fatalf("render missing %q:\n%s", want, buf.String())
 		}

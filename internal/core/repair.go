@@ -193,6 +193,33 @@ func selfFoldingAssigns(body ast.Expr, userFields int) []clampedField {
 	return fields
 }
 
+// vertexGraphSizeRead locates the first vertex-side graph-size (#V) read:
+// in init{}, the phase-0 body, or an aggregation slot expression. Master
+// expressions (until{}) are excluded — they evaluate against the current
+// graph every superstep, so growth cannot leave them stale.
+func vertexGraphSizeRead(p *Program) (pos, end token.Pos, ok bool) {
+	exprs := []ast.Expr{p.Init, p.Phases[0].Body}
+	for _, s := range p.Sites {
+		exprs = append(exprs, s.SlotExpr)
+	}
+	for _, e := range exprs {
+		ast.Walk(e, func(x ast.Expr) bool {
+			if ok {
+				return false
+			}
+			if g, isSize := x.(*ast.GraphSize); isSize {
+				pos, end, ok = g.Pos(), g.End(), true
+				return false
+			}
+			return true
+		})
+		if ok {
+			return
+		}
+	}
+	return
+}
+
 // topologyAnchor locates the first degree-reading node of an expression,
 // for anchoring init-topology verdicts.
 func topologyAnchor(e ast.Expr) (pos, end token.Pos) {
@@ -295,12 +322,21 @@ func (p *Program) Repairability() *RepairProfile {
 		return rp
 	}
 
-	// Vertex additions need init{} state no pre-mutation snapshot holds.
-	rp.worsen(DeltaVertexAdd, ClassVerdict{
-		Cap:           FallbackRequired,
-		Unconditional: true,
-		Reason:        "new vertices need init{} state the snapshot cannot supply; rerun from scratch",
-	})
+	// Vertex additions: the repair superstep runs init{} for the new
+	// vertices and primes their (simultaneously added) arcs, so the class
+	// is repairable in place — unless some vertex-side expression reads
+	// the graph size (#V). Growth changes #V for every *existing* vertex,
+	// whose snapshotted fixpoint was computed against the old value; no
+	// repair wave re-derives that (init{} only reruns for new vertices),
+	// so such programs must rerun from scratch.
+	if pos, end, ok := vertexGraphSizeRead(p); ok {
+		rp.worsen(DeltaVertexAdd, ClassVerdict{
+			Cap:           FallbackRequired,
+			Unconditional: true,
+			Reason:        "vertex code reads the graph size (#V), which growth changes for every existing vertex; their snapshotted state goes stale and init{} only reruns for new vertices — rerun from scratch",
+			Pos:           pos, End: end,
+		})
+	}
 
 	// init{} runs exactly once, in a from-scratch execution. A degree read
 	// there (degreesum's `local deg : int = |#out|`) bakes pre-mutation
@@ -339,6 +375,7 @@ func (p *Program) Repairability() *RepairProfile {
 		DeltaArcRemove:     pick(table, "table-surgery", "delta-retract"),
 		DeltaWeightTighten: pick(table, "table-update", "delta-transition"),
 		DeltaWeightLoosen:  pick(table, "table-update", "delta-transition"),
+		DeltaVertexAdd:     "init-prime",
 	}
 	if !usesWeight {
 		// No slot expression reads ew: a reweight cannot move any

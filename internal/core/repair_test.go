@@ -17,16 +17,16 @@ const (
 
 	// Clamped idempotent fold, weightless slot (bfs/cc/maxval/reach/wcc):
 	// injections are clamp-safe, retractions are not, reweights are no-ops.
-	rowClampedDV = "arc-add=repairable(delta-inject) arc-remove=fallback weight-tighten=repairable(no-op) weight-loosen=repairable(no-op) vertex-add=fallback"
-	rowClampedMT = "arc-add=repairable(table-update) arc-remove=fallback weight-tighten=repairable(no-op) weight-loosen=repairable(no-op) vertex-add=fallback"
+	rowClampedDV = "arc-add=repairable(delta-inject) arc-remove=fallback weight-tighten=repairable(no-op) weight-loosen=repairable(no-op) vertex-add=repairable(init-prime)"
+	rowClampedMT = "arc-add=repairable(table-update) arc-remove=fallback weight-tighten=repairable(no-op) weight-loosen=repairable(no-op) vertex-add=repairable(init-prime)"
 
 	// sssp reads ew: reweights split by direction under the clamp.
-	rowSsspDV = "arc-add=repairable(delta-inject) arc-remove=fallback weight-tighten=repairable(delta-transition) weight-loosen=fallback vertex-add=fallback"
-	rowSsspMT = "arc-add=repairable(table-update) arc-remove=fallback weight-tighten=repairable(table-update) weight-loosen=fallback vertex-add=fallback"
+	rowSsspDV = "arc-add=repairable(delta-inject) arc-remove=fallback weight-tighten=repairable(delta-transition) weight-loosen=fallback vertex-add=repairable(init-prime)"
+	rowSsspMT = "arc-add=repairable(table-update) arc-remove=fallback weight-tighten=repairable(table-update) weight-loosen=fallback vertex-add=repairable(init-prime)"
 
 	// degreesum's init{} reads |#out|: every topology change invalidates
 	// baked-in state, whatever the mode's repair machinery could do.
-	rowDegreesum = "arc-add=fallback arc-remove=fallback weight-tighten=repairable(no-op) weight-loosen=repairable(no-op) vertex-add=fallback"
+	rowDegreesum = "arc-add=fallback arc-remove=fallback weight-tighten=repairable(no-op) weight-loosen=repairable(no-op) vertex-add=repairable(init-prime)"
 )
 
 // corpusMatrix is the golden delta-capability matrix of the program corpus.
@@ -157,16 +157,35 @@ func TestRepairabilityBlockersAndVerdicts(t *testing.T) {
 		}
 	})
 
-	t.Run("vertex-add-always-fallback", func(t *testing.T) {
+	t.Run("vertex-add-gated-on-graphsize", func(t *testing.T) {
+		// Growth reruns init{} for the new vertices only, so vertex-add is
+		// repairable in place — unless some vertex-side expression reads
+		// #V, which growth changes for every *existing* vertex. No corpus
+		// program that survives the program-wide blockers reads #V.
 		for _, name := range programs.Names() {
 			rp := compileMode(t, name, Incremental).Repairability()
-			v := rp.Verdict(DeltaVertexAdd)
-			if v.Cap == Repairable {
-				t.Errorf("%s: vertex-add must never be repairable, got %+v", name, v)
+			if rp.Blocked() != nil {
+				continue
 			}
-			if rp.Blocked() == nil && !v.Unconditional {
-				t.Errorf("%s: vertex-add fallback must be unconditional, got %+v", name, v)
+			if v := rp.Verdict(DeltaVertexAdd); v.Cap != Repairable || v.Strategy != "init-prime" {
+				t.Errorf("%s: vertex-add = %+v, want repairable(init-prime)", name, v)
 			}
+		}
+		const src = `
+init { local share : float = 1.0 / graphSize };
+iter k {
+  share = max [ u.share | u <- #in ]
+} until { fixpoint }`
+		p, err := Compile(src, Options{Mode: Incremental})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := p.Repairability().Verdict(DeltaVertexAdd)
+		if v.Cap != FallbackRequired || !v.Unconditional {
+			t.Fatalf("graphSize-reading program: vertex-add = %+v, want unconditional fallback", v)
+		}
+		if !strings.Contains(v.Reason, "graph size") || !v.Pos.IsValid() {
+			t.Fatalf("graphSize-reading program: want a #V-anchored reason, got %+v", v)
 		}
 	})
 

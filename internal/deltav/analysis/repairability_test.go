@@ -66,7 +66,7 @@ func TestRepairabilityFindings(t *testing.T) {
 	if !rem.Pos.IsValid() {
 		t.Errorf("arc-remove finding should anchor the clamping assignment: %v", rem)
 	}
-	if v := byClass["vertex-add"]; !strings.Contains(v.Message, "init{}") {
+	if v := byClass["vertex-add"]; !strings.Contains(v.Message, "repairable (init-prime)") {
 		t.Errorf("vertex-add = %v", v)
 	}
 

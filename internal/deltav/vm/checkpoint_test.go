@@ -146,7 +146,7 @@ func FuzzDeltaVExtraDecode(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		gl, err := mm.restoreExtra(b)
+		gl, err := mm.restoreExtra(b, g.NumVertices())
 		if err == nil && gl == nil {
 			t.Fatal("restoreExtra returned neither globals nor error")
 		}

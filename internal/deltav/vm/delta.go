@@ -2,6 +2,7 @@ package vm
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -47,7 +48,17 @@ type DeltaRunOptions struct {
 	// Changes is the applied mutation diff produced by graph.ApplyDelta;
 	// its OldFingerprint must match the snapshot's graph.
 	Changes *graph.AppliedDelta
+	// SuperstepBudget, when positive, bounds the repair run's body
+	// supersteps. A repair wave that has not converged within the budget
+	// aborts with an error wrapping ErrRepairBudget — past break-even a
+	// from-scratch rerun is cheaper than finishing the repair, and callers
+	// (dvserve) use the sentinel to take that fallback.
+	SuperstepBudget int
 }
+
+// ErrRepairBudget is wrapped by the error a delta run returns when its
+// repair wave exceeds DeltaRunOptions.SuperstepBudget before converging.
+var ErrRepairBudget = errors.New("repair superstep budget exceeded")
 
 // repairSend is one precomputed repair message.
 type repairSend struct {
@@ -100,7 +111,7 @@ func (m *Machine) RunDeltaContext(ctx context.Context, opts DeltaRunOptions) (*R
 	if err := m.validateDelta(&opts); err != nil {
 		return nil, err
 	}
-	gl, err := m.restoreExtra(opts.Snapshot.Extra)
+	gl, err := m.restoreExtra(opts.Snapshot.Extra, opts.Snapshot.NumVertices)
 	if err != nil {
 		return nil, err
 	}
@@ -112,6 +123,13 @@ func (m *Machine) RunDeltaContext(ctx context.Context, opts DeltaRunOptions) (*R
 		m.iterations[i] = 0
 	}
 	m.nonMonotone.Store(0)
+	m.repairBudget = opts.SuperstepBudget
+	// Added vertices have no snapshotted state: run their init{} now, and
+	// record the primed send state (what primeGroup would have recorded)
+	// so the planner's injection sends for their arcs evaluate against a
+	// coherent baseline. The sends themselves come from the plan — every
+	// arc of a new vertex is an ArcAdd in the diff.
+	m.initNewVertices(opts.Snapshot.NumVertices, gl.Phase)
 	plan, err := m.planRepair(opts.Changes)
 	if err != nil {
 		return nil, err
@@ -124,8 +142,49 @@ func (m *Machine) RunDeltaContext(ctx context.Context, opts DeltaRunOptions) (*R
 		Snapshot:          opts.Snapshot,
 		ExpectFingerprint: opts.Changes.OldFingerprint,
 		Activate:          plan.frontier,
+		AllowGrowth:       opts.Changes.NewVertices > 0,
 	}
 	return m.execute(ctx, opts.RunOptions, warm, &globals{Phase: gl.Phase, Mode: modeRepair, Iter: 1})
+}
+
+// initNewVertices seeds the vertices in [oldN, n): default field values,
+// the init{} body, and the same most-recently-sent bookkeeping primeGroup
+// records after a full prime — minus the sends, which the repair plan
+// synthesizes from the new vertices' (all-added) arcs instead.
+func (m *Machine) initNewVertices(oldN, phase int) {
+	n := m.g.NumVertices()
+	if oldN >= n {
+		return
+	}
+	ev := &evaluator{m: m}
+	ev.lets = make([]float64, m.prog.MaxLetDepth)
+	for u := oldN; u < n; u++ {
+		ev.u, ev.base = graph.VertexID(u), u*m.stride
+		for i, f := range m.prog.Layout.Fields {
+			m.state[ev.base+i] = m.fieldDefault(f)
+		}
+		ev.eval(m.prog.Init)
+		for _, gid := range m.prog.Phases[phase].Groups {
+			g := m.prog.Groups[gid]
+			if g.DirtySlot >= 0 {
+				m.state[ev.base+g.DirtySlot] = 0
+			}
+			for _, sid := range g.Sites {
+				s := m.prog.Sites[sid]
+				for i, fslot := range s.Fields {
+					if s.OldSlots != nil {
+						m.state[ev.base+s.OldSlots[i]] = m.state[ev.base+fslot]
+					}
+				}
+				if s.LastNNSlot >= 0 {
+					ev.curWeight = 1
+					if v := ev.eval(s.SlotExpr); v != 0 {
+						m.state[ev.base+s.LastNNSlot] = v
+					}
+				}
+			}
+		}
+	}
 }
 
 // validateDelta rejects the combinations a warm repair cannot handle.
@@ -149,11 +208,19 @@ func (m *Machine) validateDelta(opts *DeltaRunOptions) error {
 		return fmt.Errorf("vm: %s", b.Reason)
 	}
 	if opts.Changes.NewVertices > 0 {
-		// Wrap ErrSnapshotMismatch so long-lived callers (dvserve, dvrun
-		// -warm-start) can detect the added-vertex case programmatically
-		// and fall back to a from-scratch run instead of dying.
-		return fmt.Errorf("vm: %w: delta adds %d vertices: %s",
-			pregel.ErrSnapshotMismatch, opts.Changes.NewVertices, rp.Verdict(core.DeltaVertexAdd).Reason)
+		// Vertex additions are repairable when the profile says so: the
+		// planner runs init{} for the new vertices and injects their arcs.
+		// Otherwise wrap ErrSnapshotMismatch so long-lived callers (dvserve,
+		// dvrun -warm-start) can detect the case programmatically and fall
+		// back to a from-scratch run instead of dying.
+		if v := rp.Verdict(core.DeltaVertexAdd); v.Cap != core.Repairable {
+			return fmt.Errorf("vm: %w: delta adds %d vertices: %s",
+				pregel.ErrSnapshotMismatch, opts.Changes.NewVertices, v.Reason)
+		}
+		if opts.Snapshot.NumVertices+opts.Changes.NewVertices != m.g.NumVertices() {
+			return fmt.Errorf("vm: %w: snapshot covers %d vertices and the delta adds %d, but the graph has %d",
+				pregel.ErrSnapshotMismatch, opts.Snapshot.NumVertices, opts.Changes.NewVertices, m.g.NumVertices())
+		}
 	}
 	if opts.Snapshot.Fingerprint != opts.Changes.OldFingerprint {
 		return fmt.Errorf("vm: %w: snapshot was taken on graph %016x, the delta was applied to %016x",
@@ -234,6 +301,13 @@ func (m *Machine) planRepair(ch *graph.AppliedDelta) (*repairPlan, error) {
 				plan.keepActive[v] = true
 			}
 		}
+	}
+	// New vertices join the frontier unconditionally: init{} state is not
+	// necessarily their fixpoint (the body may compute from accumulators
+	// the injections are only now filling), so they run body supersteps
+	// until the wave quiesces, like any repaired vertex.
+	for u := m.g.NumVertices() - ch.NewVertices; u < m.g.NumVertices(); u++ {
+		plan.keepActive[graph.VertexID(u)] = true
 	}
 	frontier := make([]graph.VertexID, 0, len(plan.sends)+len(plan.keepActive))
 	for u := range plan.sends { //lint:allow maprange — frontier sorted below

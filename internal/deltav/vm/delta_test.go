@@ -2,6 +2,7 @@ package vm
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"math/rand"
 	"path/filepath"
@@ -211,6 +212,145 @@ func TestDeltaRecomputeSSSP(t *testing.T) {
 			scratch, delta := tc.run(t, g0, d)
 			assertCheaper(t, scratch, delta)
 		})
+	}
+}
+
+// TestDeltaRecomputeVertexAdd: growth repairs in place — the planner runs
+// init{} for the appended vertices, injects their (simultaneously added)
+// arcs, and the repair wave integrates them into the converged state,
+// bitwise equal to a from-scratch run on the grown graph.
+func TestDeltaRecomputeVertexAdd(t *testing.T) {
+	for _, mode := range []core.Mode{core.Incremental, core.MemoTable} {
+		t.Run(mode.String(), func(t *testing.T) {
+			g0 := weightedChain(80)
+			d := &graph.Delta{}
+			d.AddVertices(2)
+			d.AddWeightedEdge(79, 80, 2)  // extend the chain into vertex 80
+			d.AddWeightedEdge(80, 81, 1)  // ... and on to 81
+			d.AddWeightedEdge(81, 40, 50) // loose back-arc: injected, never wins
+			tc := &deltaCase{
+				prog: "sssp", mode: mode, fields: []string{"dist"},
+				params: map[string]float64{"src": 0}, bitwise: true,
+			}
+			scratch, delta := tc.run(t, g0, d)
+			if delta.MessagesSent >= scratch.MessagesSent {
+				t.Errorf("delta run sent %d messages, scratch %d — expected strictly fewer",
+					delta.MessagesSent, scratch.MessagesSent)
+			}
+		})
+	}
+}
+
+// TestDeltaRecomputeVertexAddIsolated: appended vertices with no arcs
+// still run init{} and their body to a private fixpoint.
+func TestDeltaRecomputeVertexAddIsolated(t *testing.T) {
+	g0 := graph.Cycle(60, false)
+	d := &graph.Delta{}
+	d.AddVertices(3)
+	tc := &deltaCase{prog: "cc", mode: core.Incremental, fields: []string{"cid"}, bitwise: true}
+	tc.run(t, g0, d)
+}
+
+// TestDeltaRunSuperstepBudget: a repair wave that outlives its superstep
+// budget aborts with ErrRepairBudget instead of finishing, so servers can
+// switch to a from-scratch rerun past break-even.
+func TestDeltaRunSuperstepBudget(t *testing.T) {
+	g0 := weightedChain(80)
+	prog := mustCompile("sssp", core.Incremental)
+	snap, _ := terminalVMSnapshot(t, prog, g0, RunOptions{Workers: 2, Params: map[string]float64{"src": 0}})
+	d := &graph.Delta{}
+	d.AddWeightedEdge(0, 40, 1.5) // tightens the whole 40..79 suffix: a long wave
+	g1, ad, err := graph.ApplyDelta(g0, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunDelta(mustCompile("sssp", core.Incremental), g1, DeltaRunOptions{
+		RunOptions:      RunOptions{Workers: 2, Params: map[string]float64{"src": 0}},
+		Snapshot:        snap,
+		Changes:         ad,
+		SuperstepBudget: 3,
+	})
+	if !errors.Is(err, ErrRepairBudget) {
+		t.Fatalf("budget 3 on a 40-superstep wave: err = %v, want ErrRepairBudget", err)
+	}
+	// The same repair with room to spare completes.
+	res, err := RunDelta(mustCompile("sssp", core.Incremental), g1, DeltaRunOptions{
+		RunOptions:      RunOptions{Workers: 2, Params: map[string]float64{"src": 0}},
+		Snapshot:        snap,
+		Changes:         ad,
+		SuperstepBudget: 10_000,
+	})
+	if err != nil {
+		t.Fatalf("generous budget: %v", err)
+	}
+	if res.Stats.Supersteps == 0 {
+		t.Fatal("repair did no work")
+	}
+}
+
+// TestDeltaCheckpointIncrementalBytes pins the O(touched) end of the
+// checkpoint chain: a converged run's chain holds one full base record;
+// a three-arc repair appended to the same chain writes a delta record a
+// couple of orders of magnitude smaller.
+func TestDeltaCheckpointIncrementalBytes(t *testing.T) {
+	g0 := weightedChain(3000)
+	dir := t.TempDir()
+	ck := pregel.CheckpointOptions{Dir: dir, Incremental: true}
+	seed, err := Run(mustCompile("sssp", core.Incremental), g0, RunOptions{
+		Workers: 4, Params: map[string]float64{"src": 0}, Checkpoint: ck,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseBytes := seed.Stats.CheckpointBytes
+	if baseBytes == 0 {
+		t.Fatal("seed run wrote no checkpoint bytes")
+	}
+	st, err := pregel.LoadChain(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &graph.Delta{}
+	d.AddWeightedEdge(100, 50, 500) // three loose arcs: the repair wave
+	d.AddWeightedEdge(900, 20, 500) // dies immediately, so the chain's
+	d.AddWeightedEdge(2500, 7, 500) // next record is O(touched)
+	g1, ad, err := graph.ApplyDelta(g0, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunDelta(mustCompile("sssp", core.Incremental), g1, DeltaRunOptions{
+		RunOptions: RunOptions{Workers: 4, Params: map[string]float64{"src": 0}, Checkpoint: ck},
+		Snapshot:   st.Snapshot,
+		Changes:    ad,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltaBytes := res.Stats.CheckpointBytes
+	if deltaBytes == 0 {
+		t.Fatal("repair run wrote no checkpoint bytes")
+	}
+	if deltaBytes*50 > baseBytes {
+		t.Fatalf("repair chain record is %d bytes, base is %d — not O(touched)", deltaBytes, baseBytes)
+	}
+	// The chain must now replay to the repaired state.
+	st2, err := pregel.LoadChain(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Snapshot.Fingerprint != g1.Fingerprint() {
+		t.Fatal("chain tip does not carry the mutated graph's fingerprint")
+	}
+	want, _ := res.FieldVector("dist")
+	seeded, err := SeedFromSnapshot(mustCompile("sssp", core.Incremental), g1, RunOptions{}, st2.Snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := seeded.FieldVector("dist")
+	for u := range want {
+		if math.Float64bits(got[u]) != math.Float64bits(want[u]) {
+			t.Fatalf("chain-seeded dist[%d] = %g, want %g", u, got[u], want[u])
+		}
 	}
 }
 
@@ -430,12 +570,28 @@ func TestDeltaRunValidation(t *testing.T) {
 		_, err := RunDelta(mustCompile("pagerank", core.Incremental), g1, DeltaRunOptions{Snapshot: snap, Changes: ad})
 		wantErr(t, err, "fixpoint")
 	})
-	t.Run("new-vertices", func(t *testing.T) {
+	t.Run("new-vertices-reads-graphsize", func(t *testing.T) {
+		// Vertex additions repair in place unless vertex code reads #V:
+		// growth then changes every existing vertex's inputs, and init{}
+		// only reruns for the new ones. The profile's verdict gates the run.
 		d := &graph.Delta{}
 		d.AddVertices(2)
 		g1, ad := apply(t, d)
-		_, err := RunDelta(mustCompile("sssp", core.Incremental), g1, DeltaRunOptions{Snapshot: snap, Changes: ad})
-		wantErr(t, err, "init{}")
+		prog, err := core.Compile(prFieldSrc, core.Options{Mode: core.Incremental, Epsilon: 1e-9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = RunDelta(prog, g1, DeltaRunOptions{Snapshot: snap, Changes: ad})
+		wantErr(t, err, "graph size")
+	})
+	t.Run("new-vertices-count-mismatch", func(t *testing.T) {
+		d := &graph.Delta{}
+		d.AddVertices(2)
+		g1, ad := apply(t, d)
+		bad := *ad
+		bad.NewVertices = 1
+		_, err := RunDelta(mustCompile("sssp", core.Incremental), g1, DeltaRunOptions{Snapshot: snap, Changes: &bad})
+		wantErr(t, err, "the delta adds")
 	})
 	t.Run("fingerprint-mismatch", func(t *testing.T) {
 		g1, ad := apply(t, addOne)

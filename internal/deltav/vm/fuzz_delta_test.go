@@ -102,15 +102,15 @@ func decodeFuzzDelta(ops []byte, n int) *graph.Delta {
 
 // mustReject reports whether the repairability matrix forbids accepting
 // the applied delta without looking at any values: a program-wide blocker,
-// new vertices, or a structural arc change whose class verdict is
-// statically unrepairable. (Reweights are classified by comparing old and
+// new vertices under a non-repairable vertex-add verdict, or a structural
+// arc change whose class verdict is statically unrepairable. (Reweights are classified by comparing old and
 // new weight; their conditional verdicts are value-dependent, so only
 // blockers make them mandatory rejections.)
 func mustReject(rp *core.RepairProfile, ad *graph.AppliedDelta) bool {
 	if rp.Blocked() != nil {
 		return true
 	}
-	if ad.NewVertices > 0 {
+	if ad.NewVertices > 0 && rp.Verdict(core.DeltaVertexAdd).Cap != core.Repairable {
 		return true
 	}
 	static := func(c core.DeltaClass) bool {

@@ -78,6 +78,16 @@ func (m *Machine) masterHook(mc *pregel.MasterContext) {
 			m.failf(mc, "phase %d: computation quiesced but until{} can never hold", gl.Phase)
 			return
 		}
+		if m.repair != nil && m.repairBudget > 0 && m.iterations[gl.Phase] >= m.repairBudget {
+			// The repair wave is past break-even: each additional superstep
+			// costs what a from-scratch superstep costs, and the budget says
+			// a rerun is now cheaper. Abort with the sentinel so callers
+			// take that fallback.
+			m.masterErr = fmt.Errorf("vm: %w: repair ran %d body supersteps without converging (budget %d) — rerun from scratch",
+				ErrRepairBudget, m.iterations[gl.Phase], m.repairBudget)
+			mc.Stop()
+			return
+		}
 		mc.SetGlobals(&globals{Phase: gl.Phase, Mode: modeBody, Iter: gl.Iter + 1})
 		if !ph.Halts {
 			// Halt-by-default is off for this phase (scratch groups or an

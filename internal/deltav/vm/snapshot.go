@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/pregel"
 )
@@ -100,8 +101,15 @@ func (m *Machine) encodeExtra(dst []byte, gl *globals) []byte {
 
 // restoreExtra decodes an Extra payload produced by encodeExtra into the
 // machine and returns the restored master globals. Every dimension is
-// validated against this machine's program and graph.
-func (m *Machine) restoreExtra(b []byte) (*globals, error) {
+// validated against this machine's program and graph. oldN is the vertex
+// count the snapshot covers: it equals the machine's graph size for
+// ordinary resumes, and the pre-mutation size for a delta run whose
+// mutation added vertices — the decoded state then seeds the prefix and
+// the planner initializes the rest.
+func (m *Machine) restoreExtra(b []byte, oldN int) (*globals, error) {
+	if oldN < 0 || oldN > m.g.NumVertices() {
+		return nil, fmt.Errorf("vm: snapshot extra: snapshot covers %d vertices, graph has %d", oldN, m.g.NumVertices())
+	}
 	rd := func(what string) (int64, error) {
 		v, rest, err := pregel.DecodeInt64(b)
 		if err != nil {
@@ -168,10 +176,10 @@ func (m *Machine) restoreExtra(b []byte) (*globals, error) {
 	if err != nil {
 		return nil, err
 	}
-	if nState != int64(len(m.state)) {
-		return nil, fmt.Errorf("vm: snapshot extra: state size %d, machine needs %d (different program or graph?)", nState, len(m.state))
+	if nState != int64(oldN*m.stride) {
+		return nil, fmt.Errorf("vm: snapshot extra: state size %d, machine needs %d (different program or graph?)", nState, oldN*m.stride)
 	}
-	for i := range m.state {
+	for i := 0; i < oldN*m.stride; i++ {
 		if m.state[i], err = rdf("state"); err != nil {
 			return nil, err
 		}
@@ -192,21 +200,20 @@ func (m *Machine) restoreExtra(b []byte) (*globals, error) {
 		if nSites != int64(len(m.tables)) {
 			return nil, fmt.Errorf("vm: snapshot extra: %d memo-table sites, program has %d", nSites, len(m.tables))
 		}
-		n := m.g.NumVertices()
 		for site := range m.tables {
 			nVerts, err := rd("table vertex count")
 			if err != nil {
 				return nil, err
 			}
-			if nVerts != int64(n) {
-				return nil, fmt.Errorf("vm: snapshot extra: memo tables for %d vertices, graph has %d", nVerts, n)
+			if nVerts != int64(oldN) {
+				return nil, fmt.Errorf("vm: snapshot extra: memo tables for %d vertices, want %d", nVerts, oldN)
 			}
-			for u := 0; u < n; u++ {
+			for u := 0; u < oldN; u++ {
 				entries, err := rd("table size")
 				if err != nil {
 					return nil, err
 				}
-				if entries < 0 || entries > int64(n) {
+				if entries < 0 || entries > int64(oldN) {
 					return nil, fmt.Errorf("vm: snapshot extra: memo table with %d entries", entries)
 				}
 				var tbl map[graph.VertexID]float64
@@ -218,7 +225,7 @@ func (m *Machine) restoreExtra(b []byte) (*globals, error) {
 					if err != nil {
 						return nil, err
 					}
-					if k < 0 || k >= int64(n) {
+					if k < 0 || k >= int64(oldN) {
 						return nil, fmt.Errorf("vm: snapshot extra: memo key %d out of range", k)
 					}
 					v, err := rdf("table value")
@@ -237,4 +244,42 @@ func (m *Machine) restoreExtra(b []byte) (*globals, error) {
 		return nil, fmt.Errorf("vm: snapshot extra: %d trailing bytes", len(b))
 	}
 	return gl, nil
+}
+
+// SeedFromSnapshot rehydrates a finished run from its terminal snapshot
+// without re-executing anything: the returned Result serves Field /
+// FieldVector reads exactly as the run that captured the snapshot would,
+// and its machine state is the valid seed for a subsequent RunDelta.
+// This is how a restarted server boots from a checkpoint chain instead of
+// recomputing from scratch. The snapshot must be a Done cut of the same
+// compiled program (same mode) on the same graph.
+func SeedFromSnapshot(prog *core.Program, g *graph.Graph, opts RunOptions, snap *pregel.Snapshot) (*Result, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("vm: seed needs a snapshot")
+	}
+	m, err := NewMachine(prog, g, opts)
+	if err != nil {
+		return nil, err
+	}
+	if snap.Fingerprint != g.Fingerprint() {
+		return nil, fmt.Errorf("vm: %w: snapshot was taken on graph %016x, machine runs on %016x",
+			pregel.ErrSnapshotMismatch, snap.Fingerprint, g.Fingerprint())
+	}
+	if !snap.Done {
+		return nil, fmt.Errorf("vm: %w: seed needs a terminal (Done) snapshot, got one at superstep %d",
+			pregel.ErrSnapshotMismatch, snap.Superstep)
+	}
+	gl, err := m.restoreExtra(snap.Extra, g.NumVertices())
+	if err != nil {
+		return nil, err
+	}
+	if gl.Mode != modeBody {
+		return nil, fmt.Errorf("vm: seed needs the snapshot of a completed body phase")
+	}
+	return &Result{
+		Stats:            &pregel.Stats{Supersteps: 0},
+		Iterations:       m.iterations,
+		NonMonotoneSends: m.nonMonotone.Load(),
+		machine:          m,
+	}, nil
 }

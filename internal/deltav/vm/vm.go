@@ -154,6 +154,9 @@ type Machine struct {
 	// retraction/injection messages each frontier vertex emits during the
 	// modeRepair superstep. Nil for ordinary runs.
 	repair *repairPlan
+	// repairBudget bounds the repair run's body supersteps (RunDelta with
+	// DeltaRunOptions.SuperstepBudget); 0 means unbounded.
+	repairBudget int
 
 	msgBytes int
 }
@@ -288,7 +291,7 @@ func (m *Machine) RunContext(ctx context.Context, opts RunOptions) (*Result, err
 			return nil, fmt.Errorf("vm: %w: snapshot was taken on a different graph", pregel.ErrSnapshotMismatch)
 		}
 		var err error
-		if gl, err = m.restoreExtra(opts.Resume.Extra); err != nil {
+		if gl, err = m.restoreExtra(opts.Resume.Extra, m.g.NumVertices()); err != nil {
 			return nil, err
 		}
 	} else {

@@ -1,0 +1,444 @@
+package pregel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// This file implements the checkpoint chain: a directory holding one full
+// base snapshot, the incremental DVSNPD records layered on top of it, the
+// graph mutation logs that explain fingerprint changes between records, and
+// a CRC'd manifest naming them in replay order. A crashed or restarted node
+// loads the chain, replays delta records over the base, and seeds the next
+// repair without rereading full vertex state. See DESIGN.md §16.
+//
+// Commit protocol: every append writes its record file first, then rewrites
+// the manifest to a temp file and renames it into place. The rename is the
+// commit point — a crash between the two leaves an unreferenced record file
+// behind, which replay ignores, so the chain always loads to the last
+// committed entry.
+
+// ChainManifestVersion is the current manifest format version.
+const ChainManifestVersion = 1
+
+// ChainManifestName is the manifest's file name inside a chain directory.
+const ChainManifestName = "chain.dvchmf"
+
+// chainManifestMagic prefixes every encoded chain manifest.
+var chainManifestMagic = [6]byte{'D', 'V', 'C', 'H', 'M', 'F'}
+
+// ChainEntryKind distinguishes the three record types a chain carries.
+type ChainEntryKind uint8
+
+const (
+	// ChainBase is a full DVSNAP snapshot record.
+	ChainBase ChainEntryKind = iota
+	// ChainDelta is a DVSNPD incremental record patching the snapshot
+	// reconstructed so far.
+	ChainDelta
+	// ChainGraphDelta is a graph mutation log (internal/graph delta-log
+	// text format) explaining the fingerprint step to the next record.
+	ChainGraphDelta
+)
+
+func (k ChainEntryKind) String() string {
+	switch k {
+	case ChainBase:
+		return "base"
+	case ChainDelta:
+		return "delta"
+	case ChainGraphDelta:
+		return "graphdelta"
+	}
+	return fmt.Sprintf("ChainEntryKind(%d)", uint8(k))
+}
+
+// ChainEntry is one manifest row: a record file plus the identity replay
+// must find in it.
+type ChainEntry struct {
+	Kind        ChainEntryKind
+	Superstep   int    // snapshot superstep (0 for graph deltas)
+	Fingerprint uint64 // graph fingerprint after this record applies
+	// Base identity for ChainDelta entries (zero otherwise): the snapshot
+	// state the record patches.
+	BaseSuperstep   int
+	BaseFingerprint uint64
+	Name            string // record file name inside the chain directory
+}
+
+// EncodeChainManifest appends the binary manifest encoding to dst:
+//
+//	magic "DVCHMF" | version u16 | count u32
+//	| entry ×count: kind u8 | superstep i64 | fingerprint u64
+//	                | baseSuperstep i64 | baseFingerprint u64
+//	                | nameLen u16 | name bytes
+//	| crc32(IEEE) of everything above, u32
+func EncodeChainManifest(dst []byte, entries []ChainEntry) []byte {
+	start := len(dst)
+	dst = append(dst, chainManifestMagic[:]...)
+	dst = binary.LittleEndian.AppendUint16(dst, ChainManifestVersion)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(entries)))
+	for _, e := range entries {
+		dst = append(dst, byte(e.Kind))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(e.Superstep)))
+		dst = binary.LittleEndian.AppendUint64(dst, e.Fingerprint)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(e.BaseSuperstep)))
+		dst = binary.LittleEndian.AppendUint64(dst, e.BaseFingerprint)
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(e.Name)))
+		dst = append(dst, e.Name...)
+	}
+	crc := crc32.ChecksumIEEE(dst[start:])
+	return binary.LittleEndian.AppendUint32(dst, crc)
+}
+
+// DecodeChainManifest decodes one manifest from the front of b, returning
+// the entries and any remaining bytes. Corrupt, truncated, or
+// wrong-version input returns an error wrapping ErrSnapshotCorrupt or
+// ErrSnapshotVersion; it never panics. Entry names are constrained to
+// plain file names (no path separators, no "..") so a hostile manifest
+// cannot direct replay outside its own directory.
+func DecodeChainManifest(b []byte) ([]ChainEntry, []byte, error) {
+	r := &snapReader{b: b}
+	if magic := r.take(len(chainManifestMagic)); r.err == nil {
+		for i := range chainManifestMagic {
+			if magic[i] != chainManifestMagic[i] {
+				r.fail("bad manifest magic")
+				break
+			}
+		}
+	}
+	ver := r.u16()
+	if r.err == nil && ver != ChainManifestVersion {
+		return nil, nil, fmt.Errorf("%w: chain manifest version %d, want %d", ErrSnapshotVersion, ver, ChainManifestVersion)
+	}
+	// Each entry costs at least 35 bytes (fixed fields + empty name).
+	count := r.count(35, "manifest entry")
+	entries := make([]ChainEntry, 0, count)
+	for i := 0; i < count && r.err == nil; i++ {
+		var e ChainEntry
+		kind := r.u8()
+		if r.err == nil && kind > uint8(ChainGraphDelta) {
+			r.fail("unknown chain entry kind %d", kind)
+		}
+		e.Kind = ChainEntryKind(kind)
+		e.Superstep = int(int64(r.u64()))
+		e.Fingerprint = r.u64()
+		e.BaseSuperstep = int(int64(r.u64()))
+		e.BaseFingerprint = r.u64()
+		nameLen := int(r.u16())
+		name := r.take(nameLen)
+		if r.err == nil {
+			e.Name = string(name)
+			if e.Name == "" || e.Name == "." || e.Name == ".." ||
+				strings.ContainsAny(e.Name, "/\\\x00") {
+				r.fail("entry %d has unsafe record name %q", i, e.Name)
+			}
+		}
+		entries = append(entries, e)
+	}
+	if r.err != nil {
+		return nil, nil, r.err
+	}
+	consumed := len(b) - len(r.b)
+	wantCRC := r.u32()
+	if r.err != nil {
+		return nil, nil, r.err
+	}
+	if got := crc32.ChecksumIEEE(b[:consumed]); got != wantCRC {
+		return nil, nil, fmt.Errorf("%w: chain manifest checksum mismatch (got %08x, want %08x)", ErrSnapshotCorrupt, got, wantCRC)
+	}
+	return entries, r.b, nil
+}
+
+// cloneSnapshot deep-copies s. ChainWriter keeps the previous snapshot
+// around to diff the next one against, and callers (the engine's reusable
+// capture buffer in particular) alias and overwrite their snapshot's
+// slices between appends.
+func cloneSnapshot(s *Snapshot) *Snapshot {
+	c := *s
+	c.Aggs = append([]float64(nil), s.Aggs...)
+	c.Active = append([]bool(nil), s.Active...)
+	c.Removed = append([]bool(nil), s.Removed...)
+	c.Queue = append([]VertexID(nil), s.Queue...)
+	c.InboxCounts = append([]uint32(nil), s.InboxCounts...)
+	c.Inbox = append([]byte(nil), s.Inbox...)
+	c.Values = append([]byte(nil), s.Values...)
+	c.Extra = append([]byte(nil), s.Extra...)
+	return &c
+}
+
+// DefaultRebaseEvery caps how many consecutive incremental records a chain
+// writer layers on one base before writing a fresh full snapshot, bounding
+// both replay time and the blast radius of a lost record.
+const DefaultRebaseEvery = 16
+
+// ChainWriter appends snapshots and graph mutation logs to a chain
+// directory. Not safe for concurrent use; the engine and the serving
+// daemon both call it from their single checkpoint/flush path.
+type ChainWriter struct {
+	dir         string
+	rebaseEvery int
+	entries     []ChainEntry
+	last        *Snapshot // last appended snapshot (deep copy), diff base
+	sinceBase   int       // delta records since the last base
+}
+
+// NewChainWriter opens (or creates) the chain in dir. An existing manifest
+// is loaded and fully replayed so subsequent appends diff against the
+// chain's real tip; a corrupt chain returns an error rather than being
+// silently overwritten. rebaseEvery <= 0 selects DefaultRebaseEvery.
+func NewChainWriter(dir string, rebaseEvery int) (*ChainWriter, error) {
+	if rebaseEvery <= 0 {
+		rebaseEvery = DefaultRebaseEvery
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	w := &ChainWriter{dir: dir, rebaseEvery: rebaseEvery}
+	if _, err := os.Stat(filepath.Join(dir, ChainManifestName)); err == nil {
+		st, err := LoadChain(dir)
+		if err != nil {
+			return nil, fmt.Errorf("pregel: resuming chain %s: %w", dir, err)
+		}
+		w.entries = st.Entries
+		w.last = st.Snapshot
+		w.sinceBase = 0
+		for _, e := range st.Entries {
+			switch e.Kind {
+			case ChainBase:
+				w.sinceBase = 0
+			case ChainDelta:
+				w.sinceBase++
+			}
+		}
+	}
+	return w, nil
+}
+
+// Dir returns the chain directory.
+func (w *ChainWriter) Dir() string { return w.dir }
+
+// Entries returns a copy of the committed manifest entries.
+func (w *ChainWriter) Entries() []ChainEntry {
+	return append([]ChainEntry(nil), w.entries...)
+}
+
+// Tip returns the last appended snapshot (nil for an empty chain). The
+// returned snapshot is the writer's diff base; callers must not modify it.
+func (w *ChainWriter) Tip() *Snapshot { return w.last }
+
+// snapshotEntry encodes the already-cloned snapshot c as the chain's next
+// snapshot record — a full base if the chain is empty or rebaseEvery deltas
+// have accumulated, an incremental DVSNPD record otherwise — named with
+// sequence number seq. It does not touch writer state; the caller commits.
+func (w *ChainWriter) snapshotEntry(c *Snapshot, seq int) (ChainEntry, []byte) {
+	if w.last == nil || w.sinceBase >= w.rebaseEvery {
+		return ChainEntry{
+			Kind:        ChainBase,
+			Superstep:   c.Superstep,
+			Fingerprint: c.Fingerprint,
+			Name:        fmt.Sprintf("chain-%06d.base", seq),
+		}, c.AppendTo(nil)
+	}
+	d := DiffSnapshots(w.last, c)
+	return ChainEntry{
+		Kind:            ChainDelta,
+		Superstep:       c.Superstep,
+		Fingerprint:     c.Fingerprint,
+		BaseSuperstep:   d.BaseSuperstep,
+		BaseFingerprint: d.BaseFingerprint,
+		Name:            fmt.Sprintf("chain-%06d.delta", seq),
+	}, d.AppendTo(nil)
+}
+
+// noteSnapshot records a committed snapshot entry as the writer's new tip.
+func (w *ChainWriter) noteSnapshot(e ChainEntry, c *Snapshot) {
+	if e.Kind == ChainBase {
+		w.sinceBase = 0
+	} else {
+		w.sinceBase++
+	}
+	w.last = c
+}
+
+// AppendSnapshot commits s to the chain: a full base record if the chain
+// is empty or rebaseEvery deltas have accumulated, an incremental DVSNPD
+// record otherwise. It returns the record's path and encoded size.
+func (w *ChainWriter) AppendSnapshot(s *Snapshot) (path string, size int, err error) {
+	c := cloneSnapshot(s)
+	e, b := w.snapshotEntry(c, len(w.entries))
+	path = filepath.Join(w.dir, e.Name)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return "", 0, err
+	}
+	chainCommitHook("record")
+	if err := w.commit(e); err != nil {
+		return "", 0, err
+	}
+	w.noteSnapshot(e, c)
+	return path, len(b), nil
+}
+
+// AppendBatch atomically appends one served batch: a graph mutation log
+// (delta-log text, as written by graph.WriteDeltaLog) followed by the
+// snapshot of the repaired run that incorporates it. Both record files are
+// written before a single manifest commit publishes the pair, so a crash
+// can never leave the chain describing a graph its tip snapshot does not
+// match — replay sees either the whole batch or none of it. It returns the
+// snapshot record's path and encoded size.
+func (w *ChainWriter) AppendBatch(payload []byte, s *Snapshot) (snapPath string, snapSize int, err error) {
+	c := cloneSnapshot(s)
+	ge := ChainEntry{
+		Kind:        ChainGraphDelta,
+		Fingerprint: c.Fingerprint,
+		Name:        fmt.Sprintf("chain-%06d.gdelta", len(w.entries)),
+	}
+	if err := os.WriteFile(filepath.Join(w.dir, ge.Name), payload, 0o644); err != nil {
+		return "", 0, err
+	}
+	se, b := w.snapshotEntry(c, len(w.entries)+1)
+	snapPath = filepath.Join(w.dir, se.Name)
+	if err := os.WriteFile(snapPath, b, 0o644); err != nil {
+		return "", 0, err
+	}
+	chainCommitHook("record")
+	if err := w.commit(ge, se); err != nil {
+		return "", 0, err
+	}
+	w.noteSnapshot(se, c)
+	return snapPath, len(b), nil
+}
+
+// AppendGraphDelta commits a graph mutation log (delta-log text bytes, as
+// written by graph.WriteDeltaLog) with the fingerprint the graph has after
+// applying it. Replay hands these logs back in order so the caller can
+// rebuild the mutated graph the chain's snapshots describe.
+func (w *ChainWriter) AppendGraphDelta(payload []byte, fingerprint uint64) (path string, err error) {
+	e := ChainEntry{
+		Kind:        ChainGraphDelta,
+		Fingerprint: fingerprint,
+		Name:        fmt.Sprintf("chain-%06d.gdelta", len(w.entries)),
+	}
+	path = filepath.Join(w.dir, e.Name)
+	if err := os.WriteFile(path, payload, 0o644); err != nil {
+		return "", err
+	}
+	chainCommitHook("record")
+	if err := w.commit(e); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// commit appends es to the manifest and atomically renames it into place —
+// the chain's single commit point.
+func (w *ChainWriter) commit(es ...ChainEntry) error {
+	entries := append(w.entries, es...)
+	tmp := filepath.Join(w.dir, ChainManifestName+".tmp")
+	if err := os.WriteFile(tmp, EncodeChainManifest(nil, entries), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(w.dir, ChainManifestName)); err != nil {
+		return err
+	}
+	w.entries = entries
+	chainCommitHook("manifest")
+	return nil
+}
+
+// chainCommitHook is a test seam: the crash suites swap it to copy the
+// chain directory between the record write and the manifest rename,
+// simulating a kill at every commit stage. The default does nothing.
+var chainCommitHook = func(stage string) {}
+
+// ChainState is a fully replayed chain: the reconstructed tip snapshot and
+// the graph mutation logs, in commit order, that explain how the graph
+// reached the tip's fingerprint.
+type ChainState struct {
+	Dir      string
+	Entries  []ChainEntry
+	Snapshot *Snapshot // reconstructed tip (nil only if the chain has no snapshot records)
+	// GraphDeltas holds each ChainGraphDelta record's payload in commit
+	// order, parallel to GraphFingerprints (the fingerprint after applying
+	// each log).
+	GraphDeltas       [][]byte
+	GraphFingerprints []uint64
+}
+
+// LoadChain reads dir's manifest and replays every record: base snapshots
+// load whole, delta records patch the snapshot reconstructed so far, graph
+// logs are collected for the caller to re-apply. Every record is CRC- and
+// identity-checked against its manifest row; any mismatch fails the load.
+func LoadChain(dir string) (*ChainState, error) {
+	mb, err := os.ReadFile(filepath.Join(dir, ChainManifestName))
+	if err != nil {
+		return nil, err
+	}
+	entries, rest, err := DecodeChainManifest(mb)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", filepath.Join(dir, ChainManifestName), err)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: chain manifest has %d trailing bytes", ErrSnapshotCorrupt, len(rest))
+	}
+	st := &ChainState{Dir: dir, Entries: entries}
+	for i, e := range entries {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name))
+		if err != nil {
+			return nil, fmt.Errorf("chain entry %d (%s): %w", i, e.Kind, err)
+		}
+		switch e.Kind {
+		case ChainBase:
+			s, rest, err := DecodeSnapshot(b)
+			if err != nil {
+				return nil, fmt.Errorf("chain entry %d (%s %s): %w", i, e.Kind, e.Name, err)
+			}
+			if len(rest) != 0 {
+				return nil, fmt.Errorf("%w: chain entry %d (%s) has %d trailing bytes", ErrSnapshotCorrupt, i, e.Name, len(rest))
+			}
+			if s.Fingerprint != e.Fingerprint || s.Superstep != e.Superstep {
+				return nil, fmt.Errorf("%w: chain entry %d (%s) is superstep %d/%016x, manifest says %d/%016x",
+					ErrSnapshotMismatch, i, e.Name, s.Superstep, s.Fingerprint, e.Superstep, e.Fingerprint)
+			}
+			st.Snapshot = s
+		case ChainDelta:
+			if st.Snapshot == nil {
+				return nil, fmt.Errorf("%w: chain entry %d (%s) is a delta record with no base before it", ErrSnapshotCorrupt, i, e.Name)
+			}
+			d, rest, err := DecodeSnapshotDelta(b)
+			if err != nil {
+				return nil, fmt.Errorf("chain entry %d (%s %s): %w", i, e.Kind, e.Name, err)
+			}
+			if len(rest) != 0 {
+				return nil, fmt.Errorf("%w: chain entry %d (%s) has %d trailing bytes", ErrSnapshotCorrupt, i, e.Name, len(rest))
+			}
+			if d.Fingerprint != e.Fingerprint || d.Superstep != e.Superstep {
+				return nil, fmt.Errorf("%w: chain entry %d (%s) is superstep %d/%016x, manifest says %d/%016x",
+					ErrSnapshotMismatch, i, e.Name, d.Superstep, d.Fingerprint, e.Superstep, e.Fingerprint)
+			}
+			next, err := ApplySnapshotDelta(st.Snapshot, d)
+			if err != nil {
+				return nil, fmt.Errorf("chain entry %d (%s %s): %w", i, e.Kind, e.Name, err)
+			}
+			st.Snapshot = next
+		case ChainGraphDelta:
+			st.GraphDeltas = append(st.GraphDeltas, b)
+			st.GraphFingerprints = append(st.GraphFingerprints, e.Fingerprint)
+		}
+	}
+	if st.Snapshot == nil {
+		return nil, fmt.Errorf("%w: chain %s has no snapshot records", ErrSnapshotCorrupt, dir)
+	}
+	return st, nil
+}
+
+// IsChainDir reports whether dir holds a chain manifest — used by CLIs to
+// let one -resume flag accept either a snapshot file or a chain directory.
+func IsChainDir(dir string) bool {
+	fi, err := os.Stat(filepath.Join(dir, ChainManifestName))
+	return err == nil && fi.Mode().IsRegular()
+}

@@ -1,0 +1,432 @@
+package pregel
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func randChainEntries(rng *rand.Rand, n int) []ChainEntry {
+	out := make([]ChainEntry, n)
+	for i := range out {
+		out[i] = ChainEntry{
+			Kind:            ChainEntryKind(rng.Intn(3)),
+			Superstep:       rng.Intn(1 << 20),
+			Fingerprint:     rng.Uint64(),
+			BaseSuperstep:   rng.Intn(1 << 20),
+			BaseFingerprint: rng.Uint64(),
+			Name:            fmt.Sprintf("chain-%06d.%x", i, rng.Uint32()),
+		}
+	}
+	return out
+}
+
+// TestChainManifestRoundTrip is the manifest codec property test:
+// encode → decode must reproduce the entries bit-exactly, including when
+// embedded in a longer stream.
+func TestChainManifestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		entries := randChainEntries(rng, rng.Intn(20))
+		prefix := randBytes(rng, rng.Intn(8))
+		enc := EncodeChainManifest(append([]byte(nil), prefix...), entries)
+		tail := randBytes(rng, rng.Intn(8))
+		enc = append(enc, tail...)
+
+		got, rest, err := DecodeChainManifest(enc[len(prefix):])
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !bytes.Equal(rest, tail) {
+			t.Fatalf("trial %d: remainder mismatch", trial)
+		}
+		if len(entries) == 0 {
+			entries = nil
+		}
+		if len(got) == 0 {
+			got = nil
+		}
+		if !reflect.DeepEqual(entries, got) {
+			t.Fatalf("trial %d: round trip mismatch:\n got %+v\nwant %+v", trial, got, entries)
+		}
+	}
+}
+
+// TestChainManifestDecodeRejects walks every truncation and bitflip of a
+// valid manifest, plus structurally hostile names.
+func TestChainManifestDecodeRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	valid := EncodeChainManifest(nil, randChainEntries(rng, 5))
+
+	if _, _, err := DecodeChainManifest(nil); err == nil {
+		t.Fatal("empty input decoded")
+	}
+	for i := 0; i < len(valid); i++ {
+		if _, _, err := DecodeChainManifest(valid[:i]); err == nil {
+			t.Fatalf("truncation at %d decoded", i)
+		}
+	}
+	for i := 0; i < len(valid); i++ {
+		bad := append([]byte(nil), valid...)
+		bad[i] ^= 0x40
+		if _, rest, err := DecodeChainManifest(bad); err == nil && len(rest) == 0 {
+			t.Fatalf("bitflip at %d decoded cleanly", i)
+		}
+	}
+	for _, name := range []string{"", ".", "..", "a/b", `a\b`, "a\x00b"} {
+		enc := EncodeChainManifest(nil, []ChainEntry{{Kind: ChainBase, Name: name}})
+		if _, _, err := DecodeChainManifest(enc); !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Fatalf("name %q: got %v, want ErrSnapshotCorrupt", name, err)
+		}
+	}
+}
+
+// chainTestSnapshots simulates a serving run's checkpoint sequence: a
+// converged base, then one slightly-changed snapshot per flush.
+func chainTestSnapshots(rng *rand.Rand, n, count int) []*Snapshot {
+	out := make([]*Snapshot, count)
+	out[0] = randSnapshot(rng, n)
+	out[0].Done = true
+	for i := 1; i < count; i++ {
+		out[i] = perturbSnapshot(rng, out[i-1])
+	}
+	return out
+}
+
+// TestChainWriterReplay drives the writer through snapshots and graph
+// logs, then replays with LoadChain: the tip must equal the last appended
+// snapshot bit-exactly and the graph logs must come back verbatim, in
+// order — including after closing and reopening the writer mid-chain.
+func TestChainWriterReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	snaps := chainTestSnapshots(rng, 25, 9)
+	dir := t.TempDir()
+
+	w, err := NewChainWriter(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantLogs [][]byte
+	appendOne := func(w *ChainWriter, i int) {
+		t.Helper()
+		if i > 0 {
+			log := []byte(fmt.Sprintf("# delta: flush %d\nadd %d %d 1.5\n", i, i, i+1))
+			if _, err := w.AppendGraphDelta(log, snaps[i].Fingerprint); err != nil {
+				t.Fatal(err)
+			}
+			wantLogs = append(wantLogs, log)
+		}
+		if _, _, err := w.AppendSnapshot(snaps[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		appendOne(w, i)
+	}
+	// Reopen mid-chain: the new writer must replay to the same tip and
+	// keep diffing against it.
+	w2, err := NewChainWriter(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 5; i < len(snaps); i++ {
+		appendOne(w2, i)
+	}
+
+	st, err := LoadChain(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cloneSnapshot(snaps[len(snaps)-1])
+	normalize(want)
+	normalize(st.Snapshot)
+	if !reflect.DeepEqual(want, st.Snapshot) {
+		t.Fatalf("replayed tip mismatch:\n got %+v\nwant %+v", st.Snapshot, want)
+	}
+	if len(st.GraphDeltas) != len(wantLogs) {
+		t.Fatalf("replayed %d graph logs, want %d", len(st.GraphDeltas), len(wantLogs))
+	}
+	for i := range wantLogs {
+		if !bytes.Equal(st.GraphDeltas[i], wantLogs[i]) {
+			t.Fatalf("graph log %d mismatch", i)
+		}
+	}
+	// With rebaseEvery=3 the snapshot records must alternate base/delta in
+	// the committed pattern: base, 3 deltas, base, 3 deltas, base.
+	var kinds []ChainEntryKind
+	for _, e := range st.Entries {
+		if e.Kind != ChainGraphDelta {
+			kinds = append(kinds, e.Kind)
+		}
+	}
+	wantKinds := []ChainEntryKind{ChainBase, ChainDelta, ChainDelta, ChainDelta, ChainBase, ChainDelta, ChainDelta, ChainDelta, ChainBase}
+	if !reflect.DeepEqual(kinds, wantKinds) {
+		t.Fatalf("snapshot record kinds %v, want %v", kinds, wantKinds)
+	}
+}
+
+// TestChainCrashAtEveryCommitStage snapshots the chain directory at every
+// commit stage of every append — after the record write but before the
+// manifest rename, and after the rename — and asserts each copy loads to
+// the last *committed* prefix: the kill-anywhere property of the commit
+// protocol.
+func TestChainCrashAtEveryCommitStage(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	snaps := chainTestSnapshots(rng, 20, 6)
+	dir := t.TempDir()
+	copies := t.TempDir()
+
+	type killPoint struct {
+		dir       string
+		committed int // manifest entries committed when the copy was taken
+	}
+	var kills []killPoint
+	committed := 0
+	copyDir := func(label string) string {
+		dst := filepath.Join(copies, fmt.Sprintf("kill-%03d-%s", len(kills), label))
+		if err := os.MkdirAll(dst, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		des, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, de := range des {
+			b, err := os.ReadFile(filepath.Join(dir, de.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dst, de.Name()), b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return dst
+	}
+	prev := chainCommitHook
+	chainCommitHook = func(stage string) {
+		switch stage {
+		case "record":
+			// The record file exists but the manifest still names the old
+			// prefix: a kill here must load to `committed` entries.
+			kills = append(kills, killPoint{copyDir("record"), committed})
+		case "manifest":
+			committed++
+			kills = append(kills, killPoint{copyDir("manifest"), committed})
+		}
+	}
+	defer func() { chainCommitHook = prev }()
+
+	w, err := NewChainWriter(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range snaps {
+		if i > 0 {
+			if _, err := w.AppendGraphDelta([]byte(fmt.Sprintf("# delta: %d\n", i)), s.Fingerprint); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, _, err := w.AppendSnapshot(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if len(kills) < 2*len(snaps) {
+		t.Fatalf("only %d kill points recorded", len(kills))
+	}
+	for _, k := range kills {
+		st, err := LoadChain(k.dir)
+		if k.committed == 0 {
+			// Nothing committed yet: no manifest at all.
+			if err == nil {
+				t.Fatalf("%s: loaded a chain before any commit", k.dir)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", k.dir, err)
+		}
+		if len(st.Entries) != k.committed {
+			t.Fatalf("%s: loaded %d entries, want the committed prefix %d", k.dir, len(st.Entries), k.committed)
+		}
+		// The tip must be the last committed snapshot, bit-exactly.
+		lastSnap := -1
+		for i := len(st.Entries) - 1; i >= 0; i-- {
+			if st.Entries[i].Kind != ChainGraphDelta {
+				lastSnap = i
+				break
+			}
+		}
+		if lastSnap < 0 {
+			t.Fatalf("%s: committed prefix has no snapshot records", k.dir)
+		}
+		want := -1
+		for i := 0; i <= lastSnap; i++ {
+			if st.Entries[i].Kind != ChainGraphDelta {
+				want++
+			}
+		}
+		wantSnap := cloneSnapshot(snaps[want])
+		normalize(wantSnap)
+		normalize(st.Snapshot)
+		if !reflect.DeepEqual(wantSnap, st.Snapshot) {
+			t.Fatalf("%s: tip is not snapshot %d", k.dir, want)
+		}
+	}
+}
+
+// TestLoadChainRejects covers replay's integrity checks: missing record
+// files, manifest/record identity disagreement, deltas with no base, and
+// chains with no snapshots at all.
+func TestLoadChainRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	build := func(t *testing.T) (string, []*Snapshot) {
+		dir := t.TempDir()
+		snaps := chainTestSnapshots(rng, 15, 3)
+		w, err := NewChainWriter(dir, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range snaps {
+			if _, _, err := w.AppendSnapshot(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return dir, snaps
+	}
+
+	t.Run("missing-record", func(t *testing.T) {
+		dir, _ := build(t)
+		if err := os.Remove(filepath.Join(dir, "chain-000001.delta")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadChain(dir); err == nil {
+			t.Fatal("loaded a chain with a missing record")
+		}
+	})
+	t.Run("identity-mismatch", func(t *testing.T) {
+		dir, _ := build(t)
+		mb, err := os.ReadFile(filepath.Join(dir, ChainManifestName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries, _, err := DecodeChainManifest(mb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries[0].Fingerprint ^= 1
+		if err := os.WriteFile(filepath.Join(dir, ChainManifestName), EncodeChainManifest(nil, entries), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadChain(dir); !errors.Is(err, ErrSnapshotMismatch) {
+			t.Fatalf("got %v, want ErrSnapshotMismatch", err)
+		}
+	})
+	t.Run("delta-without-base", func(t *testing.T) {
+		dir, _ := build(t)
+		mb, err := os.ReadFile(filepath.Join(dir, ChainManifestName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries, _, err := DecodeChainManifest(mb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, ChainManifestName), EncodeChainManifest(nil, entries[1:]), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadChain(dir); !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Fatalf("got %v, want ErrSnapshotCorrupt", err)
+		}
+	})
+	t.Run("no-snapshots", func(t *testing.T) {
+		dir := t.TempDir()
+		w, err := NewChainWriter(dir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.AppendGraphDelta([]byte("# delta: 0\n"), 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadChain(dir); !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Fatalf("got %v, want ErrSnapshotCorrupt", err)
+		}
+	})
+	t.Run("corrupt-manifest", func(t *testing.T) {
+		dir, _ := build(t)
+		mb, err := os.ReadFile(filepath.Join(dir, ChainManifestName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb[len(mb)-1] ^= 0x40
+		if err := os.WriteFile(filepath.Join(dir, ChainManifestName), mb, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadChain(dir); !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Fatalf("got %v, want ErrSnapshotCorrupt", err)
+		}
+		// A corrupt chain must refuse to be appended to, not be overwritten.
+		if _, err := NewChainWriter(dir, 0); err == nil {
+			t.Fatal("NewChainWriter opened a corrupt chain")
+		}
+	})
+}
+
+// fuzzSeedChainManifest builds the valid manifest the fuzz seeds mutate.
+func fuzzSeedChainManifest() []byte {
+	rng := rand.New(rand.NewSource(47))
+	return EncodeChainManifest(nil, randChainEntries(rng, 4))
+}
+
+// FuzzChainDecode asserts the manifest decoder's contract on arbitrary
+// input: it may reject, but it must never panic, and anything it accepts
+// must re-encode to an identical manifest.
+func FuzzChainDecode(f *testing.F) {
+	valid := fuzzSeedChainManifest()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:8])
+	f.Add([]byte{})
+	f.Add([]byte("DVCHMF"))
+	wrongVersion := append([]byte(nil), valid...)
+	wrongVersion[6] ^= 0xff
+	f.Add(wrongVersion)
+	badCRC := append([]byte(nil), valid...)
+	badCRC[len(badCRC)-1] ^= 0x01
+	f.Add(badCRC)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		entries, rest, err := DecodeChainManifest(b)
+		if err != nil {
+			if entries != nil {
+				t.Fatal("decode returned both entries and an error")
+			}
+			return
+		}
+		if len(rest) > len(b) {
+			t.Fatal("remainder longer than input")
+		}
+		re := EncodeChainManifest(nil, entries)
+		entries2, rest2, err := DecodeChainManifest(re)
+		if err != nil {
+			t.Fatalf("re-encoded manifest failed to decode: %v", err)
+		}
+		if len(rest2) != 0 {
+			t.Fatalf("re-encoded manifest left %d remainder bytes", len(rest2))
+		}
+		if len(entries) == 0 {
+			entries = nil
+		}
+		if len(entries2) == 0 {
+			entries2 = nil
+		}
+		if !reflect.DeepEqual(entries, entries2) {
+			t.Fatalf("re-encode changed the manifest:\n got %+v\nwant %+v", entries2, entries)
+		}
+	})
+}

@@ -102,12 +102,34 @@ func (e *Engine[V, M]) capture(superstep int, done bool) error {
 			return fmt.Errorf("pregel: checkpoint sink: %w", err)
 		}
 	}
-	if dir := e.opts.Checkpoint.Dir; dir != "" {
+	switch dir := e.opts.Checkpoint.Dir; {
+	case dir != "" && e.opts.Checkpoint.Incremental:
+		// Chain mode: append a base or DVSNPD delta record instead of a
+		// fresh full snapshot file; the writer diffs against the previous
+		// capture, so a converged-then-repaired run's records carry only
+		// the touched frontier's bytes.
+		if e.chain == nil {
+			w, err := NewChainWriter(dir, e.opts.Checkpoint.RebaseEvery)
+			if err != nil {
+				return fmt.Errorf("pregel: checkpoint chain: %w", err)
+			}
+			e.chain = w
+		}
+		path, size, err := e.chain.AppendSnapshot(s)
+		if err != nil {
+			return fmt.Errorf("pregel: checkpoint chain: %w", err)
+		}
+		e.stats.CheckpointPath = path
+		e.stats.CheckpointBytes += int64(size)
+	case dir != "":
 		path := filepath.Join(dir, SnapshotFileName(superstep))
 		if err := os.WriteFile(path, e.snapBuf, 0o644); err != nil {
 			return fmt.Errorf("pregel: checkpoint: %w", err)
 		}
 		e.stats.CheckpointPath = path
+		e.stats.CheckpointBytes += int64(len(e.snapBuf))
+	default:
+		e.stats.CheckpointBytes += int64(len(e.snapBuf))
 	}
 	// Record which superstep the snapshot just written captured: after an
 	// abort, CheckpointPath can name a snapshot many supersteps behind

@@ -54,6 +54,7 @@ type Engine[V, M any] struct {
 	msgCodec ValueCodec[M]
 	snap     Snapshot
 	snapBuf  []byte
+	chain    *ChainWriter // lazily opened when Checkpoint.Incremental
 }
 
 // worker owns a contiguous slot range and all the scratch its superstep

@@ -186,6 +186,13 @@ type WarmStartOptions struct {
 	// others start halted and wake only on incoming messages. Removed
 	// vertices are skipped. An empty list converges immediately.
 	Activate []VertexID
+	// AllowGrowth accepts a snapshot with fewer vertices than the graph:
+	// the snapshot seeds the prefix it covers and vertices past
+	// Snapshot.NumVertices start with zero values, halted, for the caller
+	// to initialize and activate (the ΔV repair planner runs init{} for
+	// them and puts them on the frontier). Without it a grown graph is a
+	// mismatch.
+	AllowGrowth bool
 }
 
 // ErrStepTimeout is wrapped by the run error when a superstep exceeds
@@ -234,6 +241,11 @@ type Stats struct {
 	// last periodic snapshot, which may be many supersteps behind the
 	// abort point — resume from this superstep, not from Supersteps.
 	CheckpointSuperstep int
+	// CheckpointBytes totals the encoded snapshot bytes this run wrote
+	// (full snapshots, or chain records under Checkpoint.Incremental —
+	// where a converged-then-repaired run's records shrink to O(touched)).
+	// Sink and Dir writes of the same capture are counted once.
+	CheckpointBytes int64
 	// Quarantined counts vertices whose Init/Compute panicked under
 	// Options.Quarantine and were skipped + removed instead of aborting
 	// the run; QuarantinedVertices lists them in the order they were

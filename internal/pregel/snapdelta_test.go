@@ -1,0 +1,337 @@
+package pregel
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randSnapshot builds a random but structurally valid snapshot of n
+// vertices, the shared generator for the delta-record property tests.
+func randSnapshot(rng *rand.Rand, n int) *Snapshot {
+	s := &Snapshot{
+		Version:     SnapshotVersion,
+		Fingerprint: rng.Uint64(),
+		Superstep:   rng.Intn(1 << 20),
+		NumVertices: n,
+		ActivateAll: rng.Intn(2) == 0,
+		Stopped:     rng.Intn(2) == 0,
+		Done:        rng.Intn(2) == 0,
+		WorkQueue:   rng.Intn(2) == 0,
+	}
+	for i := 0; i < rng.Intn(5); i++ {
+		s.Aggs = append(s.Aggs, rng.NormFloat64())
+	}
+	s.Active = make([]bool, n)
+	s.Removed = make([]bool, n)
+	s.InboxCounts = make([]uint32, n)
+	for i := 0; i < n; i++ {
+		s.Active[i] = rng.Intn(2) == 0
+		s.Removed[i] = rng.Intn(3) == 0
+		s.InboxCounts[i] = uint32(rng.Intn(4))
+	}
+	for i := 0; n > 0 && i < rng.Intn(n+1); i++ {
+		s.Queue = append(s.Queue, VertexID(rng.Intn(n)))
+	}
+	s.Inbox = randBytes(rng, rng.Intn(64))
+	s.Values = randBytes(rng, 8*n)
+	s.Extra = randBytes(rng, rng.Intn(256))
+	return s
+}
+
+// perturbSnapshot derives a plausible "next checkpoint" from base: flip a
+// few actives, rewrite a few value/extra cells, sometimes change the
+// queue, fingerprint, flags — and occasionally grow the graph, which
+// forces the length-changed sections onto the full-replacement path.
+func perturbSnapshot(rng *rand.Rand, base *Snapshot) *Snapshot {
+	s := cloneSnapshot(base)
+	s.Superstep = base.Superstep + 1 + rng.Intn(3)
+	if rng.Intn(2) == 0 {
+		s.Fingerprint = rng.Uint64()
+	}
+	if rng.Intn(4) == 0 {
+		s.Done = !s.Done
+	}
+	if rng.Intn(4) == 0 && len(s.Aggs) > 0 {
+		s.Aggs[rng.Intn(len(s.Aggs))] = rng.NormFloat64()
+	}
+	n := s.NumVertices
+	if rng.Intn(5) == 0 {
+		// Grow the graph: every per-vertex section changes length.
+		grow := 1 + rng.Intn(4)
+		n += grow
+		s.NumVertices = n
+		s.Active = append(s.Active, make([]bool, grow)...)
+		s.Removed = append(s.Removed, make([]bool, grow)...)
+		s.InboxCounts = append(s.InboxCounts, make([]uint32, grow)...)
+		s.Values = append(s.Values, randBytes(rng, 8*grow)...)
+	}
+	for i := 0; n > 0 && i < rng.Intn(4); i++ {
+		s.Active[rng.Intn(n)] = rng.Intn(2) == 0
+	}
+	for i := 0; len(s.Values) >= 8 && i < rng.Intn(4); i++ {
+		off := 8 * rng.Intn(len(s.Values)/8)
+		copy(s.Values[off:], randBytes(rng, 8))
+	}
+	for i := 0; len(s.Extra) > 0 && i < rng.Intn(4); i++ {
+		s.Extra[rng.Intn(len(s.Extra))] ^= byte(1 + rng.Intn(255))
+	}
+	if rng.Intn(3) == 0 {
+		s.Queue = nil
+		for i := 0; n > 0 && i < rng.Intn(n+1); i++ {
+			s.Queue = append(s.Queue, VertexID(rng.Intn(n)))
+		}
+	}
+	return s
+}
+
+// TestSnapshotDeltaRoundTrip is the property test for the DVSNPD record:
+// for random (base, next) pairs, Diff → encode → decode → Apply must
+// reconstruct next bit-exactly, including when embedded in a longer
+// stream.
+func TestSnapshotDeltaRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 300; trial++ {
+		base := randSnapshot(rng, rng.Intn(40))
+		next := perturbSnapshot(rng, base)
+
+		d := DiffSnapshots(base, next)
+		prefix := randBytes(rng, rng.Intn(8))
+		enc := d.AppendTo(append([]byte(nil), prefix...))
+		tail := randBytes(rng, rng.Intn(8))
+		enc = append(enc, tail...)
+
+		got, rest, err := DecodeSnapshotDelta(enc[len(prefix):])
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if !bytes.Equal(rest, tail) {
+			t.Fatalf("trial %d: remainder mismatch", trial)
+		}
+		applied, err := ApplySnapshotDelta(base, got)
+		if err != nil {
+			t.Fatalf("trial %d: apply: %v", trial, err)
+		}
+		normalize(next)
+		normalize(applied)
+		if !reflect.DeepEqual(next, applied) {
+			t.Fatalf("trial %d: apply mismatch:\n got %+v\nwant %+v", trial, applied, next)
+		}
+	}
+}
+
+// TestSnapshotDeltaIdentical pins the degenerate diff: identical
+// snapshots produce a record with no section payloads, far smaller than
+// the snapshot itself.
+func TestSnapshotDeltaIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := randSnapshot(rng, 30)
+	d := DiffSnapshots(base, base)
+	enc := d.AppendTo(nil)
+	full := base.AppendTo(nil)
+	if len(enc) >= len(full) {
+		t.Fatalf("identical-snapshot delta is %d bytes, full snapshot only %d", len(enc), len(full))
+	}
+	applied, err := ApplySnapshotDelta(base, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cloneSnapshot(base)
+	normalize(want)
+	normalize(applied)
+	if !reflect.DeepEqual(want, applied) {
+		t.Fatalf("identity apply mismatch:\n got %+v\nwant %+v", applied, want)
+	}
+}
+
+// TestSnapshotDeltaBytesOTouched is the O(touched) regression test at the
+// codec level: against a large base, touching a handful of vertices must
+// produce a record orders of magnitude smaller than the full snapshot.
+func TestSnapshotDeltaBytesOTouched(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 20000
+	base := randSnapshot(rng, n)
+	base.Queue = nil
+	next := cloneSnapshot(base)
+	next.Superstep++
+	// Touch 3 vertices: one value cell and one active bit each.
+	for _, u := range []int{17, 9000, n - 2} {
+		copy(next.Values[8*u:], randBytes(rng, 8))
+		next.Active[u] = !next.Active[u]
+	}
+	d := DiffSnapshots(base, next)
+	enc := d.AppendTo(nil)
+	full := next.AppendTo(nil)
+	if len(enc) > len(full)/100 {
+		t.Fatalf("3-vertex delta record is %d bytes — not O(touched) against a %d-byte full snapshot", len(enc), len(full))
+	}
+	applied, err := ApplySnapshotDelta(base, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normalize(next)
+	normalize(applied)
+	if !reflect.DeepEqual(next, applied) {
+		t.Fatal("O(touched) delta did not reconstruct the next snapshot")
+	}
+}
+
+// TestSnapshotDeltaDecodeRejects walks every truncation and a bitflip at
+// every offset: none may decode successfully to a record that then applies
+// to the original base as if nothing happened, and none may panic.
+func TestSnapshotDeltaDecodeRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	base := randSnapshot(rng, 12)
+	next := perturbSnapshot(rng, base)
+	valid := DiffSnapshots(base, next).AppendTo(nil)
+
+	if _, _, err := DecodeSnapshotDelta(nil); err == nil {
+		t.Fatal("empty input decoded")
+	}
+	for i := 0; i < len(valid); i++ {
+		if _, _, err := DecodeSnapshotDelta(valid[:i]); err == nil {
+			t.Fatalf("truncation at %d decoded", i)
+		}
+	}
+	for i := 0; i < len(valid); i++ {
+		bad := append([]byte(nil), valid...)
+		bad[i] ^= 0x40
+		d, rest, err := DecodeSnapshotDelta(bad)
+		if err != nil {
+			continue
+		}
+		// A flip that still decodes (it can't: the CRC covers every byte)
+		// would have to leave no remainder and survive apply.
+		if len(rest) != 0 {
+			t.Fatalf("bitflip at %d decoded with remainder", i)
+		}
+		if _, err := ApplySnapshotDelta(base, d); err == nil {
+			t.Fatalf("bitflip at %d decoded and applied cleanly", i)
+		}
+	}
+}
+
+// TestSnapshotDeltaApplyRejects covers the apply-time validations: wrong
+// base identity and out-of-bounds patch runs.
+func TestSnapshotDeltaApplyRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	base := randSnapshot(rng, 10)
+	next := perturbSnapshot(rng, base)
+	d := DiffSnapshots(base, next)
+
+	t.Run("wrong-fingerprint", func(t *testing.T) {
+		other := cloneSnapshot(base)
+		other.Fingerprint ^= 0xff
+		if _, err := ApplySnapshotDelta(other, d); !errors.Is(err, ErrSnapshotMismatch) {
+			t.Fatalf("got %v, want ErrSnapshotMismatch", err)
+		}
+	})
+	t.Run("wrong-superstep", func(t *testing.T) {
+		other := cloneSnapshot(base)
+		other.Superstep++
+		if _, err := ApplySnapshotDelta(other, d); !errors.Is(err, ErrSnapshotMismatch) {
+			t.Fatalf("got %v, want ErrSnapshotMismatch", err)
+		}
+	})
+	t.Run("run-out-of-bounds", func(t *testing.T) {
+		bad := &SnapshotDelta{
+			Version:         SnapshotDeltaVersion,
+			Fingerprint:     base.Fingerprint,
+			Superstep:       base.Superstep + 1,
+			NumVertices:     base.NumVertices,
+			BaseFingerprint: base.Fingerprint,
+			BaseSuperstep:   base.Superstep,
+		}
+		bad.patches[5] = sectionPatch{tag: patchRuns, runs: []patchRun{{off: 1 << 30, data: []byte{1}}}}
+		if _, err := ApplySnapshotDelta(base, bad); !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Fatalf("got %v, want ErrSnapshotCorrupt", err)
+		}
+	})
+	t.Run("bad-section-lengths", func(t *testing.T) {
+		bad := &SnapshotDelta{
+			Version:         SnapshotDeltaVersion,
+			Fingerprint:     base.Fingerprint,
+			Superstep:       base.Superstep + 1,
+			NumVertices:     base.NumVertices + 5, // header grows, sections don't
+			BaseFingerprint: base.Fingerprint,
+			BaseSuperstep:   base.Superstep,
+		}
+		if _, err := ApplySnapshotDelta(base, bad); !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Fatalf("got %v, want ErrSnapshotCorrupt", err)
+		}
+	})
+}
+
+// fuzzSeedSnapshotDelta builds the valid record the fuzz seeds mutate.
+func fuzzSeedSnapshotDelta() []byte {
+	rng := rand.New(rand.NewSource(19))
+	base := randSnapshot(rng, 8)
+	next := perturbSnapshot(rng, base)
+	return DiffSnapshots(base, next).AppendTo(nil)
+}
+
+// FuzzSnapshotDeltaDecode asserts the delta-record decoder's contract on
+// arbitrary input: reject or faithfully round-trip, never panic.
+func FuzzSnapshotDeltaDecode(f *testing.F) {
+	valid := fuzzSeedSnapshotDelta()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:8])
+	f.Add([]byte{})
+	f.Add([]byte("DVSNPD"))
+	wrongVersion := append([]byte(nil), valid...)
+	wrongVersion[6] ^= 0xff
+	f.Add(wrongVersion)
+	badCRC := append([]byte(nil), valid...)
+	badCRC[len(badCRC)-1] ^= 0x01
+	f.Add(badCRC)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		d, rest, err := DecodeSnapshotDelta(b)
+		if err != nil {
+			if d != nil {
+				t.Fatal("decode returned both a record and an error")
+			}
+			return
+		}
+		if len(rest) > len(b) {
+			t.Fatal("remainder longer than input")
+		}
+		re := d.AppendTo(nil)
+		d2, rest2, err := DecodeSnapshotDelta(re)
+		if err != nil {
+			t.Fatalf("re-encoded record failed to decode: %v", err)
+		}
+		if len(rest2) != 0 {
+			t.Fatalf("re-encoded record left %d remainder bytes", len(rest2))
+		}
+		normalizeDelta(d)
+		normalizeDelta(d2)
+		if !reflect.DeepEqual(d, d2) {
+			t.Fatalf("re-encode changed the record:\n got %+v\nwant %+v", d2, d)
+		}
+	})
+}
+
+// normalizeDelta maps nil and empty payloads to a canonical form so
+// DeepEqual compares content, not allocation accidents.
+func normalizeDelta(d *SnapshotDelta) {
+	if len(d.Aggs) == 0 {
+		d.Aggs = nil
+	}
+	for i := range d.patches {
+		if len(d.patches[i].full) == 0 {
+			d.patches[i].full = nil
+		}
+		if len(d.patches[i].runs) == 0 {
+			d.patches[i].runs = nil
+		}
+		for j := range d.patches[i].runs {
+			if len(d.patches[i].runs[j].data) == 0 {
+				d.patches[i].runs[j].data = nil
+			}
+		}
+	}
+}

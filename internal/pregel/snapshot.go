@@ -404,6 +404,16 @@ type CheckpointOptions struct {
 	// Snapshot.Extra on decode). The ΔV VM uses this for its machine
 	// state.
 	Extra func(dst []byte) []byte
+	// Incremental switches Dir from one full snapshot file per checkpoint
+	// to a checkpoint chain (see chain.go): a full base record, then CRC'd
+	// DVSNPD delta records holding only the bytes that changed since the
+	// previous checkpoint — O(touched) instead of O(|V|) between nearby
+	// barriers. Resume with LoadChain(dir). Ignored when Dir is empty;
+	// Sink still receives full snapshots.
+	Incremental bool
+	// RebaseEvery caps consecutive delta records per base in incremental
+	// mode (<=0: DefaultRebaseEvery).
+	RebaseEvery int
 }
 
 // enabled reports whether the options request any output at all.

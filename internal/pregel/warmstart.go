@@ -31,23 +31,32 @@ func (e *Engine[V, M]) warmRestore(ws *WarmStartOptions) error {
 		return fmt.Errorf("%w: warm start needs a terminal (Done) snapshot, got one at superstep %d",
 			ErrSnapshotMismatch, s.Superstep)
 	}
+	// seeded is how many vertices the snapshot covers. With AllowGrowth a
+	// larger graph is fine: the snapshot seeds its prefix and the added
+	// vertices start zero-valued and halted for the caller to initialize
+	// (the ΔV planner runs init{} for them and activates them).
+	seeded := s.NumVertices
 	if s.NumVertices != n {
-		if n > s.NumVertices {
+		switch {
+		case n > s.NumVertices && ws.AllowGrowth:
+			// Vertex additions ride the repair superstep.
+		case n > s.NumVertices:
 			// The usual way here: an edge delta added vertices and the
 			// caller fed the pre-mutation snapshot. Name the count and
 			// the remedy instead of letting the size mismatch surface as
 			// a confusing decode failure downstream.
 			return fmt.Errorf("%w: graph gained %d vertices since the snapshot (%d now, %d at capture); added vertices have no converged state to seed — rerun from scratch instead of warm-starting",
 				ErrSnapshotMismatch, n-s.NumVertices, n, s.NumVertices)
+		default:
+			return fmt.Errorf("%w: graph has %d vertices, snapshot has %d",
+				ErrSnapshotMismatch, n, s.NumVertices)
 		}
-		return fmt.Errorf("%w: graph has %d vertices, snapshot has %d",
-			ErrSnapshotMismatch, n, s.NumVertices)
 	}
 	if len(s.Aggs) != len(e.aggList) {
 		return fmt.Errorf("%w: run registers %d aggregators, snapshot has %d",
 			ErrSnapshotMismatch, len(e.aggList), len(s.Aggs))
 	}
-	if len(s.Active) != n || len(s.Removed) != n || len(s.InboxCounts) != n {
+	if len(s.Active) != seeded || len(s.Removed) != seeded || len(s.InboxCounts) != seeded {
 		return fmt.Errorf("%w: bitset/inbox sizes do not match vertex count", ErrSnapshotCorrupt)
 	}
 	var inflight int64
@@ -59,7 +68,7 @@ func (e *Engine[V, M]) warmRestore(ws *WarmStartOptions) error {
 			ErrSnapshotMismatch, inflight)
 	}
 	b := s.Values
-	for i := 0; i < n; i++ {
+	for i := 0; i < seeded; i++ {
 		v, rest, err := e.valCodec.DecodeValue(b)
 		if err != nil {
 			return fmt.Errorf("pregel: snapshot value %d: %w", i, err)

@@ -9,19 +9,40 @@ import (
 	"repro/internal/graph"
 )
 
+// gsizeSrc bakes the graph size into every vertex's init{} state, which
+// is exactly the shape the vertex-add gate rules out statically: growth
+// changes #V for every existing vertex, so init{} rerun on the newcomers
+// alone cannot repair the fixpoint.
+const gsizeSrc = `
+init { local share : float = 1.0 / graphSize };
+iter k {
+  share = max [ u.share | u <- #in ]
+} until { fixpoint }`
+
 // TestServeStaticFallbackSkipsPlanner: a batch whose delta class the
-// repairability matrix marks unconditionally unrepairable (added vertices)
-// must be admitted straight to the from-scratch path — vm.RunDelta is
-// never invoked — and counted in the per-class static-fallback stats.
+// repairability matrix marks unconditionally unrepairable must be
+// admitted straight to the from-scratch path — vm.RunDelta is never
+// invoked — and counted in the per-class static-fallback stats. sssp now
+// repairs vertex growth in place, so the probe serves a #V-reading
+// program instead, where added vertices stay statically unrepairable.
 func TestServeStaticFallbackSkipsPlanner(t *testing.T) {
 	planner := 0
 	hookDeltaRepair = func() { planner++ }
 	defer func() { hookDeltaRepair = nil }()
 
+	prog, err := core.Compile(gsizeSrc, core.Options{Mode: core.Incremental})
+	if err != nil {
+		t.Fatal(err)
+	}
 	var logged []string
-	s, prog := ssspServer(t, Config{Logf: func(f string, a ...any) {
-		logged = append(logged, f)
-	}})
+	s, err := New(context.Background(), Config{
+		Prog: prog, Graph: graph.Grid(15, 15, 10, 3), Workers: 3,
+		Logf: func(f string, a ...any) { logged = append(logged, f) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
 	muts := []graph.Mutation{
 		{Op: graph.MutAddVertices, Count: 3},
 		{Op: graph.MutAddEdge, U: 0, V: 226, W: 1},
@@ -43,9 +64,9 @@ func TestServeStaticFallbackSkipsPlanner(t *testing.T) {
 	if v.Repaired || v.Epoch != 2 {
 		t.Fatalf("version = {Epoch:%d Repaired:%v}, want a from-scratch epoch 2", v.Epoch, v.Repaired)
 	}
-	got, _ := v.Field("dist")
-	sameVector(t, "dist after static fallback", got,
-		scratchVector(t, prog, ref, map[string]float64{"src": 0}, "dist"), 0)
+	got, _ := v.Field("share")
+	sameVector(t, "share after static fallback", got,
+		scratchVector(t, prog, ref, nil, "share"), 0)
 
 	st := s.Stats()
 	if st.FallbackBatches != 1 {
@@ -55,7 +76,7 @@ func TestServeStaticFallbackSkipsPlanner(t *testing.T) {
 		t.Fatalf("StaticFallbacks = %v, want vertex-add: 1", st.StaticFallbacks)
 	}
 	if st.StaticFallbacks["arc-add"] != 0 {
-		t.Fatalf("arc-add is repairable for dv sssp, yet StaticFallbacks = %v", st.StaticFallbacks)
+		t.Fatalf("arc-add is repairable for this program, yet StaticFallbacks = %v", st.StaticFallbacks)
 	}
 	found := false
 	for _, l := range logged {
@@ -120,7 +141,7 @@ func TestServeStatsRepairabilityMatrix(t *testing.T) {
 	if got := st.Repairability["arc-remove"]; !strings.Contains(got, "fallback — ") {
 		t.Fatalf("arc-remove = %q, want a fallback verdict with a reason", got)
 	}
-	if got := st.Repairability["vertex-add"]; !strings.Contains(got, "init{}") {
-		t.Fatalf("vertex-add = %q, want the init{} reason", got)
+	if got := st.Repairability["vertex-add"]; got != "repairable (init-prime)" {
+		t.Fatalf("vertex-add = %q, want repairable (init-prime)", got)
 	}
 }

@@ -40,6 +40,20 @@
 // paths is discarded with its error counted and logged: the published
 // version always remains a true fixpoint of some graph.
 //
+// # Checkpoint chain
+//
+// With Config.ChainDir set, every published version is persisted to a
+// checkpoint chain (internal/pregel): the initial convergence writes a
+// full base snapshot, and each flushed batch atomically appends the
+// batch's mutation log plus an incremental DVSNPD record of the repaired
+// fixpoint. A restarted server pointed at the same directory replays the
+// chain — mutation logs rebuild the graph from the boot-time one, delta
+// records rebuild the tip snapshot — and seeds serving state directly
+// from the tip (vm.SeedFromSnapshot) without rerunning the program or
+// rereading full vertex state. The boot-time graph itself is not stored
+// in the chain; the operator must hand New the same initial graph (same
+// fingerprint) the chain was started from.
+//
 // # Quarantine semantics
 //
 // With Config.Quarantine set (the default in dvserve), a vertex program
@@ -50,9 +64,11 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -100,6 +116,26 @@ type Config struct {
 	// timer; flushes then happen only via MaxBatch or explicit Flush.
 	BatchInterval time.Duration
 
+	// ChainDir, when non-empty, persists every published version to a
+	// checkpoint chain in that directory and, when the directory already
+	// holds a chain manifest, seeds the server from the chain tip instead
+	// of recomputing. The graph passed in Graph must then be the same
+	// boot-time graph the chain was started from; its mutation logs are
+	// replayed on top of it.
+	ChainDir string
+	// RebaseEvery caps how many incremental records the chain layers on
+	// one base snapshot before writing a fresh full one. Zero selects
+	// pregel.DefaultRebaseEvery.
+	RebaseEvery int
+
+	// RepairBudget, when positive, bounds each delta repair to
+	// ceil(RepairBudget × S) body supersteps, where S is the superstep
+	// count of the fixpoint being repaired — past that the repair has lost
+	// to the from-scratch path it was supposed to undercut, so the run is
+	// abandoned (vm.ErrRepairBudget) and the batch falls back to a
+	// from-scratch rerun, counted in Stats. Zero disables the budget.
+	RepairBudget float64
+
 	// Logf receives operational log lines (batch failures, fallbacks).
 	// Nil discards them.
 	Logf func(format string, args ...any)
@@ -141,6 +177,7 @@ type Server struct {
 	cfg     Config
 	fields  []string // published user-field names, layout order
 	profile *core.RepairProfile
+	chain   *pregel.ChainWriter // nil unless Config.ChainDir is set
 
 	current atomic.Pointer[Version]
 
@@ -162,8 +199,11 @@ type Server struct {
 	batches     atomic.Int64
 	repairs     atomic.Int64
 	fallbacks   atomic.Int64
-	failed      atomic.Int64
-	quarantined atomic.Int64
+	// budgetFallbacks counts the fallbacks caused specifically by a repair
+	// overrunning Config.RepairBudget (a subset of fallbacks).
+	budgetFallbacks atomic.Int64
+	failed          atomic.Int64
+	quarantined     atomic.Int64
 	// staticFallbacks counts, per delta class, the batches that admission
 	// short-circuited to the from-scratch path because the repairability
 	// matrix rules the class out without looking at values.
@@ -181,9 +221,13 @@ var hookMidRepair func(old *Version)
 // never reach the planner.
 var hookDeltaRepair func()
 
-// New converges cfg.Prog on cfg.Graph from scratch, publishes epoch 1,
-// and starts the background flush loop. On error the caller keeps
-// ownership of cfg.Graph.
+// New publishes the server's first version and starts the background
+// flush loop. Without a chain (or with an empty ChainDir directory) it
+// converges cfg.Prog on cfg.Graph from scratch and publishes epoch 1;
+// when ChainDir already holds a chain manifest it replays the chain over
+// cfg.Graph and seeds the tip fixpoint directly, publishing the epoch the
+// previous process reached. On error the caller keeps ownership of
+// cfg.Graph.
 func New(ctx context.Context, cfg Config) (*Server, error) {
 	if cfg.Prog == nil || cfg.Graph == nil {
 		return nil, fmt.Errorf("serve: Config needs Prog and Graph")
@@ -204,17 +248,105 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	for _, f := range cfg.Prog.Layout.Fields[:cfg.Prog.Layout.UserFields] {
 		s.fields = append(s.fields, f.Name)
 	}
-	res, snap, err := s.runScratch(ctx, cfg.Graph)
-	if err != nil {
-		return nil, fmt.Errorf("serve: initial convergence: %w", err)
+	if cfg.ChainDir != "" {
+		// Opened (and an existing manifest validated) before any compute, so
+		// a corrupt chain fails fast with cfg.Graph still owned by the caller.
+		w, err := pregel.NewChainWriter(cfg.ChainDir, cfg.RebaseEvery)
+		if err != nil {
+			return nil, fmt.Errorf("serve: opening chain %s: %w", cfg.ChainDir, err)
+		}
+		s.chain = w
 	}
-	v, err := s.buildVersion(1, cfg.Graph, res, snap, false)
-	if err != nil {
-		return nil, err
+	var v *Version
+	if s.chain != nil && s.chain.Tip() != nil {
+		var err error
+		v, err = s.bootFromChain(cfg.ChainDir)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		res, snap, err := s.runScratch(ctx, cfg.Graph)
+		if err != nil {
+			return nil, fmt.Errorf("serve: initial convergence: %w", err)
+		}
+		v, err = s.buildVersion(1, cfg.Graph, res, snap, false)
+		if err != nil {
+			return nil, err
+		}
+		if s.chain != nil {
+			// Fresh chain: persist the initial convergence as the base so a
+			// restart never has to recompute epoch 1 either.
+			if _, _, err := s.chain.AppendSnapshot(v.snap); err != nil {
+				return nil, fmt.Errorf("serve: persisting initial snapshot: %w", err)
+			}
+		}
 	}
 	s.current.Store(v)
 	go s.loop()
 	return s, nil
+}
+
+// bootFromChain replays the chain in dir over the boot-time graph
+// cfg.Graph: each persisted mutation log advances the graph one batch, the
+// reconstructed tip snapshot then seeds serving state directly
+// (vm.SeedFromSnapshot) — no superstep is executed and no full vertex
+// state is reread. The returned version carries the epoch the chain
+// recorded: 1 + the number of persisted batches. On error cfg.Graph is
+// left open (the caller owns it); on success, ownership of the replayed
+// graph passes to the returned version and cfg.Graph is retired if the
+// replay superseded it.
+func (s *Server) bootFromChain(dir string) (*Version, error) {
+	st, err := pregel.LoadChain(dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: loading chain %s: %w", dir, err)
+	}
+	g := s.cfg.Graph
+	// fail closes the intermediate replay graph (never the caller's).
+	fail := func(err error) (*Version, error) {
+		if g != s.cfg.Graph {
+			g.Close()
+		}
+		return nil, err
+	}
+	for i, payload := range st.GraphDeltas {
+		d, err := graph.ReadDeltaLog(bytes.NewReader(payload))
+		if err != nil {
+			return fail(fmt.Errorf("serve: chain %s: decoding mutation log %d: %w", dir, i, err))
+		}
+		next, _, err := graph.ApplyDelta(g, d)
+		if err != nil {
+			return fail(fmt.Errorf("serve: chain %s: replaying mutation log %d: %w", dir, i, err))
+		}
+		if g != s.cfg.Graph {
+			g.Close()
+		}
+		g = next
+		if fp := g.Fingerprint(); fp != st.GraphFingerprints[i] {
+			return fail(fmt.Errorf("serve: chain %s: graph fingerprint %016x after mutation log %d, chain recorded %016x",
+				dir, fp, i, st.GraphFingerprints[i]))
+		}
+	}
+	if fp := g.Fingerprint(); fp != st.Snapshot.Fingerprint {
+		return fail(fmt.Errorf("serve: chain %s: replayed graph has fingerprint %016x but the tip snapshot was taken on %016x — wrong boot-time graph?",
+			dir, fp, st.Snapshot.Fingerprint))
+	}
+	res, err := vm.SeedFromSnapshot(s.cfg.Prog, g, s.runOpts(nil), st.Snapshot)
+	if err != nil {
+		return fail(fmt.Errorf("serve: chain %s: seeding from tip snapshot: %w", dir, err))
+	}
+	epoch := int64(1 + len(st.GraphDeltas))
+	v, err := s.buildVersion(epoch, g, res, st.Snapshot, false)
+	if err != nil {
+		return fail(err)
+	}
+	if g != s.cfg.Graph {
+		// Success: the server owns the boot-time graph too, and the replayed
+		// graph has superseded it.
+		s.cfg.Graph.Close()
+	}
+	s.logf("serve: chain: seeded epoch %d from %s (superstep %d, fingerprint %016x, %d batches replayed)",
+		epoch, dir, st.Snapshot.Superstep, st.Snapshot.Fingerprint, len(st.GraphDeltas))
+	return v, nil
 }
 
 // Current returns the published version. The pointer pins the caller to
@@ -290,6 +422,18 @@ func (s *Server) Flush(ctx context.Context) (*Version, error) {
 		s.logf("serve: batch of %d mutations discarded: %v", len(muts), err)
 		return cur, err
 	}
+	if s.chain != nil {
+		// Persist before publishing: a version a restart cannot reach must
+		// never be served. The chain commits the mutation log and the
+		// snapshot as one atomic manifest rename, so a crash here leaves the
+		// previous epoch fully replayable.
+		if err := s.persistBatch(muts, next); err != nil {
+			s.failed.Add(1)
+			next.g.Close()
+			s.logf("serve: batch of %d mutations discarded: persisting to chain: %v", len(muts), err)
+			return cur, fmt.Errorf("serve: persisting to chain: %w", err)
+		}
+	}
 	if hookMidRepair != nil {
 		hookMidRepair(cur)
 	}
@@ -320,15 +464,20 @@ func (s *Server) applyBatch(ctx context.Context, cur *Version, muts []graph.Muta
 			bad.Class, bad.Reason)
 		res, snap, err = s.runScratch(ctx, g)
 	} else {
-		res, snap, err = s.runDelta(ctx, g, cur.snap, applied)
+		res, snap, err = s.runDelta(ctx, g, cur.snap, applied, s.repairBudget(cur))
 		if err != nil {
 			// A per-value guard rejected the batch (retracting a live
-			// contribution, loosening a clamped fixpoint, …) or the repair
-			// itself aborted: fall back to a from-scratch run on the
-			// mutated graph. Correctness never depends on the repair path
-			// being available.
+			// contribution, loosening a clamped fixpoint, …), the repair
+			// overran its superstep budget, or the run itself aborted: fall
+			// back to a from-scratch run on the mutated graph. Correctness
+			// never depends on the repair path being available.
 			s.fallbacks.Add(1)
-			s.logf("serve: delta repair unavailable (%v); recomputing from scratch", err)
+			if errors.Is(err, vm.ErrRepairBudget) {
+				s.budgetFallbacks.Add(1)
+				s.logf("serve: repair passed break-even (%v); recomputing from scratch", err)
+			} else {
+				s.logf("serve: delta repair unavailable (%v); recomputing from scratch", err)
+			}
 			res, snap, err = s.runScratch(ctx, g)
 		} else {
 			repaired = true
@@ -402,16 +551,33 @@ func (s *Server) runScratch(ctx context.Context, g *graph.Graph) (*vm.Result, *p
 	return res, snap, nil
 }
 
-// runDelta repairs the fixpoint in snap for the mutated graph g.
-func (s *Server) runDelta(ctx context.Context, g *graph.Graph, snap *pregel.Snapshot, applied *graph.AppliedDelta) (*vm.Result, *pregel.Snapshot, error) {
+// repairBudget translates Config.RepairBudget into a superstep bound for
+// repairing cur's fixpoint: the from-scratch alternative costs about
+// cur.Superstep supersteps, so past RepairBudget × that the repair has
+// lost the race it exists to win. Zero means unbounded.
+func (s *Server) repairBudget(cur *Version) int {
+	if s.cfg.RepairBudget <= 0 {
+		return 0
+	}
+	b := int(math.Ceil(s.cfg.RepairBudget * float64(cur.Superstep)))
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// runDelta repairs the fixpoint in snap for the mutated graph g, giving
+// up past budget body supersteps (0 = unbounded).
+func (s *Server) runDelta(ctx context.Context, g *graph.Graph, snap *pregel.Snapshot, applied *graph.AppliedDelta, budget int) (*vm.Result, *pregel.Snapshot, error) {
 	if hookDeltaRepair != nil {
 		hookDeltaRepair()
 	}
 	var sink lastSink
 	res, err := vm.RunDeltaContext(ctx, s.cfg.Prog, g, vm.DeltaRunOptions{
-		RunOptions: s.runOpts(&sink),
-		Snapshot:   snap,
-		Changes:    applied,
+		RunOptions:      s.runOpts(&sink),
+		Snapshot:        snap,
+		Changes:         applied,
+		SuperstepBudget: budget,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -425,15 +591,30 @@ func (s *Server) runDelta(ctx context.Context, g *graph.Graph, snap *pregel.Snap
 }
 
 func (s *Server) runOpts(sink *lastSink) vm.RunOptions {
-	return vm.RunOptions{
+	opts := vm.RunOptions{
 		Params:     s.cfg.Params,
 		Workers:    s.cfg.Workers,
 		Scheduler:  s.cfg.Scheduler,
 		Partition:  s.cfg.Partition,
 		Combine:    s.cfg.Combine,
 		Quarantine: s.cfg.Quarantine,
-		Checkpoint: pregel.CheckpointOptions{Sink: sink},
 	}
+	if sink != nil {
+		opts.Checkpoint = pregel.CheckpointOptions{Sink: sink}
+	}
+	return opts
+}
+
+// persistBatch appends the flushed batch to the chain: the mutation log
+// that explains the graph step plus the repaired fixpoint's snapshot, as
+// one atomic commit.
+func (s *Server) persistBatch(muts []graph.Mutation, next *Version) error {
+	var buf bytes.Buffer
+	if err := graph.WriteDeltaLog(&buf, &graph.Delta{Muts: muts}); err != nil {
+		return err
+	}
+	_, _, err := s.chain.AppendBatch(buf.Bytes(), next.snap)
+	return err
 }
 
 func (s *Server) noteRun(res *vm.Result) {
@@ -522,8 +703,14 @@ type Stats struct {
 	Batches           int64 `json:"batches"`
 	RepairedBatches   int64 `json:"repaired_batches"`
 	FallbackBatches   int64 `json:"fallback_batches"`
-	FailedBatches     int64 `json:"failed_batches"`
-	Quarantined       int64 `json:"quarantined_vertices"`
+	// BudgetFallbackBatches counts the subset of FallbackBatches where the
+	// repair was abandoned for overrunning Config.RepairBudget.
+	BudgetFallbackBatches int64 `json:"budget_fallback_batches"`
+	FailedBatches         int64 `json:"failed_batches"`
+	Quarantined           int64 `json:"quarantined_vertices"`
+	// ChainDir is the checkpoint chain the server persists to ("" when
+	// chaining is disabled).
+	ChainDir string `json:"chain_dir,omitempty"`
 
 	// Repairability is the program's static delta-capability matrix, one
 	// entry per delta class: "repairable (strategy)" or
@@ -561,11 +748,13 @@ func (s *Server) Stats() Stats {
 		Reads:             s.reads.Load(),
 		MutationsAccepted: s.mutAccepted.Load(),
 		MutationsRejected: s.mutRejected.Load(),
-		Batches:           s.batches.Load(),
-		RepairedBatches:   s.repairs.Load(),
-		FallbackBatches:   s.fallbacks.Load(),
-		FailedBatches:     s.failed.Load(),
-		Quarantined:       s.quarantined.Load(),
+		Batches:               s.batches.Load(),
+		RepairedBatches:       s.repairs.Load(),
+		FallbackBatches:       s.fallbacks.Load(),
+		BudgetFallbackBatches: s.budgetFallbacks.Load(),
+		FailedBatches:         s.failed.Load(),
+		Quarantined:           s.quarantined.Load(),
+		ChainDir:              s.cfg.ChainDir,
 		Repairability:     matrix,
 		StaticFallbacks:   statics,
 	}

@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	dvbench -exp table1|table2|fig4|fig5|delta|ablations|pregel|memory|all [-runs N]
+//	dvbench -exp table1|table2|fig4|fig5|delta|ablations|pregel|memory|shard|all [-runs N]
 //	dvbench -exp pregel -json BENCH_pregel.json -label before|after
 //	dvbench -exp memory -scale 20,22 -json BENCH_memory.json
+//	dvbench -exp shard -scale 14 -json BENCH_shard.json
 //	dvbench -exp fig4 -cpuprofile cpu.out -memprofile mem.out
 //	dvbench -exp fig4 -timeout 30s
 //
@@ -35,6 +36,12 @@
 // peak RSS over the load+run window, and ns per superstep, with
 // flat-vs-compact ratio lines. With -json the rows land in
 // BENCH_memory.json. Like pregel, it is excluded from "all".
+//
+// The shard experiment runs PageRank, SSSP, and CC in-process and split
+// into two shards meshed over a unix socket (the dvshard wire path),
+// reporting wall clock, wire traffic, and a value digest that must match
+// between the two configurations. With -json the rows land in
+// BENCH_shard.json. Like pregel and memory, it is excluded from "all".
 package main
 
 import (
@@ -52,10 +59,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, fig4, fig5, delta, ablations, pregel, memory, all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig4, fig5, delta, ablations, pregel, memory, shard, all")
 	runs := flag.Int("runs", 3, "runs to average for timing experiments (paper: 3)")
-	scale := flag.String("scale", "", "comma-separated R-MAT scales for -exp memory (default 20,22)")
-	jsonPath := flag.String("json", "", "write pregel or memory benchmark results to this JSON snapshot file")
+	scale := flag.String("scale", "", "comma-separated R-MAT scales for -exp memory (default 20,22) or -exp shard (default 14)")
+	jsonPath := flag.String("json", "", "write pregel, memory, or shard benchmark results to this JSON snapshot file")
 	label := flag.String("label", "after", "snapshot label for -json (conventionally before/after)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the experiment run to this file")
@@ -290,6 +297,27 @@ func run(ctx context.Context, exp string, runs int, scales []int, jsonPath, labe
 				}
 				fmt.Fprintf(out, "memory snapshot written to %s\n", jsonPath)
 			}
+		}
+	}
+	if exp == "shard" { // excluded from "all": spins up socket meshes
+		any = true
+		shardScale := 14
+		if len(scales) > 0 {
+			shardScale = scales[0]
+		}
+		rows, err := bench.ShardExperiment(ctx, shardScale, runs)
+		fmt.Fprintln(out, "== Sharded message plane: in-process vs 2 shards over a unix socket ==")
+		if rerr := bench.RenderShard(out, rows); rerr != nil {
+			return rerr
+		}
+		fmt.Fprintln(out)
+		if err != nil {
+			aborted(err)
+		} else if jsonPath != "" {
+			if err := bench.WriteShardSnapshot(jsonPath, rows); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "shard snapshot written to %s\n", jsonPath)
 		}
 	}
 	if !any {

@@ -272,7 +272,7 @@ func loadGraph(dataset, edges string, directed bool, gen string, seed int64, for
 	case "", "flat":
 		return g, nil
 	case "compact":
-		return graph.Compact(g), nil
+		return graph.Compact(g)
 	case "mmap":
 		return nil, fmt.Errorf("-repr mmap needs a DVGRAF -edges file (make one with -save-graph)")
 	}

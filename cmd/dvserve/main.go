@@ -316,7 +316,7 @@ func loadGraph(v *flagVals) (*graph.Graph, error) {
 	case "", "flat":
 		return g, nil
 	case "compact":
-		return graph.Compact(g), nil
+		return graph.Compact(g)
 	case "mmap":
 		return nil, fmt.Errorf("-repr mmap needs a DVGRAF -edges file (make one with dvrun -save-graph)")
 	}

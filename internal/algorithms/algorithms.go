@@ -30,6 +30,13 @@ type RunOptions struct {
 	// Resume continues a previous run from a barrier snapshot instead of
 	// starting at superstep 0 (see pregel.Options.Resume).
 	Resume *pregel.Snapshot
+	// MaxSupersteps aborts the run after this many supersteps; 0 means
+	// no limit (see pregel.Options.MaxSupersteps).
+	MaxSupersteps int
+	// Shard places the run in a multi-process sharded mesh (see
+	// pregel.ShardOptions); Workers must then be explicit and identical
+	// on every shard.
+	Shard *pregel.ShardOptions
 }
 
 // ctx returns the run context, defaulting to Background.
@@ -43,10 +50,12 @@ func (o RunOptions) ctx() context.Context {
 // engineOpts translates RunOptions to engine options.
 func (o RunOptions) engineOpts() pregel.Options {
 	return pregel.Options{
-		Workers:    o.Workers,
-		Scheduler:  o.Scheduler,
-		Checkpoint: o.Checkpoint,
-		Resume:     o.Resume,
+		Workers:       o.Workers,
+		Scheduler:     o.Scheduler,
+		Checkpoint:    o.Checkpoint,
+		Resume:        o.Resume,
+		MaxSupersteps: o.MaxSupersteps,
+		Shard:         o.Shard,
 	}
 }
 

@@ -30,7 +30,7 @@ var equivConfigs = []struct {
 // deferred until an algorithm actually pulls on it).
 func equivGraphPair() (flat, compact *graph.Graph) {
 	flat = graph.WithRandomWeights(graph.RMAT(9, 6, 0.57, 0.19, 0.19, true, 21), 1, 10, 5)
-	compact = graph.Compact(flat)
+	compact = graph.MustCompact(flat)
 	flat.BuildReverse()
 	compact.BuildReverse()
 	return flat, compact
@@ -85,7 +85,7 @@ func TestCompactEquivCC(t *testing.T) {
 	// graph too so the aliased-reverse compact path is also covered.
 	for _, directed := range []bool{true, false} {
 		flat := graph.RMAT(9, 5, 0.57, 0.19, 0.19, directed, 33)
-		compact := graph.Compact(flat)
+		compact := graph.MustCompact(flat)
 		flat.BuildReverse()
 		compact.BuildReverse()
 		for _, cfg := range equivConfigs {

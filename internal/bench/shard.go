@@ -1,0 +1,299 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/algorithms"
+	"repro/internal/graph"
+	"repro/internal/pregel"
+	"repro/internal/pregel/transport"
+)
+
+// Shard experiment: the sharded message plane's cost axis. Each
+// configuration runs a reference algorithm over an R-MAT graph either
+// in-process (one engine, the zero-copy local transport) or split into
+// two shards meshed over a unix socket — the same wire path two dvshard
+// processes use, so the serialization, framing, and barrier costs are
+// the real ones; only the process boundary itself is elided. Every
+// sharded run's value digest is checked against the in-process run:
+// the experiment measures the cost of distribution, never a different
+// answer. Sharded wall clock includes forming the mesh (as a real
+// two-process launch would), which dominates for short runs — compare
+// ms/superstep on the long PageRank row for the steady-state overhead.
+
+// ShardEdgeFactor is the R-MAT edge factor used by the shard experiment.
+const ShardEdgeFactor = 16
+
+// ShardRow is one (algorithm, configuration) cell.
+type ShardRow struct {
+	Algo        string  `json:"algo"`
+	Config      string  `json:"config"` // "inproc" or "shard2-unix"
+	Scale       int     `json:"scale"`
+	Workers     int     `json:"workers"`
+	Supersteps  int     `json:"supersteps"`
+	Messages    int64   `json:"messages"`
+	WireFrames  int64   `json:"wire_frames"`  // frames sent per shard 0 (0 in-process)
+	WireBytes   int64   `json:"wire_bytes"`   // bytes sent by shard 0 (0 in-process)
+	Seconds     float64 `json:"seconds"`      // best-of-runs wall clock
+	NsSuperstep float64 `json:"ns_superstep"` // Seconds / Supersteps
+	Digest      string  `json:"digest"`
+	Identical   bool    `json:"identical"` // digest matches the in-process run
+	AbortReason string  `json:"abort_reason,omitempty"`
+}
+
+// shardBenchWorkers is the total worker count for both configurations,
+// chosen explicitly so the in-process and sharded runs are comparable
+// (and bit-identical) regardless of GOMAXPROCS.
+const shardBenchWorkers = 4
+
+type shardAlgo struct {
+	name string
+	run  func(g *graph.Graph, opts algorithms.RunOptions) ([]float64, *pregel.Stats, error)
+}
+
+func shardAlgos() []shardAlgo {
+	return []shardAlgo{
+		{"pagerank", func(g *graph.Graph, opts algorithms.RunOptions) ([]float64, *pregel.Stats, error) {
+			e, st, err := algorithms.RunPageRank(g, 20, opts)
+			if err != nil {
+				return nil, nil, err
+			}
+			vals := make([]float64, g.NumVertices())
+			for u, v := range e.Values() {
+				vals[u] = v.PR
+			}
+			return vals, st, nil
+		}},
+		{"sssp", func(g *graph.Graph, opts algorithms.RunOptions) ([]float64, *pregel.Stats, error) {
+			e, st, err := algorithms.RunSSSP(g, 0, opts)
+			if err != nil {
+				return nil, nil, err
+			}
+			vals := make([]float64, g.NumVertices())
+			for u, v := range e.Values() {
+				vals[u] = v.Dist
+			}
+			return vals, st, nil
+		}},
+		{"cc", func(g *graph.Graph, opts algorithms.RunOptions) ([]float64, *pregel.Stats, error) {
+			e, st, err := algorithms.RunCC(g, opts)
+			if err != nil {
+				return nil, nil, err
+			}
+			vals := make([]float64, g.NumVertices())
+			for u, v := range e.Values() {
+				vals[u] = float64(v.Comp)
+			}
+			return vals, st, nil
+		}},
+	}
+}
+
+func shardDigest(vals []float64) string {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, v := range vals {
+		bits := math.Float64bits(v)
+		for i := range b {
+			b[i] = byte(bits >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// ShardExperiment benches every algorithm in-process and 2-shard over a
+// unix-socket mesh, runs times each, keeping the best wall clock.
+func ShardExperiment(ctx context.Context, scale, runs int) ([]ShardRow, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	g := graph.RMAT(scale, ShardEdgeFactor, 0.57, 0.19, 0.19, true, 42)
+	var rows []ShardRow
+	for _, a := range shardAlgos() {
+		if err := ctx.Err(); err != nil {
+			return rows, err
+		}
+		inproc, err := benchInproc(ctx, g, a, scale, runs)
+		rows = append(rows, inproc)
+		if err != nil {
+			return rows, err
+		}
+		sharded, err := benchSharded(ctx, g, a, scale, runs, inproc.Digest)
+		rows = append(rows, sharded)
+		if err != nil {
+			return rows, err
+		}
+	}
+	return rows, nil
+}
+
+func benchInproc(ctx context.Context, g *graph.Graph, a shardAlgo, scale, runs int) (ShardRow, error) {
+	row := ShardRow{Algo: a.name, Config: "inproc", Scale: scale, Workers: shardBenchWorkers}
+	best := time.Duration(math.MaxInt64)
+	for r := 0; r < runs; r++ {
+		start := time.Now()
+		vals, st, err := a.run(g, algorithms.RunOptions{Workers: shardBenchWorkers, Combine: true, Ctx: ctx})
+		elapsed := time.Since(start)
+		if err != nil {
+			row.AbortReason = err.Error()
+			return row, err
+		}
+		if elapsed < best {
+			best = elapsed
+		}
+		row.Supersteps = st.Supersteps
+		row.Messages = st.MessagesSent
+		row.Digest = shardDigest(vals)
+	}
+	row.Seconds = best.Seconds()
+	if row.Supersteps > 0 {
+		row.NsSuperstep = float64(best.Nanoseconds()) / float64(row.Supersteps)
+	}
+	row.Identical = true
+	return row, nil
+}
+
+func benchSharded(ctx context.Context, g *graph.Graph, a shardAlgo, scale, runs int, wantDigest string) (ShardRow, error) {
+	row := ShardRow{Algo: a.name, Config: "shard2-unix", Scale: scale, Workers: shardBenchWorkers}
+	best := time.Duration(math.MaxInt64)
+	for r := 0; r < runs; r++ {
+		dir, err := os.MkdirTemp("", "dvbench-shard")
+		if err != nil {
+			row.AbortReason = err.Error()
+			return row, err
+		}
+		res, err := runShardedPair(ctx, g, a, dir)
+		os.RemoveAll(dir)
+		if err != nil {
+			row.AbortReason = err.Error()
+			return row, err
+		}
+		if res.elapsed < best {
+			best = res.elapsed
+		}
+		row.Supersteps = res.stats.Supersteps
+		row.Messages = res.stats.MessagesSent
+		row.WireFrames = res.framesOut
+		row.WireBytes = res.bytesOut
+		row.Digest = shardDigest(res.vals)
+	}
+	row.Seconds = best.Seconds()
+	if row.Supersteps > 0 {
+		row.NsSuperstep = float64(best.Nanoseconds()) / float64(row.Supersteps)
+	}
+	row.Identical = row.Digest == wantDigest
+	if !row.Identical {
+		err := fmt.Errorf("bench: %s sharded digest %s != in-process %s", a.name, row.Digest, wantDigest)
+		row.AbortReason = err.Error()
+		return row, err
+	}
+	return row, nil
+}
+
+type shardedResult struct {
+	vals      []float64
+	stats     *pregel.Stats
+	framesOut int64
+	bytesOut  int64
+	elapsed   time.Duration
+}
+
+// runShardedPair hosts both shards as goroutines over a fresh
+// unix-socket mesh in dir and returns shard 0's view.
+func runShardedPair(ctx context.Context, g *graph.Graph, a shardAlgo, dir string) (shardedResult, error) {
+	addrs := []string{
+		"unix:" + filepath.Join(dir, "s0.sock"),
+		"unix:" + filepath.Join(dir, "s1.sock"),
+	}
+	var res [2]shardedResult
+	errs := [2]error{}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr, err := transport.DialMesh(transport.SocketConfig{
+				Shard: i, Count: 2, Addrs: addrs,
+				Fingerprint: g.Fingerprint(), Timeout: 30 * time.Second,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer tr.Close()
+			opts := algorithms.RunOptions{
+				Workers: shardBenchWorkers, Combine: true, Ctx: ctx,
+				Shard: &pregel.ShardOptions{Index: i, Count: 2, Transport: tr},
+			}
+			vals, st, err := a.run(g, opts)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			fo, bo, _, _ := tr.Counters()
+			res[i] = shardedResult{vals: vals, stats: st, framesOut: fo, bytesOut: bo}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return shardedResult{}, err
+		}
+	}
+	res[0].elapsed = elapsed
+	return res[0], nil
+}
+
+// RenderShard writes the rows as an aligned table.
+func RenderShard(w io.Writer, rows []ShardRow) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Algo\tConfig\tSupersteps\tMessages\tWire frames\tWire MB\tTime (s)\tms/superstep\tIdentical")
+	for _, r := range rows {
+		if r.AbortReason != "" {
+			fmt.Fprintf(tw, "%s\t%s\tABORTED: %s\n", r.Algo, r.Config, r.AbortReason)
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%.2f\t%.4f\t%.3f\t%v\n",
+			r.Algo, r.Config, r.Supersteps, r.Messages,
+			r.WireFrames, float64(r.WireBytes)/(1<<20),
+			r.Seconds, r.NsSuperstep/1e6, r.Identical)
+	}
+	return tw.Flush()
+}
+
+// ShardFile is the BENCH_shard.json snapshot layout.
+type ShardFile struct {
+	Benchmark  string     `json:"benchmark"`
+	GoVersion  string     `json:"go_version"`
+	EdgeFactor int        `json:"edge_factor"`
+	Rows       []ShardRow `json:"rows"`
+}
+
+// WriteShardSnapshot writes rows to path as indented JSON.
+func WriteShardSnapshot(path string, rows []ShardRow) error {
+	file := ShardFile{
+		Benchmark:  "sharded message plane: in-process vs 2 shards over a unix-socket mesh",
+		GoVersion:  runtime.Version(),
+		EdgeFactor: ShardEdgeFactor,
+		Rows:       rows,
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

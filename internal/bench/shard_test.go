@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestShardExperimentSmoke runs the whole experiment at a tiny scale:
+// every sharded row must reproduce its in-process digest, and the
+// render and JSON snapshot must round-trip.
+func TestShardExperimentSmoke(t *testing.T) {
+	rows, err := ShardExperiment(context.Background(), 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6 (3 algos x 2 configs)", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Identical {
+			t.Fatalf("%s/%s: digest mismatch: %+v", r.Algo, r.Config, r)
+		}
+		if r.Config == "shard2-unix" && (r.WireFrames == 0 || r.WireBytes == 0) {
+			t.Fatalf("%s sharded row reports no wire traffic: %+v", r.Algo, r)
+		}
+		if r.Supersteps <= 0 || r.Seconds <= 0 {
+			t.Fatalf("%s/%s: empty measurements: %+v", r.Algo, r.Config, r)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := RenderShard(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "shard2-unix") {
+		t.Fatalf("render missing sharded rows:\n%s", buf.String())
+	}
+
+	path := filepath.Join(t.TempDir(), "shard.json")
+	if err := WriteShardSnapshot(path, rows); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file ShardFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatal(err)
+	}
+	if len(file.Rows) != len(rows) || file.EdgeFactor != ShardEdgeFactor {
+		t.Fatalf("snapshot round-trip mismatch: %+v", file)
+	}
+}

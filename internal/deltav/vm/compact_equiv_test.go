@@ -54,14 +54,14 @@ func compareUserFields(t *testing.T, label string, prog *core.Program, want, got
 
 func TestCompactEquivCorpus(t *testing.T) {
 	flat := directedTestGraph()
-	compact := graph.Compact(flat)
+	compact := graph.MustCompact(flat)
 	compact.BuildReverse() // deferred: materializes only if a program pulls #in
 	if compact.Fingerprint() != flat.Fingerprint() {
 		t.Fatal("fingerprint is not representation-independent")
 	}
 	// #neighbors programs demand an undirected graph.
 	undirFlat := graph.RMAT(8, 4, 0.57, 0.19, 0.19, false, 42)
-	undirCompact := graph.Compact(undirFlat)
+	undirCompact := graph.MustCompact(undirFlat)
 	needsUndirected := map[string]bool{"cc": true, "maxval": true}
 	for _, name := range programs.Names() {
 		for _, mode := range allModes {
@@ -101,7 +101,7 @@ func TestCompactEquivCorpus(t *testing.T) {
 // state bitwise against a from-scratch run on the flat mutated graph.
 func TestCompactEquivWarmDelta(t *testing.T) {
 	g0 := weightedChain(80)
-	c0 := graph.Compact(g0)
+	c0 := graph.MustCompact(g0)
 	prog := func() *core.Program {
 		p, err := core.Compile(programs.MustSource("sssp"), core.Options{Mode: core.Incremental})
 		if err != nil {
@@ -148,7 +148,7 @@ func TestCompactEquivWarmDelta(t *testing.T) {
 // snapshot's graph fingerprint against the delta's OldFingerprint.
 func TestCompactEquivCrossReprWarmStart(t *testing.T) {
 	g0 := weightedChain(60)
-	c0 := graph.Compact(g0)
+	c0 := graph.MustCompact(g0)
 	opts := RunOptions{Workers: 4, Params: map[string]float64{"src": 0}}
 	mk := func() *core.Program {
 		p, err := core.Compile(programs.MustSource("sssp"), core.Options{Mode: core.Incremental})

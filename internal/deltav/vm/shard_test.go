@@ -1,0 +1,103 @@
+package vm
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/pregel"
+	"repro/internal/pregel/transport"
+)
+
+// The ΔV corpus sharded across a 2-machine socket mesh must reproduce
+// the in-process field vectors bitwise: the VM's compiled programs run
+// on the same engine, and gatherShardState re-assembles the full state
+// matrix on every shard after the run.
+
+// runCorpusSharded2 compiles name in mode and runs it on both shards of
+// a fresh unix-socket mesh, returning each shard's Result.
+func runCorpusSharded2(t *testing.T, name string, mode core.Mode, g *graph.Graph, base RunOptions) [2]*Result {
+	t.Helper()
+	dir := t.TempDir()
+	addrs := []string{
+		"unix:" + filepath.Join(dir, "s0.sock"),
+		"unix:" + filepath.Join(dir, "s1.sock"),
+	}
+	var out [2]*Result
+	errs := [2]error{}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr, err := transport.DialMesh(transport.SocketConfig{
+				Shard: i, Count: 2, Addrs: addrs,
+				Fingerprint: g.Fingerprint(), Timeout: 10 * time.Second,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer tr.Close()
+			opts := base
+			opts.Shard = &pregel.ShardOptions{Index: i, Count: 2, Transport: tr}
+			out[i], errs[i] = Run(compileT(t, name, mode), g, opts)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+	}
+	return out
+}
+
+func TestShardedCorpusBitIdentical(t *testing.T) {
+	prG := directedTestGraph()
+	ssspG := graph.Grid(12, 15, 9, 3)
+	ccG := graph.PreferentialAttachment(500, 3, 7)
+	cases := []struct {
+		name  string
+		field string
+		g     *graph.Graph
+		opts  RunOptions
+	}{
+		{"pagerank", "vl", prG, RunOptions{Workers: 4}},
+		{"sssp", "dist", ssspG, RunOptions{Workers: 4, Params: map[string]float64{"src": 5}}},
+		{"cc", "cid", ccG, RunOptions{Workers: 4}},
+	}
+	for _, mode := range []core.Mode{core.Incremental, core.Baseline} {
+		for _, tc := range cases {
+			t.Run(tc.name+"-"+mode.String(), func(t *testing.T) {
+				ref := runT(t, tc.name, mode, tc.g, tc.opts)
+				want, err := ref.FieldVector(tc.field)
+				if err != nil {
+					t.Fatal(err)
+				}
+				outs := runCorpusSharded2(t, tc.name, mode, tc.g, tc.opts)
+				for i, res := range outs {
+					if res.Stats.MessagesSent != ref.Stats.MessagesSent ||
+						res.Stats.Supersteps != ref.Stats.Supersteps {
+						t.Fatalf("shard %d stats diverge: %+v vs %+v", i, res.Stats, ref.Stats)
+					}
+					got, err := res.FieldVector(tc.field)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(got) != len(want) {
+						t.Fatalf("shard %d: %d values, want %d", i, len(got), len(want))
+					}
+					for u := range want {
+						if got[u] != want[u] {
+							t.Fatalf("shard %d: %s[%d] = %v, want %v (bitwise)", i, tc.field, u, got[u], want[u])
+						}
+					}
+				}
+			})
+		}
+	}
+}

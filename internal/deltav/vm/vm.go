@@ -9,8 +9,10 @@ package vm
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -84,6 +86,13 @@ type RunOptions struct {
 	// of aborting the run — the resident-server posture. See
 	// pregel.Options.Quarantine.
 	Quarantine bool
+	// Shard places the run in a multi-process sharded mesh (see
+	// pregel.ShardOptions). Every shard runs the same compiled program
+	// over the same graph with identical options; after a successful run
+	// the machine's state rows are all-gathered so Result fields are
+	// whole on every shard. Requires PartitionBlock and an explicit
+	// Workers value identical on every shard.
+	Shard *pregel.ShardOptions
 }
 
 // ErrUnknownField is wrapped by the error returned when a field name does
@@ -328,6 +337,7 @@ func (m *Machine) execute(ctx context.Context, opts RunOptions, warm *pregel.War
 		Resume:        opts.Resume,
 		WarmStart:     warm,
 		Quarantine:    opts.Quarantine,
+		Shard:         opts.Shard,
 	})
 	eng.SetMessageSize(m.msgBytes)
 	eng.SetValueCodec(vstateCodec{})
@@ -346,6 +356,14 @@ func (m *Machine) execute(ctx context.Context, opts RunOptions, warm *pregel.War
 	if stats == nil {
 		return nil, err
 	}
+	if err == nil {
+		// The engine gathered its vertex values, but the VM's field state
+		// lives in m.state: a successful sharded run all-gathers the owned
+		// rows so Result fields read whole on every shard.
+		if gerr := m.gatherShardState(eng); gerr != nil {
+			err = gerr
+		}
+	}
 	res := &Result{
 		Stats:            stats,
 		Iterations:       m.iterations,
@@ -362,6 +380,47 @@ func (m *Machine) execute(ctx context.Context, opts RunOptions, warm *pregel.War
 }
 
 const aggUnchanged = "$unchanged"
+
+// gatherShardState all-gathers the machine's flat state rows after a
+// successful sharded run: each shard broadcasts its owned vertex range
+// [lo, hi) as u32 bounds plus (hi-lo)·stride little-endian float64s and
+// copies every peer's rows into place. A no-op unsharded.
+func (m *Machine) gatherShardState(eng *pregel.Engine[VState, Msg]) error {
+	if _, count := eng.ShardInfo(); count <= 1 {
+		return nil
+	}
+	lo, hi := eng.ShardOwnedRange()
+	buf := make([]byte, 0, 8+(hi-lo)*m.stride*8)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(lo))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(hi))
+	for _, v := range m.state[lo*m.stride : hi*m.stride] {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	idx, _ := eng.ShardInfo()
+	payloads, err := eng.ShardAllGather(buf)
+	if err != nil {
+		return fmt.Errorf("vm: state gather: %w", err)
+	}
+	n := m.g.NumVertices()
+	for i, p := range payloads {
+		if i == idx {
+			continue
+		}
+		if len(p) < 8 {
+			return fmt.Errorf("vm: state gather: short payload from shard %d", i)
+		}
+		plo := int(binary.LittleEndian.Uint32(p))
+		phi := int(binary.LittleEndian.Uint32(p[4:]))
+		rows := p[8:]
+		if plo > phi || phi > n || len(rows) != (phi-plo)*m.stride*8 {
+			return fmt.Errorf("vm: state gather: shard %d sent %d bytes for range [%d, %d)", i, len(rows), plo, phi)
+		}
+		for j := 0; j < (phi-plo)*m.stride; j++ {
+			m.state[plo*m.stride+j] = math.Float64frombits(binary.LittleEndian.Uint64(rows[8*j:]))
+		}
+	}
+	return nil
+}
 
 // FieldValue returns vertex u's current value of a layout field by name.
 func (m *Machine) FieldValue(name string, u graph.VertexID) float64 {

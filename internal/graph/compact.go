@@ -29,8 +29,26 @@ import (
 
 // maxCompactStream bounds one direction's encoded adjacency: byte
 // offsets are uint32, so a stream must fit in 4 GiB (roughly two billion
-// arcs per direction at typical gap sizes).
-const maxCompactStream = math.MaxUint32
+// arcs per direction at typical gap sizes). It is a variable only so the
+// overflow tests can lower it without materializing billions of arcs; no
+// non-test code reassigns it.
+var maxCompactStream uint64 = math.MaxUint32
+
+// CompactOverflowError is the typed error returned by Compact and
+// Builder.Compact when one direction's gap-varint stream would exceed
+// the uint32 byte-offset limit. Offsets past 4 GiB cannot be represented
+// in the cOutIdx/cInIdx arrays, so instead of writing truncated offsets
+// the encoder refuses; callers keep the flat CSR (or shard the graph).
+type CompactOverflowError struct {
+	Direction string // "out" or "in"
+	Vertex    int    // first vertex whose list pushed the stream past the limit
+	Bytes     uint64 // encoded bytes accumulated through that vertex
+}
+
+func (e *CompactOverflowError) Error() string {
+	return fmt.Sprintf("graph: %s-adjacency gap-varint stream is %d bytes at vertex %d, exceeding the 4 GiB uint32 offset limit; compact representation unavailable",
+		e.Direction, e.Bytes, e.Vertex)
+}
 
 // ArcIter is a copy-free cursor over one vertex's adjacency, valid for
 // both flat and compact graphs:
@@ -236,16 +254,21 @@ func (g *Graph) ArcBytes() int64 {
 //
 // If g is directed and has no reverse adjacency yet, the compact graph
 // defers any later BuildReverse: the in-CSR is materialized only on
-// first in-side access. Compact panics if one direction's encoded
-// stream would exceed 4 GiB (the uint32 byte-offset limit).
-func Compact(g *Graph) *Graph {
+// first in-side access. If one direction's encoded stream would exceed
+// 4 GiB (the uint32 byte-offset limit), Compact returns a
+// *CompactOverflowError and no graph.
+func Compact(g *Graph) (*Graph, error) {
 	if g.cOutIdx != nil {
-		return g
+		return g, nil
 	}
 	ng := &Graph{n: g.n, directed: g.directed, weighted: g.weighted}
 	ng.outOff = g.outOff
 	ng.outW = g.outW
-	ng.cOut, ng.cOutIdx = encodeAdj(g.outOff, g.outAdj)
+	var err error
+	ng.cOut, ng.cOutIdx, err = encodeAdj(g.outOff, g.outAdj, "out")
+	if err != nil {
+		return nil, err
+	}
 	if g.inOff != nil {
 		if !g.directed {
 			ng.inOff, ng.inW = ng.outOff, ng.outW
@@ -253,11 +276,24 @@ func Compact(g *Graph) *Graph {
 		} else {
 			ng.inOff = g.inOff
 			ng.inW = g.inW
-			ng.cIn, ng.cInIdx = encodeAdj(g.inOff, g.inAdj)
+			ng.cIn, ng.cInIdx, err = encodeAdj(g.inOff, g.inAdj, "in")
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	if fp := g.fp.Load(); fp != 0 {
 		ng.fp.Store(fp)
+	}
+	return ng, nil
+}
+
+// MustCompact is Compact for graphs known to fit the 4 GiB stream limit
+// (tests, generators); it panics on *CompactOverflowError.
+func MustCompact(g *Graph) *Graph {
+	ng, err := Compact(g)
+	if err != nil {
+		panic(err)
 	}
 	return ng
 }
@@ -336,7 +372,15 @@ func (g *Graph) materializeIn() {
 			}
 		}
 	}
-	g.cIn, g.cInIdx = encodeAdj(inOff, inAdj)
+	// The lazy path runs under inOnce and has no error channel; a reverse
+	// stream past 4 GiB is unrepresentable, so the typed error becomes a
+	// panic here. Compact validated the out-direction eagerly; graphs big
+	// enough to trip this should stay flat or load via DVGRAF/mmap.
+	cIn, cInIdx, err := encodeAdj(inOff, inAdj, "in")
+	if err != nil {
+		panic(err)
+	}
+	g.cIn, g.cInIdx = cIn, cInIdx
 	g.inW = inW
 	g.inOff = inOff
 }
@@ -348,8 +392,10 @@ func uvarintLen(x uint32) int {
 
 // encodeAdj gap-encodes a flat adjacency into a byte stream plus a
 // per-vertex byte-offset array. Neighbour lists must be sorted
-// ascending within each vertex (the Builder invariant).
-func encodeAdj(off []int64, adj []VertexID) ([]byte, []uint32) {
+// ascending within each vertex (the Builder invariant). A stream that
+// would not fit the uint32 offsets yields a *CompactOverflowError
+// before any offset is written truncated.
+func encodeAdj(off []int64, adj []VertexID, dir string) ([]byte, []uint32, error) {
 	n := len(off) - 1
 	idx := make([]uint32, n+1)
 	var total uint64
@@ -364,7 +410,7 @@ func encodeAdj(off []int64, adj []VertexID) ([]byte, []uint32) {
 			prev = v
 		}
 		if total > maxCompactStream {
-			panic("graph: encoded adjacency exceeds 4 GiB; compact representation unavailable")
+			return nil, nil, &CompactOverflowError{Direction: dir, Vertex: u, Bytes: total}
 		}
 		idx[u+1] = uint32(total)
 	}
@@ -385,7 +431,7 @@ func encodeAdj(off []int64, adj []VertexID) ([]byte, []uint32) {
 			p++
 		}
 	}
-	return buf, idx
+	return buf, idx, nil
 }
 
 // decodeAdj expands a gap-encoded stream back into a flat adjacency

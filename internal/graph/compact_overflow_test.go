@@ -1,0 +1,141 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+)
+
+// A real overflow needs ~2 billion arcs (4 GiB of one-byte gaps), which
+// no unit test can materialize; these tests lower maxCompactStream and
+// construct streams that straddle the boundary exactly. Vertex 0 with
+// out-neighbors 1..k encodes to exactly k bytes: the first neighbor is
+// varint(1) and every later gap is varint(1), one byte each.
+func withStreamLimit(t *testing.T, limit uint64) {
+	t.Helper()
+	old := maxCompactStream
+	maxCompactStream = limit
+	t.Cleanup(func() { maxCompactStream = old })
+}
+
+func fanOut(k int) *Graph {
+	b := NewBuilder(k+1, true)
+	for v := 1; v <= k; v++ {
+		b.AddEdge(0, VertexID(v))
+	}
+	return b.Finalize()
+}
+
+func TestCompactOverflowTyped(t *testing.T) {
+	withStreamLimit(t, 64)
+	_, err := Compact(fanOut(65))
+	if err == nil {
+		t.Fatal("Compact of a 65-byte stream under a 64-byte limit must fail")
+	}
+	var ov *CompactOverflowError
+	if !errors.As(err, &ov) {
+		t.Fatalf("want *CompactOverflowError, got %T: %v", err, err)
+	}
+	if ov.Direction != "out" || ov.Vertex != 0 || ov.Bytes != 65 {
+		t.Fatalf("overflow fields = %+v, want {out 0 65}", *ov)
+	}
+}
+
+func TestCompactAtLimitRoundTrips(t *testing.T) {
+	withStreamLimit(t, 64)
+	g := fanOut(64) // exactly at the limit: must succeed, not off-by-one
+	c, err := Compact(g)
+	if err != nil {
+		t.Fatalf("Compact at exactly the stream limit: %v", err)
+	}
+	if got, want := c.Fingerprint(), g.Fingerprint(); got != want {
+		t.Fatalf("fingerprint changed across compact: %x vs %x", got, want)
+	}
+	it := c.OutArcs(0)
+	for want := VertexID(1); want <= 64; want++ {
+		if !it.Next() || it.To() != want {
+			t.Fatalf("decode mismatch at neighbor %d", want)
+		}
+	}
+}
+
+func TestCompactOverflowInDirection(t *testing.T) {
+	withStreamLimit(t, 64)
+	// 33 sources at 128·i each with one arc into vertex 0: every out-list
+	// is varint(0) = 1 byte (33 total, fits), but vertex 0's in-list is 33
+	// two-byte values (first neighbor 128, then gaps of 128) = 66 bytes.
+	b := NewBuilder(33*128+1, true)
+	for i := 1; i <= 33; i++ {
+		b.AddEdge(VertexID(i*128), 0)
+	}
+	g := b.Finalize()
+	g.BuildReverse()
+	_, err := Compact(g)
+	var ov *CompactOverflowError
+	if !errors.As(err, &ov) {
+		t.Fatalf("want *CompactOverflowError, got %v", err)
+	}
+	if ov.Direction != "in" || ov.Vertex != 0 || ov.Bytes != 66 {
+		t.Fatalf("overflow fields = %+v, want {in 0 66}", *ov)
+	}
+}
+
+func TestBuilderCompactOverflowTyped(t *testing.T) {
+	withStreamLimit(t, 64)
+	b := NewBuilder(66, true)
+	for v := 1; v <= 65; v++ {
+		b.AddEdge(0, VertexID(v))
+	}
+	_, err := b.Compact()
+	var ov *CompactOverflowError
+	if !errors.As(err, &ov) {
+		t.Fatalf("Builder.Compact: want *CompactOverflowError, got %v", err)
+	}
+}
+
+func TestBuilderCompactOK(t *testing.T) {
+	b := NewBuilder(4, false)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	g, err := b.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsCompact() {
+		t.Fatal("Builder.Compact must return a compact graph")
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", g.NumEdges())
+	}
+}
+
+func TestLazyReverseOverflowPanicsTyped(t *testing.T) {
+	withStreamLimit(t, 96)
+	// Sources 128·i → 0 keep every out-list at one byte (varint(0)), but
+	// vertex 0's deferred in-list is 65 two-byte gaps = 130 bytes. Compact
+	// succeeds (out fits, reverse deferred); the first in-side access
+	// materializes the reverse stream and must surface the typed error,
+	// panicking since the lazy path has no error channel.
+	n := 65 * 128
+	b := NewBuilder(n+1, true)
+	for i := 1; i <= 65; i++ {
+		b.AddEdge(VertexID(i*128), 0)
+	}
+	c, err := Compact(b.Finalize())
+	if err != nil {
+		t.Fatalf("out-direction fits; Compact should succeed: %v", err)
+	}
+	c.BuildReverse() // deferred on compact directed graphs: arms lazyIn
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("materializing an overflowing reverse stream must panic")
+		}
+		e, ok := r.(error)
+		var ov *CompactOverflowError
+		if !ok || !errors.As(e, &ov) || ov.Direction != "in" {
+			t.Fatalf("panic value = %v, want *CompactOverflowError{Direction: in}", r)
+		}
+	}()
+	c.InArcs(0)
+}

@@ -41,11 +41,11 @@ func compactCorpus(t *testing.T) map[string]*Graph {
 func TestCompactAccessorEquivalence(t *testing.T) {
 	for name, g := range compactCorpus(t) {
 		t.Run(name, func(t *testing.T) {
-			c := Compact(g)
+			c := MustCompact(g)
 			if !c.IsCompact() && g.NumArcs() >= 0 {
 				t.Fatalf("Compact returned non-compact graph")
 			}
-			if Compact(c) != c {
+			if MustCompact(c) != c {
 				t.Fatalf("Compact of a compact graph must return it unchanged")
 			}
 			if c.NumVertices() != g.NumVertices() || c.NumEdges() != g.NumEdges() ||
@@ -54,7 +54,7 @@ func TestCompactAccessorEquivalence(t *testing.T) {
 				t.Fatalf("summary accessors disagree: %v vs %v", c, g)
 			}
 			g.BuildReverse()
-			c2 := Compact(g) // compact with reverse already present
+			c2 := MustCompact(g) // compact with reverse already present
 			for _, cc := range []*Graph{c, c2} {
 				cc.BuildReverse()
 				for u := 0; u < g.NumVertices(); u++ {
@@ -139,7 +139,7 @@ func TestZeroArcIterIsEmpty(t *testing.T) {
 
 func TestCompactLazyReverse(t *testing.T) {
 	g := RMAT(9, 8, 0.57, 0.19, 0.19, true, 1)
-	c := Compact(g)
+	c := MustCompact(g)
 	if c.HasReverse() {
 		t.Fatal("fresh compact directed graph must not have a reverse")
 	}
@@ -182,7 +182,7 @@ func TestCompactLazyReverse(t *testing.T) {
 
 func TestCompactArcBytesSmaller(t *testing.T) {
 	g := RMAT(12, 16, 0.57, 0.19, 0.19, true, 99)
-	c := Compact(g)
+	c := MustCompact(g)
 	fb, cb := g.ArcBytes(), c.ArcBytes()
 	if cb >= fb {
 		t.Fatalf("compact ArcBytes %d not smaller than flat %d", cb, fb)
@@ -193,7 +193,7 @@ func TestCompactArcBytesSmaller(t *testing.T) {
 func TestCompactApplyDeltaPreservesRepr(t *testing.T) {
 	g := RMAT(8, 4, 0.57, 0.19, 0.19, true, 17)
 	g.BuildReverse()
-	c := Compact(RMAT(8, 4, 0.57, 0.19, 0.19, true, 17))
+	c := MustCompact(RMAT(8, 4, 0.57, 0.19, 0.19, true, 17))
 	c.BuildReverse() // deferred
 	d := &Delta{}
 	d.AddVertices(2)
@@ -252,7 +252,7 @@ func TestBuilderSetCompact(t *testing.T) {
 }
 
 func TestAppendOutNeighbors(t *testing.T) {
-	g := Compact(Star(10, true))
+	g := MustCompact(Star(10, true))
 	buf := make([]VertexID, 0, 16)
 	got := g.AppendOutNeighbors(0, buf[:0])
 	if len(got) != 9 || got[0] != 1 || got[8] != 9 {
@@ -268,7 +268,7 @@ func TestCompactReprStrings(t *testing.T) {
 	if g.Repr() != "flat" {
 		t.Fatalf("flat Repr = %q", g.Repr())
 	}
-	c := Compact(g)
+	c := MustCompact(g)
 	if c.Repr() != "compact" {
 		t.Fatalf("compact Repr = %q", c.Repr())
 	}

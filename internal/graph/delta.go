@@ -296,7 +296,10 @@ func ApplyDelta(g *Graph, d *Delta) (*Graph, *AppliedDelta, error) {
 	}
 	ng, ad, err := rebuild(flat, st, oldFP)
 	if err == nil && g.IsCompact() {
-		ng = Compact(ng)
+		ng, err = Compact(ng)
+		if err != nil {
+			return nil, nil, err
+		}
 		if g.HasReverse() && ng.directed && !ng.HasReverse() {
 			ng.BuildReverse() // re-arm the deferred reverse adjacency
 		}

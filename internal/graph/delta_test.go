@@ -366,6 +366,13 @@ func FuzzDeltaLogDecode(f *testing.F) {
 	f.Add("add 1\n")
 	f.Add("addv -1\n")
 	f.Add("")
+	f.Add("add 0 1\r\ndel 0 1\r\naddv 2\r\n")
+	f.Add("add 0 1\radd 1 2 2.5\rset 1 2 7\r")
+	f.Add("add 0 1  \t\r\n\r\n% note\r\nadd 1 2\n")
+	f.Add("\ufeffadd 0 1\r\naddv 1\r\n")
+	f.Add("add 0 1\n\ufeffadd 1 2\n")
+	f.Add("\r\r\r")
+	f.Add("\r\n\r\n")
 	f.Fuzz(func(t *testing.T, src string) {
 		d, err := ReadDeltaLog(strings.NewReader(src))
 		if err != nil {

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"os"
@@ -18,16 +19,51 @@ import (
 //
 // The format is deliberately the edge-list dialect with verbs, so the
 // same tooling habits (comments, whitespace-splitting) apply.
+//
+// Logs authored on other platforms parse as-is: lines may end in "\n",
+// "\r\n", or a lone "\r", every line is trimmed of surrounding
+// whitespace, and a leading UTF-8 BOM is ignored.
+
+// scanLogLines is the bufio.SplitFunc for mutation logs: it terminates a
+// line on "\n", "\r\n", or a lone "\r" (classic-Mac and mixed-editor
+// exports), so Windows-authored logs replay without normalization.
+func scanLogLines(data []byte, atEOF bool) (advance int, token []byte, err error) {
+	if atEOF && len(data) == 0 {
+		return 0, nil, nil
+	}
+	if i := bytes.IndexAny(data, "\r\n"); i >= 0 {
+		if data[i] == '\n' {
+			return i + 1, data[:i], nil
+		}
+		switch {
+		case i+1 < len(data) && data[i+1] == '\n':
+			return i + 2, data[:i], nil
+		case i+1 < len(data) || atEOF:
+			return i + 1, data[:i], nil
+		default:
+			return 0, nil, nil // hold the trailing \r until \r-vs-\r\n is decidable
+		}
+	}
+	if atEOF {
+		return len(data), data, nil
+	}
+	return 0, nil, nil
+}
 
 // ReadDeltaLog parses a mutation log.
 func ReadDeltaLog(r io.Reader) (*Delta, error) {
 	d := &Delta{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	sc.Split(scanLogLines)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
+		line := sc.Text()
+		if lineNo == 1 {
+			line = strings.TrimPrefix(line, "\ufeff")
+		}
+		line = strings.TrimSpace(line)
 		if line == "" || line[0] == '#' || line[0] == '%' {
 			continue
 		}

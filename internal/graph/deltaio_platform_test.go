@@ -1,0 +1,58 @@
+package graph
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestReadDeltaLogForeignLineEndings pins the platform-tolerance contract:
+// CRLF, lone-CR, mixed endings, trailing whitespace, and a UTF-8 BOM all
+// decode to the same mutations as the canonical Unix form.
+func TestReadDeltaLogForeignLineEndings(t *testing.T) {
+	canonical := "add 0 1\nadd 1 2 2.5\ndel 0 1\nset 1 2 7\naddv 3\n"
+	want, err := ReadDeltaLog(strings.NewReader(canonical))
+	if err != nil {
+		t.Fatalf("canonical log: %v", err)
+	}
+	variants := map[string]string{
+		"crlf":             "add 0 1\r\nadd 1 2 2.5\r\ndel 0 1\r\nset 1 2 7\r\naddv 3\r\n",
+		"cr-only":          "add 0 1\radd 1 2 2.5\rdel 0 1\rset 1 2 7\raddv 3\r",
+		"mixed":            "add 0 1\r\nadd 1 2 2.5\ndel 0 1\rset 1 2 7\r\naddv 3",
+		"trailing-ws":      "add 0 1   \t\nadd 1 2 2.5\t\ndel 0 1 \nset 1 2 7  \naddv 3\t \n",
+		"indented":         "  add 0 1\n\tadd 1 2 2.5\n del 0 1\n\t set 1 2 7\naddv 3\n",
+		"bom":              "\ufeffadd 0 1\nadd 1 2 2.5\ndel 0 1\nset 1 2 7\naddv 3\n",
+		"bom-crlf":         "\ufeffadd 0 1\r\nadd 1 2 2.5\r\ndel 0 1\r\nset 1 2 7\r\naddv 3\r\n",
+		"windows-comments": "# header\r\n\r\nadd 0 1\r\n% mid\r\nadd 1 2 2.5\r\ndel 0 1\r\nset 1 2 7\r\naddv 3\r\n",
+		"no-final-newline": "add 0 1\nadd 1 2 2.5\ndel 0 1\nset 1 2 7\naddv 3",
+		"blank-cr-lines":   "add 0 1\r\n\r\radd 1 2 2.5\rdel 0 1\r\n   \r\nset 1 2 7\naddv 3\n",
+	}
+	for name, src := range variants {
+		got, err := ReadDeltaLog(strings.NewReader(src))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if !reflect.DeepEqual(got.Muts, want.Muts) {
+			t.Errorf("%s: mutations differ\ngot:  %+v\nwant: %+v", name, got.Muts, want.Muts)
+		}
+	}
+}
+
+// TestReadDeltaLogCRLFErrorLineNumbers checks that error positions count
+// CR-terminated lines too.
+func TestReadDeltaLogCRLFErrorLineNumbers(t *testing.T) {
+	_, err := ReadDeltaLog(strings.NewReader("add 0 1\r\nadd 1 2\rfrob 9\r\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("want unknown-verb error at line 3, got %v", err)
+	}
+}
+
+// A BOM anywhere but the start of the stream is still garbage, not
+// silently skipped: it glues onto the first field of its line.
+func TestReadDeltaLogInteriorBOMRejected(t *testing.T) {
+	_, err := ReadDeltaLog(strings.NewReader("add 0 1\n\ufeffadd 1 2\n"))
+	if err == nil {
+		t.Fatal("interior BOM must not be stripped")
+	}
+}

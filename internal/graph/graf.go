@@ -103,7 +103,14 @@ func pad8(x uint64) uint64 { return (8 - x%8) % 8 }
 func EncodeGraph(g *Graph) []byte {
 	cOut, cOutIdx := g.cOut, g.cOutIdx
 	if cOutIdx == nil {
-		cOut, cOutIdx = encodeAdj(g.outOff, g.outAdj)
+		var err error
+		cOut, cOutIdx, err = encodeAdj(g.outOff, g.outAdj, "out")
+		if err != nil {
+			// DVGRAF shares the uint32 stream-offset limit, so a graph
+			// past it has no on-disk form either; surface the typed
+			// overflow rather than writing corrupt offsets.
+			panic(err)
+		}
 	}
 	n := uint64(g.n)
 	arcs := uint64(g.NumArcs())

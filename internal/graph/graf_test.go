@@ -33,7 +33,7 @@ func TestGraphCodecRoundTrip(t *testing.T) {
 	for name, g := range compactCorpus(t) {
 		t.Run(name, func(t *testing.T) {
 			enc := EncodeGraph(g)
-			if enc2 := EncodeGraph(Compact(g)); !bytes.Equal(enc, enc2) {
+			if enc2 := EncodeGraph(MustCompact(g)); !bytes.Equal(enc, enc2) {
 				t.Fatal("flat and compact graphs must encode identically")
 			}
 			for _, mode := range []LoadMode{LoadFlat, LoadCompact} {
@@ -227,7 +227,7 @@ func FuzzGraphDecode(f *testing.F) {
 		Path(4, true),
 		Star(6, false),
 		WithRandomWeights(Grid(3, 3, 5, 1), 1, 3, 1),
-		Compact(RMAT(5, 3, 0.57, 0.19, 0.19, true, 2)),
+		MustCompact(RMAT(5, 3, 0.57, 0.19, 0.19, true, 2)),
 		NewBuilder(0, true).Finalize(),
 	} {
 		f.Add(EncodeGraph(g))

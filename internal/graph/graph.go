@@ -464,8 +464,29 @@ func (b *Builder) AddWeightedEdge(u, v VertexID, w float64) {
 func (b *Builder) NumBuffered() int { return len(b.srcs) }
 
 // Finalize builds the immutable CSR graph. The Builder must not be used
-// afterwards.
+// afterwards. When SetCompact is on, Finalize panics if the encoded
+// adjacency overflows the 4 GiB stream limit; builders of graphs that
+// can plausibly reach that scale should call Compact instead and handle
+// the typed error.
 func (b *Builder) Finalize() *Graph {
+	g := b.finalizeFlat()
+	if b.compact {
+		return MustCompact(g)
+	}
+	return g
+}
+
+// Compact builds the graph directly in the compact gap-varint
+// representation, returning a *CompactOverflowError (instead of
+// Finalize's panic) if either direction's encoded stream would exceed
+// the 4 GiB uint32 offset limit. The Builder must not be used
+// afterwards.
+func (b *Builder) Compact() (*Graph, error) {
+	return Compact(b.finalizeFlat())
+}
+
+// finalizeFlat builds the flat CSR from the buffered edges.
+func (b *Builder) finalizeFlat() *Graph {
 	type arc struct {
 		u, v VertexID
 		w    float64
@@ -511,9 +532,6 @@ func (b *Builder) Finalize() *Graph {
 	}
 	if !b.directed {
 		g.inOff, g.inAdj, g.inW = g.outOff, g.outAdj, g.outW
-	}
-	if b.compact {
-		return Compact(g)
 	}
 	return g
 }

@@ -122,8 +122,15 @@ func (e *Engine[V, M]) capture(superstep int, done bool) error {
 		e.stats.CheckpointPath = path
 		e.stats.CheckpointBytes += int64(size)
 	case dir != "":
+		// Temp-file + rename so a crash mid-write (a sharded peer can be
+		// SIGKILLed at any point) never leaves a torn snapshot behind.
 		path := filepath.Join(dir, SnapshotFileName(superstep))
-		if err := os.WriteFile(path, e.snapBuf, 0o644); err != nil {
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, e.snapBuf, 0o644); err != nil {
+			return fmt.Errorf("pregel: checkpoint: %w", err)
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			os.Remove(tmp)
 			return fmt.Errorf("pregel: checkpoint: %w", err)
 		}
 		e.stats.CheckpointPath = path

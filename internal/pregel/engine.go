@@ -55,6 +55,11 @@ type Engine[V, M any] struct {
 	snap     Snapshot
 	snapBuf  []byte
 	chain    *ChainWriter // lazily opened when Checkpoint.Incremental
+
+	// Sharding state (see shard.go). Always non-nil once RunContext
+	// starts; the unsharded run is the count==1 case over the local
+	// transport, so the superstep loop has exactly one shape.
+	shard *shardState
 }
 
 // worker owns a contiguous slot range and all the scratch its superstep
@@ -316,6 +321,11 @@ func (e *Engine[V, M]) RunContext(ctx context.Context, prog Program[V, M]) (*Sta
 	start := time.Now() //lint:allow timenow — stats-only wall-clock timing
 	e.stats.CheckpointSuperstep = -1
 
+	if err := e.initShard(); err != nil {
+		return nil, err
+	}
+	sharded := e.shard.count > 1
+
 	ckptOn := e.opts.Checkpoint.enabled()
 	if ckptOn || e.opts.Resume != nil || e.opts.WarmStart != nil {
 		if err := e.ensureCodecs(); err != nil {
@@ -371,7 +381,7 @@ func (e *Engine[V, M]) RunContext(ctx context.Context, prog Program[V, M]) (*Sta
 	for _, wk := range e.workers {
 		wk.aggPend = make([]float64, len(e.aggList))
 		wk.aggSeen = make([]bool, len(e.aggList))
-		if e.combiner != nil && !keyed {
+		if e.combiner != nil && !keyed && e.shard.owns(wk.id) {
 			wk.combSlot = make([]int32, e.block)
 			wk.combStamp = make([]uint32, e.block)
 		}
@@ -390,6 +400,9 @@ func (e *Engine[V, M]) RunContext(ctx context.Context, prog Program[V, M]) (*Sta
 			return nil, err
 		}
 		if s.Done {
+			if err := e.shardGatherValues(); err != nil {
+				return abort(err)
+			}
 			e.stats.Duration = time.Since(start)
 			return &e.stats, nil
 		}
@@ -404,9 +417,13 @@ func (e *Engine[V, M]) RunContext(ctx context.Context, prog Program[V, M]) (*Sta
 		startStep = 1
 	}
 
-	cmds := make([]chan workerCmd, len(e.workers))
+	// Only this shard's workers get goroutines; the rest of e.workers are
+	// stubs that barrier-1 frame decoding fills (see shard.go). Unsharded,
+	// locals is all of them.
+	locals := e.localWorkers()
+	cmds := make([]chan workerCmd, len(locals))
 	var wg sync.WaitGroup
-	for i, wk := range e.workers {
+	for i, wk := range locals {
 		cmds[i] = make(chan workerCmd)
 		go func(wk *worker[V, M], ch chan workerCmd) {
 			for cmd := range ch {
@@ -444,7 +461,12 @@ func (e *Engine[V, M]) RunContext(ctx context.Context, prog Program[V, M]) (*Sta
 	for e.superstep = startStep; e.superstep < e.opts.MaxSupersteps; e.superstep++ {
 		stepStart := time.Now() //lint:allow timenow — step-timeout/stats timing, not fold input
 		if err := e.checkAbort(ctx, deadline, stepStart); err != nil {
-			if ckptOn && e.superstep > startStep {
+			if sharded {
+				// Peer shards may already have run this superstep's compute,
+				// so no cluster-consistent snapshot exists; flag the abort at
+				// their next barrier instead of capturing.
+				e.shardSignalAbort(ctrlKindBarrier1, err)
+			} else if ckptOn && e.superstep > startStep {
 				// State sits at the previous superstep's barrier; persist it
 				// so the abort leaves a resumable snapshot behind.
 				_ = e.capture(e.superstep-1, false)
@@ -456,6 +478,7 @@ func (e *Engine[V, M]) RunContext(ctx context.Context, prog Program[V, M]) (*Sta
 		}
 		broadcast(cmdCompute)
 		if re := e.workerPanic(); re != nil {
+			e.shardSignalAbort(ctrlKindBarrier1, re)
 			return abort(re)
 		}
 		if e.opts.Quarantine {
@@ -466,17 +489,28 @@ func (e *Engine[V, M]) RunContext(ctx context.Context, prog Program[V, M]) (*Sta
 			// active set are torn, so no snapshot can be taken for this
 			// superstep — CheckpointPath keeps pointing at the last
 			// periodic one.
-			return abort(fmt.Errorf("%w (superstep %d ran > %v)", ErrStepTimeout, e.superstep, e.opts.StepTimeout))
+			err := fmt.Errorf("%w (superstep %d ran > %v)", ErrStepTimeout, e.superstep, e.opts.StepTimeout)
+			e.shardSignalAbort(ctrlKindBarrier1, err)
+			return abort(err)
+		}
+		// Post-compute barrier: ship remote-destined outboxes and this
+		// shard's aggregator partials, and fill the stub workers with
+		// inbound frames so exchange delivers in global worker order.
+		if err := e.shardBarrier1(); err != nil {
+			return abort(err)
 		}
 		e.mergeAggregators()
 		if err := e.checkAbort(ctx, deadline, stepStart); err != nil {
-			if !ckptOn {
+			if !ckptOn && !sharded {
 				return abort(err)
 			}
+			// Sharded runs always drain to the post-exchange barrier so
+			// every shard aborts at the same consistent cut.
 			pendingAbort = err
 		}
 		broadcast(cmdExchange)
 		if re := e.workerPanic(); re != nil {
+			e.shardSignalAbort(ctrlKindBarrier2, re)
 			return abort(re)
 		}
 
@@ -488,6 +522,16 @@ func (e *Engine[V, M]) RunContext(ctx context.Context, prog Program[V, M]) (*Sta
 			st.CombinedMessages += wk.delivered
 			st.CrossWorker += wk.cross
 			nextActive += wk.nextActive
+		}
+		// Post-exchange barrier: merge every shard's statistic partials so
+		// the termination decision and the master hook run on identical
+		// global numbers everywhere, and agree on deferred aborts.
+		remotePending, err := e.shardBarrier2(&st, &nextActive, pendingAbort)
+		if err != nil {
+			return abort(err)
+		}
+		if pendingAbort == nil {
+			pendingAbort = remotePending
 		}
 		st.Duration = time.Since(stepStart)
 		e.stats.Steps = append(e.stats.Steps, st)
@@ -531,6 +575,11 @@ func (e *Engine[V, M]) RunContext(ctx context.Context, prog Program[V, M]) (*Sta
 			_ = e.capture(e.superstep-1, false)
 		}
 		return &e.stats, fmt.Errorf("pregel: superstep limit %d reached", e.opts.MaxSupersteps)
+	}
+	// A finished sharded run gathers every shard's owned value range so
+	// Values() is whole on all shards.
+	if err := e.shardGatherValues(); err != nil {
+		return abort(err)
 	}
 	return &e.stats, nil
 }

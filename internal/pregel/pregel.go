@@ -142,6 +142,16 @@ type Options struct {
 	// begins at superstep 1 with empty inboxes. Mutually exclusive with
 	// Resume. See WarmStartOptions.
 	WarmStart *WarmStartOptions
+	// Shard, when non-nil with Count > 1, places this engine in a
+	// multi-process sharded run: this process executes only its shard's
+	// contiguous worker range and exchanges messages, aggregator
+	// partials, and statistics with its peers over Shard.Transport at
+	// the superstep barriers. The merged run is bit-identical to an
+	// in-process run with the same total Workers count. Requires
+	// PartitionBlock and an explicit Workers value identical on every
+	// shard; Quarantine and WarmStart are not supported sharded. See
+	// ShardOptions.
+	Shard *ShardOptions
 	// Quarantine contains a panic raised inside a single vertex's
 	// Init/Compute to that vertex instead of aborting the run: the panic
 	// is recovered at the call site, every message the vertex sent during

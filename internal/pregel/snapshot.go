@@ -358,9 +358,20 @@ func ReadSnapshotFile(path string) (*Snapshot, error) {
 	return s, nil
 }
 
-// WriteSnapshotFile encodes s into path.
+// WriteSnapshotFile encodes s into path. The write is atomic (temp
+// file + rename), so a crash — e.g. a sharded peer SIGKILLed mid-
+// checkpoint — can leave a missing snapshot but never a torn one, and
+// resume can always trust whatever files exist.
 func WriteSnapshotFile(path string, s *Snapshot) error {
-	return os.WriteFile(path, s.AppendTo(nil), 0o644)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, s.AppendTo(nil), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // SnapshotFileName is the name pattern used for snapshots written into

@@ -36,7 +36,50 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /neighbors/{v}", s.handleNeighbors)
 	mux.HandleFunc("POST /mutate", s.handleMutate)
 	mux.HandleFunc("POST /flush", s.handleFlush)
+
+	// Everything below is error shaping: without these, requests that miss
+	// the method+pattern routes above fall through to the mux's plain-text
+	// 404/405 pages. An API client expects machine-readable errors on every
+	// path, so malformed vertex paths ("/value/", "/value/1/2"), wrong
+	// methods, and unknown routes all answer JSON with the right status.
+	mux.HandleFunc("/value/", s.vertexPathFallback)
+	mux.HandleFunc("/value", s.vertexPathFallback)
+	mux.HandleFunc("/neighbors/", s.vertexPathFallback)
+	mux.HandleFunc("/neighbors", s.vertexPathFallback)
+	mux.HandleFunc("/mutate", methodOnly(http.MethodPost))
+	mux.HandleFunc("/flush", methodOnly(http.MethodPost))
+	mux.HandleFunc("/healthz", methodOnly(http.MethodGet))
+	mux.HandleFunc("/stats", methodOnly(http.MethodGet))
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no such route %q", r.URL.Path))
+	})
 	return mux
+}
+
+// vertexPathFallback answers for /value and /neighbors requests the typed
+// routes did not match: wrong method (405 + Allow), a missing id
+// ("/value", "/value/"), or extra/odd segments ("/value/1/2"). The
+// non-integer single-segment case never reaches here — "GET /value/{v}"
+// matches it and vertexArg returns the 400.
+func (s *Server) vertexPathFallback(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed,
+			fmt.Sprintf("method %s not allowed on %s (allow GET)", r.Method, r.URL.Path))
+		return
+	}
+	writeError(w, http.StatusBadRequest,
+		fmt.Sprintf("bad vertex path %q: want /value/{v} or /neighbors/{v} with a single numeric vertex id", r.URL.Path))
+}
+
+// methodOnly rejects the methods the typed route for the same pattern did
+// not take, with a JSON 405 instead of the mux's plain-text page.
+func methodOnly(allow string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", allow)
+		writeError(w, http.StatusMethodNotAllowed,
+			fmt.Sprintf("method %s not allowed on %s (allow %s)", r.Method, r.URL.Path, allow))
+	}
 }
 
 // versionMeta is the epoch correlation block every read reply embeds.

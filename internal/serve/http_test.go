@@ -160,14 +160,78 @@ func TestHTTPErrorPaths(t *testing.T) {
 	if !strings.Contains(e["error"], "mutation log full") {
 		t.Fatalf("error = %q", e["error"])
 	}
-	// A method mismatch falls through to the mux's 405.
-	resp, err := ts.Client().Get(ts.URL + "/mutate")
+	// A method mismatch is a JSON 405, not the mux's plain-text page.
+	getJSON(t, ts, "GET", "/mutate", "", http.StatusMethodNotAllowed, &e)
+	if !strings.Contains(e["error"], "not allowed") {
+		t.Fatalf("error = %q", e["error"])
+	}
+}
+
+// TestHTTPMalformedPaths pins the error shaping for every request shape
+// that misses the typed routes: each must answer JSON (never an empty or
+// plain-text body) with the right status code.
+func TestHTTPMalformedPaths(t *testing.T) {
+	s, _ := ssspServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		method, path string
+		wantCode     int
+		wantErr      string
+	}{
+		// Non-integer and out-of-range ids through the typed routes.
+		{"GET", "/value/abc", http.StatusBadRequest, "bad vertex id"},
+		{"GET", "/value/1.5", http.StatusBadRequest, "bad vertex id"},
+		{"GET", "/value/-1", http.StatusBadRequest, "bad vertex id"},
+		{"GET", "/value/99999999999", http.StatusBadRequest, "bad vertex id"},
+		{"GET", "/value/0x10", http.StatusBadRequest, "bad vertex id"},
+		{"GET", "/neighbors/abc", http.StatusBadRequest, "bad vertex id"},
+		{"GET", "/neighbors/1e3", http.StatusBadRequest, "bad vertex id"},
+		{"GET", "/value/100000", http.StatusNotFound, "out of range"},
+		{"GET", "/neighbors/100000", http.StatusNotFound, "out of range"},
+		// Missing, empty, and multi-segment vertex paths.
+		{"GET", "/value", http.StatusBadRequest, "bad vertex path"},
+		{"GET", "/value/", http.StatusBadRequest, "bad vertex path"},
+		{"GET", "/value/1/2", http.StatusBadRequest, "bad vertex path"},
+		{"GET", "/value/1/", http.StatusBadRequest, "bad vertex path"},
+		{"GET", "/value/abc/def", http.StatusBadRequest, "bad vertex path"},
+		{"GET", "/neighbors", http.StatusBadRequest, "bad vertex path"},
+		{"GET", "/neighbors/", http.StatusBadRequest, "bad vertex path"},
+		{"GET", "/neighbors/3/x", http.StatusBadRequest, "bad vertex path"},
+		// Wrong methods on every route.
+		{"POST", "/value/3", http.StatusMethodNotAllowed, "not allowed"},
+		{"DELETE", "/value/3", http.StatusMethodNotAllowed, "not allowed"},
+		{"PUT", "/neighbors/3", http.StatusMethodNotAllowed, "not allowed"},
+		{"GET", "/mutate", http.StatusMethodNotAllowed, "not allowed"},
+		{"GET", "/flush", http.StatusMethodNotAllowed, "not allowed"},
+		{"POST", "/healthz", http.StatusMethodNotAllowed, "not allowed"},
+		{"POST", "/stats", http.StatusMethodNotAllowed, "not allowed"},
+		// Unknown routes.
+		{"GET", "/", http.StatusNotFound, "no such route"},
+		{"GET", "/values/3", http.StatusNotFound, "no such route"},
+		{"POST", "/nope", http.StatusNotFound, "no such route"},
+	}
+	for _, tc := range cases {
+		var e map[string]string
+		getJSON(t, ts, tc.method, tc.path, "", tc.wantCode, &e)
+		if !strings.Contains(e["error"], tc.wantErr) {
+			t.Errorf("%s %s: error = %q, want substring %q", tc.method, tc.path, e["error"], tc.wantErr)
+		}
+	}
+
+	// The 405s advertise the allowed method.
+	req, err := http.NewRequest("POST", ts.URL+"/value/3", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Fatalf("GET /mutate = %d, want 405", resp.StatusCode)
+	if allow := resp.Header.Get("Allow"); allow != "GET" {
+		t.Fatalf("Allow = %q, want GET", allow)
 	}
 }
 
